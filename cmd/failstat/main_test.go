@@ -1,0 +1,173 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"hpcfail/internal/failures"
+	"hpcfail/internal/lanl"
+)
+
+var (
+	traceOnce sync.Once
+	tracePath string
+	traceErr  error
+)
+
+// testTrace writes a system 20 + system 5 trace once for all tests.
+func testTrace(t *testing.T) string {
+	t.Helper()
+	traceOnce.Do(func() {
+		dataset, err := lanl.NewGenerator(lanl.Config{Seed: 1, Systems: []int{5, 20}}).Generate()
+		if err != nil {
+			traceErr = err
+			return
+		}
+		dir, err := os.MkdirTemp("", "failstat")
+		if err != nil {
+			traceErr = err
+			return
+		}
+		tracePath = filepath.Join(dir, "trace.csv")
+		f, err := os.Create(tracePath)
+		if err != nil {
+			traceErr = err
+			return
+		}
+		defer f.Close()
+		traceErr = failures.WriteCSV(f, dataset)
+	})
+	if traceErr != nil {
+		t.Fatal(traceErr)
+	}
+	return tracePath
+}
+
+func TestAnalyses(t *testing.T) {
+	path := testTrace(t)
+	cases := []struct {
+		name string
+		args []string
+		want []string
+	}{
+		{"rootcause", []string{"-analysis", "rootcause"}, []string{"Hardware", "All systems"}},
+		{"downtime", []string{"-analysis", "downtime"}, []string{"root cause", "%"}},
+		{"rates", []string{"-analysis", "rates"}, []string{"Per year per proc"}},
+		{"pernode", []string{"-analysis", "pernode", "-system", "20"}, []string{"node 22", "poisson"}},
+		{"lifecycle", []string{"-analysis", "lifecycle", "-system", "5", "-months", "30"}, []string{"month 29", "early-drop"}},
+		{"timeofday", []string{"-analysis", "timeofday"}, []string{"peak/trough"}},
+		{"interarrival", []string{"-analysis", "interarrival", "-system", "20", "-node", "22"}, []string{"weibull", "system-wide"}},
+		{"repair", []string{"-analysis", "repair"}, []string{"Table 2", "lognormal"}},
+		{"repair-systems", []string{"-analysis", "repair-systems"}, []string{"Median (min)"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			args := append([]string{"-data", path}, tc.args...)
+			if err := run(args, &out); err != nil {
+				t.Fatal(err)
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(out.String(), want) {
+					t.Fatalf("output missing %q:\n%s", want, out.String())
+				}
+			}
+		})
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatal("missing -data: want error")
+	}
+	if err := run([]string{"-data", "/nonexistent.csv"}, &out); err == nil {
+		t.Fatal("missing file: want error")
+	}
+	path := testTrace(t)
+	if err := run([]string{"-data", path, "-analysis", "bogus"}, &out); err == nil {
+		t.Fatal("unknown analysis: want error")
+	}
+	if err := run([]string{"-data", path, "-analysis", "pernode", "-system", "99"}, &out); err == nil {
+		t.Fatal("unknown system: want error")
+	}
+}
+
+func TestExtendedAnalyses(t *testing.T) {
+	path := testTrace(t)
+	cases := []struct {
+		name string
+		args []string
+		want []string
+	}{
+		{"availability", []string{"-analysis", "availability"}, []string{"Availability", "MTTR"}},
+		{"details", []string{"-analysis", "details", "-system", "20"}, []string{"memory", "Share"}},
+		{"trend", []string{"-analysis", "trend", "-system", "5"}, []string{"Laplace", "improving"}},
+		{"hazard", []string{"-analysis", "hazard", "-system", "20"}, []string{"trend: decreasing"}},
+		{"batches", []string{"-analysis", "batches", "-system", "20"}, []string{"batches:", "mean batch size"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			args := append([]string{"-data", path}, tc.args...)
+			if err := run(args, &out); err != nil {
+				t.Fatal(err)
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(out.String(), want) {
+					t.Fatalf("output missing %q:\n%s", want, out.String())
+				}
+			}
+		})
+	}
+}
+
+func TestStatisticalAnalyses(t *testing.T) {
+	path := testTrace(t)
+	cases := []struct {
+		name string
+		args []string
+		want []string
+	}{
+		{"acf", []string{"-analysis", "acf", "-system", "20"}, []string{"Autocorrelation", "Lag"}},
+		{"kstest", []string{"-analysis", "kstest", "-system", "20"}, []string{"Bootstrap p-value", "weibull"}},
+		{"changepoint", []string{"-analysis", "changepoint", "-system", "5"}, []string{"change", "log-likelihood ratio"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			args := append([]string{"-data", path}, tc.args...)
+			if err := run(args, &out); err != nil {
+				t.Fatal(err)
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(out.String(), want) {
+					t.Fatalf("output missing %q:\n%s", want, out.String())
+				}
+			}
+		})
+	}
+}
+
+func TestCDFSeriesFlag(t *testing.T) {
+	path := testTrace(t)
+	var out bytes.Buffer
+	if err := run([]string{"-data", path, "-analysis", "repair", "-cdf"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "CDF series, Figure 7(a)") ||
+		!strings.Contains(out.String(), "empirical") {
+		t.Fatalf("missing CDF series:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-data", path, "-analysis", "interarrival", "-cdf"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "CDF series, panel (d)") {
+		t.Fatal("missing interarrival CDF series")
+	}
+}

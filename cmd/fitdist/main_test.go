@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hpcfail/internal/randx"
+)
+
+// writeSample writes n Weibull(0.7, 100) samples to a temp file.
+func writeSample(t *testing.T, n int) string {
+	t.Helper()
+	src := randx.NewSource(1)
+	var buf bytes.Buffer
+	buf.WriteString("# synthetic weibull sample\n\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&buf, "%g\n", src.Weibull(0.7, 100))
+	}
+	path := filepath.Join(t.TempDir(), "sample.txt")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestFitdistIdentifiesWeibull(t *testing.T) {
+	path := writeSample(t, 8000)
+	var out bytes.Buffer
+	if err := run([]string{path}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "best: weibull") && !strings.Contains(text, "best: gamma") {
+		t.Fatalf("unexpected best family:\n%s", text)
+	}
+	for _, want := range []string{"n=8000", "p50", "p99", "hazard rate: decreasing", "KS p-value"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestFitdistStdinAndFamilies(t *testing.T) {
+	src := randx.NewSource(2)
+	var in bytes.Buffer
+	for i := 0; i < 3000; i++ {
+		fmt.Fprintf(&in, "%g\n", src.LogNormal(3, 1))
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-families", "lognormal,exponential", "-quantiles", "0.5", "-"}, &in, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "best: lognormal") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestFitdistErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, nil, &out); err == nil {
+		t.Fatal("no file: want error")
+	}
+	if err := run([]string{"/nonexistent"}, nil, &out); err == nil {
+		t.Fatal("missing file: want error")
+	}
+	if err := run([]string{"-families", "bogus", writeSample(t, 10)}, nil, &out); err == nil {
+		t.Fatal("unknown family: want error")
+	}
+	if err := run([]string{"-quantiles", "2", writeSample(t, 10)}, nil, &out); err == nil {
+		t.Fatal("bad quantile: want error")
+	}
+	if err := run([]string{"-quantiles", "abc", writeSample(t, 10)}, nil, &out); err == nil {
+		t.Fatal("unparseable quantile: want error")
+	}
+	// Non-numeric input.
+	in := strings.NewReader("not-a-number\n")
+	if err := run([]string{"-"}, in, &out); err == nil {
+		t.Fatal("bad value: want error")
+	}
+	// Empty input.
+	if err := run([]string{"-"}, strings.NewReader(""), &out); err == nil {
+		t.Fatal("empty input: want error")
+	}
+}

@@ -1,0 +1,69 @@
+// Command lanlgen generates a synthetic LANL-like failure trace and writes
+// it as CSV. The generator is calibrated to the statistics published in
+// Schroeder & Gibson (DSN 2006); see DESIGN.md for the substitution
+// argument.
+//
+// Usage:
+//
+//	lanlgen [-seed N] [-systems 5,20] [-scale X] [-out trace.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"hpcfail/internal/failures"
+	"hpcfail/internal/lanl"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lanlgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("lanlgen", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "random seed; seed 1 is the reference dataset")
+	systems := fs.String("systems", "", "comma-separated system IDs (default: all 22)")
+	scale := fs.Float64("scale", 1, "failure-rate scale factor")
+	out := fs.String("out", "", "output file (default: stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := lanl.Config{Seed: *seed, RateScale: *scale}
+	if *systems != "" {
+		for _, part := range strings.Split(*systems, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("parse -systems: %w", err)
+			}
+			cfg.Systems = append(cfg.Systems, id)
+		}
+	}
+	dataset, err := lanl.NewGenerator(cfg).Generate()
+	if err != nil {
+		return fmt.Errorf("generate: %w", err)
+	}
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := failures.WriteCSV(w, dataset); err != nil {
+		return fmt.Errorf("write: %w", err)
+	}
+	if *out != "" {
+		fmt.Fprintf(stdout, "wrote %d records to %s\n", dataset.Len(), *out)
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hpcfail/internal/failures"
+)
+
+func TestRunWritesCSVToStdout(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-seed", "2", "-systems", "12"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	dataset, err := failures.ReadCSV(&out)
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v", err)
+	}
+	if dataset.Len() == 0 {
+		t.Fatal("no records")
+	}
+	for _, id := range dataset.Systems() {
+		if id != 12 {
+			t.Fatalf("unexpected system %d", id)
+		}
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	var out bytes.Buffer
+	if err := run([]string{"-seed", "1", "-systems", "13,14", "-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "wrote") {
+		t.Fatalf("missing confirmation: %q", out.String())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	dataset, err := failures.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dataset.Systems(); len(got) != 2 {
+		t.Fatalf("systems = %v", got)
+	}
+}
+
+func TestRunScale(t *testing.T) {
+	size := func(scale string) int {
+		t.Helper()
+		var out bytes.Buffer
+		if err := run([]string{"-seed", "1", "-systems", "13", "-scale", scale}, &out); err != nil {
+			t.Fatal(err)
+		}
+		d, err := failures.ReadCSV(&out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d.Len()
+	}
+	if base, doubled := size("1"), size("2"); doubled < base*3/2 {
+		t.Fatalf("scale 2 gave %d vs base %d", doubled, base)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-systems", "abc"}, &out); err == nil {
+		t.Fatal("bad -systems: want error")
+	}
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Fatal("unknown flag: want error")
+	}
+}

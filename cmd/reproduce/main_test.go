@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hpcfail/internal/failures"
+	"hpcfail/internal/lanl"
+)
+
+func TestReproduceFullRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full reproduction run")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-seed", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	// Every table and figure must be present.
+	for _, want := range []string{
+		"Table 1", "Figure 1(a)", "Figure 1(b)", "Figure 2", "Figure 3",
+		"Figure 4", "Figure 5", "Figure 6", "Table 2", "Table 3", "Figure 7(a)",
+		"Figure 7(b, c)", "Footnote 1", "Extensions:",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing section %q", want)
+		}
+	}
+	// Paper-vs-measured lines for the headline claims.
+	if strings.Count(text, "paper:") < 10 {
+		t.Errorf("expected paper reference lines, got %d", strings.Count(text, "paper:"))
+	}
+	if strings.Count(text, "measured:") < 8 {
+		t.Errorf("expected measured lines, got %d", strings.Count(text, "measured:"))
+	}
+	// Key reproduced shapes.
+	if !strings.Contains(text, "hazard decreasing") {
+		t.Error("missing decreasing-hazard finding")
+	}
+	if !strings.Contains(text, "best family: lognormal") {
+		t.Error("missing lognormal repair finding")
+	}
+}
+
+func TestReproduceBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Fatal("unknown flag: want error")
+	}
+	if err := run([]string{"-data", "/nonexistent.csv"}, &out); err == nil {
+		t.Fatal("missing data file: want error")
+	}
+}
+
+func TestReproduceFromCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full reproduction run")
+	}
+	dataset, err := lanl.NewGenerator(lanl.Config{Seed: 1}).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := failures.WriteCSV(f, dataset); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-data", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	// The CSV path must produce the same record count as generation.
+	want := fmt.Sprintf("%d failure records", dataset.Len())
+	if !strings.Contains(out.String(), want) {
+		t.Fatalf("missing %q in output header", want)
+	}
+}

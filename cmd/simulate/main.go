@@ -1,0 +1,200 @@
+// Command simulate runs a checkpointed job stream over a simulated
+// cluster. Nodes fail either by a parametric model (-mode model) or by
+// replaying a recorded failure trace (-mode replay), making it easy to ask
+// "what would this checkpoint interval have cost on system 20's actual
+// nine years of failures?"
+//
+// Usage:
+//
+//	simulate -mode model -tbf weibull:0.7:150 -ttr lognormal:0:1.2 \
+//	         -nodes 32 -jobs 8 -nodes-per-job 2 -work 300 -interval 10
+//	simulate -mode replay -data trace.csv -system 20 -jobs 10 -work 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"hpcfail/internal/dist"
+	"hpcfail/internal/failures"
+	"hpcfail/internal/report"
+	"hpcfail/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "simulate:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	mode        string
+	data        string
+	system      int
+	tbfSpec     string
+	ttrSpec     string
+	nodes       int
+	jobs        int
+	nodesPerJob int
+	work        float64
+	interval    float64
+	cost        float64
+	restart     float64
+	scheduler   string
+	seed        int64
+	horizon     float64
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
+	var o options
+	fs.StringVar(&o.mode, "mode", "model", "failure source: model or replay")
+	fs.StringVar(&o.data, "data", "", "CSV trace for replay mode")
+	fs.IntVar(&o.system, "system", 20, "system ID for replay mode")
+	fs.StringVar(&o.tbfSpec, "tbf", "weibull:0.7:150", "TBF model family:params (hours)")
+	fs.StringVar(&o.ttrSpec, "ttr", "lognormal:0:1.2", "TTR model family:params (hours)")
+	fs.IntVar(&o.nodes, "nodes", 32, "cluster size in model mode")
+	fs.IntVar(&o.jobs, "jobs", 8, "jobs to submit")
+	fs.IntVar(&o.nodesPerJob, "nodes-per-job", 2, "nodes per job")
+	fs.Float64Var(&o.work, "work", 300, "work per job (hours)")
+	fs.Float64Var(&o.interval, "interval", 10, "checkpoint interval (hours, 0 = none)")
+	fs.Float64Var(&o.cost, "cost", 0.1, "checkpoint cost (hours)")
+	fs.Float64Var(&o.restart, "restart", 0.25, "restart cost (hours)")
+	fs.StringVar(&o.scheduler, "scheduler", "first-fit", "first-fit or reliability-aware")
+	fs.Int64Var(&o.seed, "seed", 1, "seed for model mode")
+	fs.Float64Var(&o.horizon, "horizon", 1e6, "simulation horizon (hours)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var sched sim.Scheduler
+	switch o.scheduler {
+	case "first-fit":
+		sched = sim.FirstFitScheduler{}
+	case "reliability-aware":
+		sched = sim.ReliabilityScheduler{}
+	default:
+		return fmt.Errorf("unknown scheduler %q", o.scheduler)
+	}
+
+	var cluster *sim.Cluster
+	switch o.mode {
+	case "model":
+		tbf, err := parseDist(o.tbfSpec)
+		if err != nil {
+			return fmt.Errorf("-tbf: %w", err)
+		}
+		ttr, err := parseDist(o.ttrSpec)
+		if err != nil {
+			return fmt.Errorf("-ttr: %w", err)
+		}
+		if o.nodes <= 0 {
+			return fmt.Errorf("-nodes must be positive")
+		}
+		specs := make([]sim.NodeSpec, o.nodes)
+		for i := range specs {
+			specs[i] = sim.NodeSpec{TBF: tbf, TTR: ttr}
+		}
+		cluster, err = sim.NewCluster(sim.ClusterConfig{Nodes: specs, Scheduler: sched, Seed: o.seed})
+		if err != nil {
+			return err
+		}
+	case "replay":
+		if o.data == "" {
+			return fmt.Errorf("replay mode needs -data")
+		}
+		f, err := os.Open(o.data)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dataset, err := failures.ReadCSV(f)
+		if err != nil {
+			return fmt.Errorf("read %s: %w", o.data, err)
+		}
+		cluster, err = sim.ReplayCluster(dataset.BySystem(o.system), sched)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown mode %q", o.mode)
+	}
+
+	for i := 0; i < o.jobs; i++ {
+		if err := cluster.Submit(sim.JobConfig{
+			ID:                  i,
+			WorkHours:           o.work,
+			CheckpointInterval:  o.interval,
+			CheckpointCostHours: o.cost,
+			RestartCostHours:    o.restart,
+		}, o.nodesPerJob); err != nil {
+			return err
+		}
+	}
+	if err := cluster.Run(time.Duration(o.horizon * float64(time.Hour))); err != nil {
+		return err
+	}
+
+	m := cluster.Collect()
+	t := report.NewTable("Metric", "Value")
+	t.AddRow("scheduler", sched.Name())
+	t.AddRow("jobs completed", fmt.Sprintf("%d", m.JobsCompleted))
+	t.AddRow("jobs unfinished", fmt.Sprintf("%d", m.JobsUnfinished))
+	t.AddRow("interruptions", fmt.Sprintf("%d", m.TotalInterruptions))
+	t.AddRow("lost work (h)", fmt.Sprintf("%.1f", m.TotalLostWorkHours))
+	t.AddRow("mean job efficiency", fmt.Sprintf("%.4f", m.MeanEfficiency))
+	t.AddRow("mean node availability", fmt.Sprintf("%.4f", m.MeanAvailability))
+	t.AddRow("simulated time (h)", fmt.Sprintf("%.0f", cluster.Engine().Now().Hours()))
+	fmt.Fprint(w, t.String())
+	return nil
+}
+
+// parseDist parses family:param[:param] specs, e.g. weibull:0.7:150,
+// exponential:0.01, lognormal:0:1.2, gamma:2:50.
+func parseDist(spec string) (dist.Continuous, error) {
+	parts := strings.Split(spec, ":")
+	params := make([]float64, 0, len(parts)-1)
+	for _, p := range parts[1:] {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("parse %q: %w", spec, err)
+		}
+		params = append(params, v)
+	}
+	need := func(n int) error {
+		if len(params) != n {
+			return fmt.Errorf("%s needs %d parameters, got %d", parts[0], n, len(params))
+		}
+		return nil
+	}
+	switch parts[0] {
+	case "exponential":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return dist.NewExponential(params[0])
+	case "weibull":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return dist.NewWeibull(params[0], params[1])
+	case "gamma":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return dist.NewGamma(params[0], params[1])
+	case "lognormal":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return dist.NewLogNormal(params[0], params[1])
+	default:
+		return nil, fmt.Errorf("unknown family %q", parts[0])
+	}
+}

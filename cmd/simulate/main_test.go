@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"hpcfail/internal/failures"
+	"hpcfail/internal/lanl"
+)
+
+// collapse reduces runs of whitespace to single spaces so assertions are
+// independent of column padding.
+func collapse(s string) string {
+	return regexp.MustCompile(`\s+`).ReplaceAllString(s, " ")
+}
+
+func TestModelMode(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-mode", "model", "-tbf", "weibull:0.7:150", "-ttr", "lognormal:0:1.2",
+		"-nodes", "8", "-jobs", "4", "-work", "100", "-interval", "8",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(collapse(text), "jobs completed 4") {
+		t.Fatalf("output:\n%s", text)
+	}
+	if !strings.Contains(text, "first-fit") {
+		t.Fatalf("missing scheduler name:\n%s", text)
+	}
+}
+
+func TestReplayMode(t *testing.T) {
+	dataset, err := lanl.NewGenerator(lanl.Config{Seed: 1, Systems: []int{12}}).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := failures.WriteCSV(f, dataset); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err = run([]string{
+		"-mode", "replay", "-data", path, "-system", "12",
+		"-jobs", "3", "-work", "200", "-interval", "12", "-horizon", "100000",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(collapse(out.String()), "jobs completed 3") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestSchedulerFlag(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-mode", "model", "-nodes", "6", "-jobs", "2", "-work", "50",
+		"-scheduler", "reliability-aware",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "reliability-aware") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	cases := [][]string{
+		{"-mode", "bogus"},
+		{"-mode", "replay"},                    // missing -data
+		{"-mode", "replay", "-data", "/nope"},  // missing file
+		{"-tbf", "weibull:abc:1"},              // unparseable param
+		{"-tbf", "weibull:1"},                  // wrong arity
+		{"-tbf", "cauchy:1:2"},                 // unknown family
+		{"-ttr", "lognormal:0"},                // wrong arity
+		{"-scheduler", "bogus"},                // unknown scheduler
+		{"-nodes", "0"},                        // empty cluster
+		{"-nodes", "2", "-nodes-per-job", "5"}, // oversize job
+		{"-work", "-1"},                        // invalid job
+	}
+	for _, args := range cases {
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v: want error", args)
+		}
+	}
+}
+
+func TestParseDist(t *testing.T) {
+	d, err := parseDist("exponential:0.5")
+	if err != nil || d.Name() != "exponential" {
+		t.Fatalf("%v, %v", d, err)
+	}
+	d, err = parseDist("gamma:2:50")
+	if err != nil || d.Name() != "gamma" {
+		t.Fatalf("%v, %v", d, err)
+	}
+}

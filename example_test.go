@@ -1,0 +1,77 @@
+package hpcfail_test
+
+import (
+	"fmt"
+	"log"
+
+	"hpcfail"
+)
+
+// ExampleFitAll reproduces the paper's central methodology: fit the four
+// standard reliability distributions to a time-between-failures sample and
+// rank them by negative log-likelihood.
+func ExampleFitAll() {
+	data, err := hpcfail.NewGenerator(hpcfail.GeneratorConfig{Seed: 1, Systems: []int{20}}).Generate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cmp, err := hpcfail.FitAll(data.BySystem(20).PositiveInterarrivals())
+	if err != nil {
+		log.Fatal(err)
+	}
+	best, err := cmp.Best()
+	if err != nil {
+		log.Fatal(err)
+	}
+	wb, ok := best.Dist.(hpcfail.Weibull)
+	if !ok {
+		log.Fatal("best fit is not the Weibull")
+	}
+	fmt.Printf("best family: %s\n", best.Family)
+	fmt.Printf("decreasing hazard: %v\n", wb.HazardDecreasing())
+	// Output:
+	// best family: weibull
+	// decreasing hazard: true
+}
+
+// ExampleYoungInterval derives a checkpoint interval from a fitted failure
+// model, the application the paper's introduction motivates.
+func ExampleYoungInterval() {
+	tbf, err := hpcfail.NewWeibull(0.7, 120)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tau, err := hpcfail.YoungInterval(0.25, tbf.Mean())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checkpoint every %.0f hours\n", tau)
+	// Output:
+	// checkpoint every 9 hours
+}
+
+// ExampleSystemByID looks up a system of the paper's Table 1.
+func ExampleSystemByID() {
+	sys, err := hpcfail.SystemByID(20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("system %d: type %s, %d nodes, %d processors\n",
+		sys.ID, sys.HW, sys.Nodes, sys.Procs)
+	// Output:
+	// system 20: type G, 49 nodes, 6152 processors
+}
+
+// ExampleDataset_ZeroInterarrivalFraction measures simultaneous failures —
+// the correlation signal of the paper's Section 5.3.
+func ExampleDataset_ZeroInterarrivalFraction() {
+	data, err := hpcfail.NewGenerator(hpcfail.GeneratorConfig{Seed: 1, Systems: []int{20}}).Generate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	early := data.Between(hpcfail.CollectionStart, hpcfail.CollectionStart.AddDate(3, 0, 0))
+	fmt.Printf("early zero-interarrival fraction above 0.3: %v\n",
+		early.ZeroInterarrivalFraction() > 0.3)
+	// Output:
+	// early zero-interarrival fraction above 0.3: true
+}

@@ -1,0 +1,107 @@
+// Checkpointing: fit the paper's Weibull TBF model to a node's failure
+// history and use it to choose a checkpoint interval, comparing the
+// classic Young/Daly prescriptions (which assume memoryless failures)
+// against a simulation-driven optimum under the fitted distribution.
+//
+// This is the use case the paper's introduction cites: "the design and
+// analysis of checkpoint strategies relies on certain statistical
+// properties of failures."
+//
+// Run with: go run ./examples/checkpointing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hpcfail/internal/checkpoint"
+	"hpcfail/internal/dist"
+	"hpcfail/internal/lanl"
+	"hpcfail/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. Build the failure history of system 20 and fit its late-production
+	// per-node TBF, as the paper does for Figure 6(b).
+	dataset, err := lanl.NewGenerator(lanl.Config{Seed: 1, Systems: []int{20}}).Generate()
+	if err != nil {
+		return fmt.Errorf("generate: %w", err)
+	}
+	node := dataset.ByNode(20, 22)
+	tbfSeconds := node.PositiveInterarrivals()
+	fitted, err := dist.FitWeibull(tbfSeconds)
+	if err != nil {
+		return fmt.Errorf("fit weibull: %w", err)
+	}
+	mtbfHours := fitted.Mean() / 3600
+	fmt.Printf("node 22 of system 20: %d failures, fitted Weibull %s\n",
+		node.Len(), fitted.Params())
+	fmt.Printf("MTBF %.0f hours, hazard decreasing: %v\n\n", mtbfHours, fitted.HazardDecreasing())
+
+	// 2. Classic prescriptions from the memoryless model.
+	const checkpointCost = 0.25 // hours to write one checkpoint
+	const restartCost = 0.5     // hours to restart after a failure
+	young, err := checkpoint.YoungInterval(checkpointCost, mtbfHours)
+	if err != nil {
+		return err
+	}
+	daly, err := checkpoint.DalyInterval(checkpointCost, mtbfHours)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Young interval: %.1f h    Daly interval: %.1f h\n\n", young, daly)
+
+	// 3. Evaluate intervals under BOTH failure models: the exponential the
+	// formulas assume, and the Weibull the data actually follows. The TBF
+	// distribution for simulation is in hours.
+	wbHours, err := dist.NewWeibull(fitted.Shape(), fitted.Scale()/3600)
+	if err != nil {
+		return err
+	}
+	expHours, err := dist.NewExponential(1 / mtbfHours)
+	if err != nil {
+		return err
+	}
+	mkCfg := func(tbf dist.Continuous) checkpoint.SimConfig {
+		return checkpoint.SimConfig{
+			TBF:            tbf,
+			CheckpointCost: checkpointCost,
+			RestartCost:    restartCost,
+			WorkHours:      20000,
+			Replications:   32,
+			Seed:           7,
+		}
+	}
+	table := report.NewTable("Interval (h)", "Efficiency (exponential)", "Efficiency (fitted Weibull)")
+	for _, tau := range []float64{young / 4, young / 2, young, daly, 2 * young, 8 * young} {
+		effExp, err := checkpoint.SimulateEfficiency(mkCfg(expHours), tau)
+		if err != nil {
+			return err
+		}
+		effWb, err := checkpoint.SimulateEfficiency(mkCfg(wbHours), tau)
+		if err != nil {
+			return err
+		}
+		table.AddRow(fmt.Sprintf("%.1f", tau),
+			fmt.Sprintf("%.4f", effExp), fmt.Sprintf("%.4f", effWb))
+	}
+	fmt.Print(table.String())
+
+	// 4. Search for the true optimum under the fitted distribution.
+	tau, eff, err := checkpoint.OptimizeInterval(mkCfg(wbHours), young/6, young*8)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\noptimized interval under fitted Weibull: %.1f h (efficiency %.4f)\n", tau, eff)
+	fmt.Println("note how slowly efficiency degrades past the optimum under the Weibull:")
+	fmt.Println("with a decreasing hazard rate, surviving long makes imminent failure less")
+	fmt.Println("likely, so over-long intervals are forgiven — a direct consequence of the")
+	fmt.Println("paper's finding that TBF is Weibull with shape 0.7-0.8, not exponential.")
+	return nil
+}

@@ -1,0 +1,117 @@
+// Scheduling: build a simulated cluster whose node reliabilities mirror the
+// paper's Figure 3 finding — failure rates vary strongly across the nodes
+// of one system — and compare a reliability-oblivious scheduler against
+// one that places jobs on the nodes with the best failure history, the
+// application suggested in Section 5.1 ("assigning critical jobs or jobs
+// with high recovery time to more reliable nodes").
+//
+// Run with: go run ./examples/scheduling
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"hpcfail/internal/dist"
+	"hpcfail/internal/lanl"
+	"hpcfail/internal/report"
+	"hpcfail/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. Derive per-node failure rates from system 20's 9-year trace,
+	// exactly the heterogeneity of Figure 3(a): ordinary compute nodes
+	// spread ~3x, graphics nodes ~4x worse than the median.
+	dataset, err := lanl.NewGenerator(lanl.Config{Seed: 1, Systems: []int{20}}).Generate()
+	if err != nil {
+		return fmt.Errorf("generate: %w", err)
+	}
+	sys, err := lanl.SystemByID(20)
+	if err != nil {
+		return err
+	}
+	years := sys.ProductionYears()
+	counts := dataset.CountByNode()
+
+	// 2. Build a simulated node per physical node: Weibull TBF with shape
+	// 0.7 (the paper's fit) at the node's observed rate; lognormal repairs
+	// like Table 2's hardware row. Keep the history score alongside.
+	const shape = 0.7
+	ttr, err := dist.NewLogNormal(math.Log(1.0), 1.2) // median 1h repairs
+	if err != nil {
+		return err
+	}
+	var specs []sim.NodeSpec
+	score := make(map[int]float64)
+	simID := 0
+	for nodeID := 1; nodeID < sys.Nodes; nodeID++ { // skip short-lived node 0
+		n := counts[nodeID]
+		if n == 0 {
+			continue
+		}
+		mtbfHours := years * 24 * 365.25 / float64(n)
+		tbf, err := dist.NewWeibull(shape, mtbfHours/math.Gamma(1+1/shape))
+		if err != nil {
+			return err
+		}
+		specs = append(specs, sim.NodeSpec{TBF: tbf, TTR: ttr})
+		// Score: fewer historical failures is better.
+		score[simID] = -float64(n)
+		simID++
+	}
+	fmt.Printf("cluster of %d nodes with MTBFs from system 20's per-node failure counts\n\n", len(specs))
+
+	// 3. Run the same job mix under both schedulers: a reliability-
+	// oblivious baseline, and placement by 9-year failure history.
+	runPolicy := func(sched sim.Scheduler) (sim.Metrics, error) {
+		c, err := sim.NewCluster(sim.ClusterConfig{Nodes: specs, Scheduler: sched, Seed: 11})
+		if err != nil {
+			return sim.Metrics{}, err
+		}
+		for i := 0; i < 12; i++ {
+			if err := c.Submit(sim.JobConfig{
+				ID:                  i,
+				WorkHours:           1500,
+				CheckpointInterval:  12,
+				CheckpointCostHours: 0.25,
+				RestartCostHours:    0.5,
+			}, 2); err != nil {
+				return sim.Metrics{}, err
+			}
+		}
+		if err := c.Run(1e6 * time.Hour); err != nil {
+			return sim.Metrics{}, err
+		}
+		return c.Collect(), nil
+	}
+
+	table := report.NewTable("Scheduler", "Jobs done", "Interruptions", "Lost work (h)", "Mean efficiency")
+	policies := []sim.Scheduler{
+		sim.FirstFitScheduler{},
+		sim.ScoredScheduler{PolicyName: "history-aware", Score: score},
+	}
+	for _, sched := range policies {
+		m, err := runPolicy(sched)
+		if err != nil {
+			return fmt.Errorf("%s: %w", sched.Name(), err)
+		}
+		table.AddRow(sched.Name(),
+			fmt.Sprintf("%d", m.JobsCompleted),
+			fmt.Sprintf("%d", m.TotalInterruptions),
+			fmt.Sprintf("%.0f", m.TotalLostWorkHours),
+			fmt.Sprintf("%.4f", m.MeanEfficiency))
+	}
+	fmt.Print(table.String())
+	fmt.Println("\nplacement by 9-year failure history avoids the failure-prone nodes the")
+	fmt.Println("paper shows exist in every system (graphics/front-end nodes, Figure 3a),")
+	fmt.Println("cutting interruptions and wasted work for the same job stream.")
+	return nil
+}

@@ -1,0 +1,11 @@
+package main
+
+import "testing"
+
+// TestRun guards the example against bit-rot: it must execute end to end
+// without error. Output goes to the test log.
+func TestRun(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

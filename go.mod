@@ -1,0 +1,3 @@
+module hpcfail
+
+go 1.22

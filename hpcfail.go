@@ -1,0 +1,436 @@
+// Package hpcfail is a Go reproduction of Schroeder & Gibson, "A
+// large-scale study of failures in high-performance computing systems"
+// (DSN 2006): the failure-record data model of the LANL trace, a
+// calibrated synthetic trace generator, a from-scratch statistics and
+// distribution-fitting stack, the paper's analyses (root causes, failure
+// rates, time between failures, time to repair), and a discrete-event
+// cluster simulator for the checkpointing and scheduling applications the
+// paper motivates.
+//
+// This package is the public facade: it re-exports the library's curated
+// API from the internal packages so external modules can use it. The
+// subsystems live in internal/ (see DESIGN.md for the inventory); the
+// aliases below are the supported surface.
+//
+// Quick start:
+//
+//	data, err := hpcfail.NewGenerator(hpcfail.GeneratorConfig{Seed: 1}).Generate()
+//	...
+//	cmp, err := hpcfail.FitAll(data.BySystem(20).PositiveInterarrivals())
+//	best, err := cmp.Best() // weibull, shape ~0.7-0.8
+package hpcfail
+
+import (
+	"hpcfail/internal/analysis"
+	"hpcfail/internal/censor"
+	"hpcfail/internal/checkpoint"
+	"hpcfail/internal/correlate"
+	"hpcfail/internal/dist"
+	"hpcfail/internal/failures"
+	"hpcfail/internal/hazard"
+	"hpcfail/internal/lanl"
+	"hpcfail/internal/maintenance"
+	"hpcfail/internal/randx"
+	"hpcfail/internal/sim"
+	"hpcfail/internal/stats"
+	"hpcfail/internal/trend"
+)
+
+// ---- Failure records and datasets (internal/failures) ----
+
+// Core data-model types.
+type (
+	// Record is one failure: when it started, when it was repaired, where
+	// it happened and why.
+	Record = failures.Record
+	// Dataset is an immutable, time-ordered collection of failure records.
+	Dataset = failures.Dataset
+	// RootCause is the high-level root-cause category.
+	RootCause = failures.RootCause
+	// Workload is the workload type a failed node was running.
+	Workload = failures.Workload
+	// HWType is the anonymized hardware type label (A–H).
+	HWType = failures.HWType
+)
+
+// Root-cause categories.
+const (
+	CauseUnknown     = failures.CauseUnknown
+	CauseHuman       = failures.CauseHuman
+	CauseEnvironment = failures.CauseEnvironment
+	CauseNetwork     = failures.CauseNetwork
+	CauseSoftware    = failures.CauseSoftware
+	CauseHardware    = failures.CauseHardware
+)
+
+// Workload types.
+const (
+	WorkloadCompute  = failures.WorkloadCompute
+	WorkloadGraphics = failures.WorkloadGraphics
+	WorkloadFrontend = failures.WorkloadFrontend
+)
+
+// Dataset construction and serialization.
+var (
+	// NewDataset validates, copies and time-orders records.
+	NewDataset = failures.NewDataset
+	// MergeDatasets combines datasets into one time-ordered dataset.
+	MergeDatasets = failures.Merge
+	// WriteCSV and ReadCSV are the trace codec.
+	WriteCSV = failures.WriteCSV
+	ReadCSV  = failures.ReadCSV
+	// Causes lists the root-cause categories in figure order.
+	Causes = failures.Causes
+)
+
+// ---- LANL environment and synthetic trace generation (internal/lanl) ----
+
+// Catalog and generator types.
+type (
+	// System is one row of the paper's Table 1.
+	System = lanl.System
+	// NodeCategory is one homogeneous node group within a system.
+	NodeCategory = lanl.NodeCategory
+	// GeneratorConfig controls synthetic trace generation.
+	GeneratorConfig = lanl.Config
+	// Generator produces synthetic LANL-like traces.
+	Generator = lanl.Generator
+)
+
+// Catalog access and generation.
+var (
+	// Catalog returns the paper's 22-system Table 1.
+	Catalog = lanl.Catalog
+	// SystemByID looks up one system.
+	SystemByID = lanl.SystemByID
+	// NewGenerator builds a trace generator.
+	NewGenerator = lanl.NewGenerator
+)
+
+// Collection period boundaries of the LANL data.
+var (
+	CollectionStart = lanl.CollectionStart
+	CollectionEnd   = lanl.CollectionEnd
+)
+
+// ---- Distributions and fitting (internal/dist) ----
+
+// Distribution types.
+type (
+	// Continuous is a continuous probability distribution.
+	Continuous = dist.Continuous
+	// Discrete is a distribution over non-negative integers.
+	Discrete = dist.Discrete
+	// Exponential, Weibull, Gamma, LogNormal, Normal, Pareto and Poisson
+	// are the reliability distributions of the paper's Section 3.
+	Exponential = dist.Exponential
+	Weibull     = dist.Weibull
+	Gamma       = dist.Gamma
+	LogNormal   = dist.LogNormal
+	Normal      = dist.Normal
+	Pareto      = dist.Pareto
+	Poisson     = dist.Poisson
+	// HyperExp is the two-phase phase-type distribution of the paper's
+	// Section 3 remark.
+	HyperExp = dist.HyperExp
+	// KSTestResult is a parametric-bootstrap KS test outcome.
+	KSTestResult = dist.KSTestResult
+	// ParamCI is a bootstrap confidence interval for a fitted parameter.
+	ParamCI = dist.ParamCI
+	// Family selects a distribution family for fitting.
+	Family = dist.Family
+	// FitResult is one fitted candidate; Comparison ranks them by NLL.
+	FitResult = dist.FitResult
+	// Comparison holds ranked fits of several families.
+	Comparison = dist.Comparison
+)
+
+// Fitting families.
+const (
+	FamilyExponential = dist.FamilyExponential
+	FamilyWeibull     = dist.FamilyWeibull
+	FamilyGamma       = dist.FamilyGamma
+	FamilyLogNormal   = dist.FamilyLogNormal
+	FamilyNormal      = dist.FamilyNormal
+	FamilyPareto      = dist.FamilyPareto
+	FamilyHyperExp    = dist.FamilyHyperExp
+)
+
+// Constructors and fitters.
+var (
+	NewExponential = dist.NewExponential
+	NewWeibull     = dist.NewWeibull
+	NewGamma       = dist.NewGamma
+	NewLogNormal   = dist.NewLogNormal
+	NewNormal      = dist.NewNormal
+	NewPareto      = dist.NewPareto
+	NewPoisson     = dist.NewPoisson
+
+	FitExponential = dist.FitExponential
+	FitWeibull     = dist.FitWeibull
+	FitGamma       = dist.FitGamma
+	FitLogNormal   = dist.FitLogNormal
+	FitNormal      = dist.FitNormal
+	FitPareto      = dist.FitPareto
+	FitPoisson     = dist.FitPoisson
+	NewHyperExp    = dist.NewHyperExp
+	FitHyperExp    = dist.FitHyperExp
+	// BootstrapKSTest gives a fit p-value that accounts for parameter
+	// estimation (the naive KS p-value does not); WeibullCI attaches
+	// bootstrap confidence intervals to the headline shape estimate.
+	BootstrapKSTest = dist.BootstrapKSTest
+	WeibullCI       = dist.WeibullCI
+
+	// NewResampler builds a nonparametric sampler from an empirical
+	// sample, usable wherever the simulator takes a distribution.
+	NewResampler = dist.NewResampler
+
+	// FitAll fits families to a sample and ranks them by negative
+	// log-likelihood; with no families it uses the paper's standard four.
+	FitAll = dist.FitAll
+	// StandardFamilies returns exponential, Weibull, gamma, lognormal.
+	StandardFamilies = dist.StandardFamilies
+	// NegLogLikelihood scores a fitted distribution on data.
+	NegLogLikelihood = dist.NegLogLikelihood
+)
+
+// ---- Descriptive statistics (internal/stats) ----
+
+// Statistic types.
+type (
+	// Summary holds mean, median, C² and friends for a sample.
+	Summary = stats.Summary
+	// ECDF is an empirical cumulative distribution function.
+	ECDF = stats.ECDF
+)
+
+// Statistics helpers.
+var (
+	Summarize = stats.Summarize
+	Quantile  = stats.Quantile
+	NewECDF   = stats.NewECDF
+	// KolmogorovPValue bounds the p-value of a KS statistic;
+	// AndersonDarling is the tail-sensitive alternative.
+	KolmogorovPValue = stats.KolmogorovPValue
+	AndersonDarling  = stats.AndersonDarling
+	// Autocorrelation checks the independence assumption behind renewal
+	// models of time between failures.
+	Autocorrelation = stats.Autocorrelation
+)
+
+// ---- Hazard estimation (internal/hazard) ----
+
+// Hazard-estimation types.
+type (
+	// HazardEstimate is a binned empirical hazard-rate estimate.
+	HazardEstimate = hazard.Estimate
+	// HazardDirection classifies a hazard trend.
+	HazardDirection = hazard.Direction
+	// CumulativeHazardPoint is one step of a Nelson–Aalen estimate.
+	CumulativeHazardPoint = hazard.CumulativePoint
+)
+
+// Hazard directions.
+const (
+	HazardDecreasingDir = hazard.Decreasing
+	HazardIncreasingDir = hazard.Increasing
+	HazardFlatDir       = hazard.Flat
+)
+
+// Hazard estimators.
+var (
+	NelsonAalen      = hazard.NelsonAalen
+	EmpiricalHazard  = hazard.Empirical
+	MeanResidualLife = hazard.MeanResidualLife
+)
+
+// ---- Censored survival analysis (internal/censor) ----
+
+// Censored-data types.
+type (
+	// CensoredObservation is one (possibly right-censored) lifetime.
+	CensoredObservation = censor.Observation
+	// SurvivalPoint is one step of a Kaplan–Meier curve.
+	SurvivalPoint = censor.SurvivalPoint
+)
+
+// Censored estimators.
+var (
+	KaplanMeier            = censor.KaplanMeier
+	MedianSurvival         = censor.MedianSurvival
+	FitExponentialCensored = censor.FitExponential
+	FitWeibullCensored     = censor.FitWeibull
+	NodeLifetimes          = censor.NodeLifetimes
+)
+
+// ---- Correlation analysis (internal/correlate) ----
+
+// Correlation types.
+type (
+	// FailureBatch is a group of near-simultaneous failures.
+	FailureBatch = correlate.Batch
+	// BatchStats summarizes batch structure.
+	BatchStats = correlate.BatchStats
+	// NodePairCorrelation is the correlation of two nodes' daily counts.
+	NodePairCorrelation = correlate.PairCorrelation
+)
+
+// Correlation analyses.
+var (
+	FindFailureBatches     = correlate.FindBatches
+	SummarizeBatches       = correlate.Summarize
+	DailyCountCorrelations = correlate.DailyCountCorrelations
+	CompareBatchEras       = correlate.CompareEras
+)
+
+// ---- Trend tests (internal/trend) ----
+
+// Trend types.
+type (
+	// LaplaceResult is the Laplace trend-test outcome.
+	LaplaceResult = trend.LaplaceResult
+	// PowerLawProcess is a fitted Crow–AMSAA model.
+	PowerLawProcess = trend.PowerLaw
+	// RateChangePoint is a detected failure-rate shift.
+	RateChangePoint = trend.ChangePoint
+	// TrendVerdict classifies a failure-rate trend.
+	TrendVerdict = trend.Verdict
+)
+
+// Trend verdicts.
+const (
+	TrendImproving     = trend.Improving
+	TrendDeteriorating = trend.Deteriorating
+	TrendStable        = trend.Stable
+)
+
+// Trend analyses.
+var (
+	LaplaceTest = trend.Laplace
+	FitPowerLaw = trend.FitPowerLaw
+	// FindChangePoint locates the most likely failure-rate shift.
+	FindChangePoint = trend.FindChangePoint
+)
+
+// ---- Paper analyses (internal/analysis) ----
+
+// Analysis result types.
+type (
+	// CauseBreakdown is one bar of Figure 1.
+	CauseBreakdown = analysis.CauseBreakdown
+	// SystemRate is one bar of Figure 2.
+	SystemRate = analysis.SystemRate
+	// NodeCountStudy is the Figure 3 analysis.
+	NodeCountStudy = analysis.NodeCountStudy
+	// LifecyclePoint is one month of a Figure 4 curve.
+	LifecyclePoint = analysis.LifecyclePoint
+	// TimeOfDayProfile is Figure 5.
+	TimeOfDayProfile = analysis.TimeOfDayProfile
+	// InterarrivalStudy is one panel of Figure 6.
+	InterarrivalStudy = analysis.InterarrivalStudy
+	// Figure6Panels bundles the four Figure 6 panels.
+	Figure6Panels = analysis.Figure6Panels
+	// RepairStats is one column of Table 2.
+	RepairStats = analysis.RepairStats
+	// RepairFitStudy is Figure 7(a).
+	RepairFitStudy = analysis.RepairFitStudy
+	// SystemRepair is one bar of Figure 7(b)/(c).
+	SystemRepair = analysis.SystemRepair
+	// SystemAvailability is a steady-state availability estimate.
+	SystemAvailability = analysis.SystemAvailability
+	// DetailCount is one low-level root cause with its share.
+	DetailCount = analysis.DetailCount
+	// MonthlyPoint is one month of a reliability time series.
+	MonthlyPoint = analysis.MonthlyPoint
+)
+
+// Analysis entry points, one per experiment.
+var (
+	RootCauseBreakdown  = analysis.RootCauseBreakdown
+	DowntimeBreakdown   = analysis.DowntimeBreakdown
+	FailureRates        = analysis.FailureRates
+	PerNodeCounts       = analysis.PerNodeCounts
+	LifecycleCurve      = analysis.LifecycleCurve
+	ClassifyLifecycle   = analysis.ClassifyLifecycle
+	NewTimeOfDayProfile = analysis.NewTimeOfDayProfile
+	StudyInterarrivals  = analysis.StudyInterarrivals
+	Figure6             = analysis.Figure6
+	RepairTimeByCause   = analysis.RepairTimeByCause
+	RepairTimeFits      = analysis.RepairTimeFits
+	RepairTimePerSystem = analysis.RepairTimePerSystem
+	// AvailabilityPerSystem and the detail-cause breakdowns extend the
+	// paper's Section 4 and the operator view.
+	AvailabilityPerSystem = analysis.AvailabilityPerSystem
+	DetailBreakdown       = analysis.DetailBreakdown
+	TopDetail             = analysis.TopDetail
+	// MonthlySeries, MovingAverage and PeakMonth build calendar-month
+	// reliability time series.
+	MonthlySeries = analysis.MonthlySeries
+	MovingAverage = analysis.MovingAverage
+	PeakMonth     = analysis.PeakMonth
+)
+
+// ---- Cluster simulation and checkpointing (internal/sim, internal/checkpoint) ----
+
+// Simulation types.
+type (
+	// SimEngine is the discrete-event clock.
+	SimEngine = sim.Engine
+	// SimNode is a simulated node with failure and repair processes.
+	SimNode = sim.Node
+	// JobConfig describes a checkpointed job.
+	JobConfig = sim.JobConfig
+	// Job is a running checkpointed job.
+	Job = sim.Job
+	// Cluster runs jobs over simulated nodes.
+	Cluster = sim.Cluster
+	// ClusterConfig configures a Cluster.
+	ClusterConfig = sim.ClusterConfig
+	// NodeSpec describes one node of a cluster.
+	NodeSpec = sim.NodeSpec
+	// Scheduler places jobs on nodes; FirstFitScheduler,
+	// ReliabilityScheduler and ScoredScheduler are the built-in policies.
+	Scheduler            = sim.Scheduler
+	FirstFitScheduler    = sim.FirstFitScheduler
+	ReliabilityScheduler = sim.ReliabilityScheduler
+	ScoredScheduler      = sim.ScoredScheduler
+	// CheckpointSimConfig configures checkpoint-interval evaluation.
+	CheckpointSimConfig = checkpoint.SimConfig
+	// IntervalPolicy chooses checkpoint intervals; FixedPolicy and
+	// HazardPolicy are the built-ins.
+	IntervalPolicy = checkpoint.IntervalPolicy
+	FixedPolicy    = checkpoint.FixedPolicy
+	HazardPolicy   = checkpoint.HazardPolicy
+	// TraceEvent scripts one failure for trace-driven simulation.
+	TraceEvent = sim.TraceEvent
+	// MaintenancePolicy analyzes age-replacement under a fitted lifetime
+	// model; MaintenanceOptimum is its optimization result.
+	MaintenancePolicy  = maintenance.Policy
+	MaintenanceOptimum = maintenance.Optimum
+)
+
+// Simulation and checkpoint helpers.
+var (
+	NewCluster = sim.NewCluster
+	StartJob   = sim.StartJob
+	// NewTraceNode, TraceFromRecords and ReplayCluster drive the simulator
+	// from recorded failure histories instead of fitted models.
+	NewTraceNode     = sim.NewTraceNode
+	TraceFromRecords = sim.TraceFromRecords
+	ReplayCluster    = sim.ReplayCluster
+	// SimulatePolicyEfficiency evaluates adaptive checkpoint policies.
+	SimulatePolicyEfficiency = checkpoint.SimulatePolicyEfficiency
+
+	// YoungInterval and DalyInterval are the classic closed-form
+	// checkpoint intervals (memoryless assumption).
+	YoungInterval = checkpoint.YoungInterval
+	DalyInterval  = checkpoint.DalyInterval
+	// SimulateEfficiency and OptimizeInterval evaluate intervals under any
+	// fitted failure distribution.
+	SimulateEfficiency = checkpoint.SimulateEfficiency
+	OptimizeInterval   = checkpoint.OptimizeInterval
+)
+
+// NewRandSource returns a deterministic random source for distribution
+// sampling.
+func NewRandSource(seed int64) *randx.Source { return randx.NewSource(seed) }

@@ -1,0 +1,163 @@
+// End-to-end integration tests: generate → serialize → reload → analyze →
+// verify the paper's findings, entirely through the public facade.
+package hpcfail_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"hpcfail"
+)
+
+func TestEndToEndReproduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-trace integration test")
+	}
+	// Generate the reference dataset.
+	dataset := benchDatasetT(t)
+
+	// Serialize and reload: the analyses must see identical data.
+	var buf bytes.Buffer
+	if err := hpcfail.WriteCSV(&buf, dataset); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := hpcfail.ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reloaded.Len() != dataset.Len() {
+		t.Fatalf("reload changed record count: %d vs %d", reloaded.Len(), dataset.Len())
+	}
+
+	// Finding 1 (paper summary): failure rates vary widely across systems
+	// and are roughly proportional to processor count.
+	rates, err := hpcfail.FailureRates(reloaded, hpcfail.Catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var minRate, maxRate float64
+	for i, r := range rates {
+		if i == 0 || r.PerYear < minRate {
+			minRate = r.PerYear
+		}
+		if r.PerYear > maxRate {
+			maxRate = r.PerYear
+		}
+	}
+	if maxRate/minRate < 20 {
+		t.Errorf("rate spread %.0fx; paper reports 17 to 1159 per year", maxRate/minRate)
+	}
+
+	// Finding 2: TBF is Weibull/gamma with decreasing hazard, exponential
+	// poor (system 20, late production).
+	boundary := time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+	panels, err := hpcfail.Figure6(reloaded, 20, 22, boundary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := panels.SystemLate.Fits.Best()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Family == hpcfail.FamilyExponential || best.Family == hpcfail.FamilyLogNormal {
+		t.Errorf("system-late best family = %v; paper: weibull/gamma", best.Family)
+	}
+	if !panels.SystemLate.HazardDecreasing {
+		t.Error("hazard should be decreasing (paper shape 0.78)")
+	}
+
+	// Finding 3: repair times are lognormal with mean far above median.
+	fits, err := hpcfail.RepairTimeFits(reloaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestRepair, err := fits.Fits.Best()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bestRepair.Family != hpcfail.FamilyLogNormal {
+		t.Errorf("repair best family = %v; paper: lognormal", bestRepair.Family)
+	}
+	if fits.Summary.Mean < 3*fits.Summary.Median {
+		t.Errorf("repair mean %.0f vs median %.0f; paper: 355 vs 54",
+			fits.Summary.Mean, fits.Summary.Median)
+	}
+
+	// Finding 4: workload correlation — day/hour cycles near 2x.
+	profile, err := hpcfail.NewTimeOfDayProfile(reloaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := profile.PeakTroughRatio(); r < 1.5 {
+		t.Errorf("peak/trough = %.2f; paper ~2", r)
+	}
+}
+
+func TestFacadeDistributionWorkflow(t *testing.T) {
+	// A downstream user's minimal workflow: sample, fit, compare, quantile.
+	src := hpcfail.NewRandSource(3)
+	truth, err := hpcfail.NewWeibull(0.75, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = truth.Rand(src)
+	}
+	cmp, err := hpcfail.FitAll(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := cmp.Best()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Family != hpcfail.FamilyWeibull && best.Family != hpcfail.FamilyGamma {
+		t.Fatalf("best = %v", best.Family)
+	}
+	q, err := best.Dist.Quantile(0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q <= 0 {
+		t.Fatalf("p99 = %g", q)
+	}
+}
+
+func TestFacadeCheckpointWorkflow(t *testing.T) {
+	tbf, err := hpcfail.NewWeibull(0.7, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	young, err := hpcfail.YoungInterval(0.2, tbf.Mean())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eff, err := hpcfail.SimulateEfficiency(hpcfail.CheckpointSimConfig{
+		TBF:            tbf,
+		CheckpointCost: 0.2,
+		RestartCost:    0.3,
+		WorkHours:      1000,
+		Replications:   8,
+		Seed:           1,
+	}, young)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff <= 0.5 || eff >= 1 {
+		t.Fatalf("efficiency = %g", eff)
+	}
+}
+
+// benchDatasetT adapts the benchmark dataset helper for tests.
+func benchDatasetT(t *testing.T) *hpcfail.Dataset {
+	t.Helper()
+	benchOnce.Do(func() {
+		benchData, benchErr = hpcfail.NewGenerator(hpcfail.GeneratorConfig{Seed: 1}).Generate()
+	})
+	if benchErr != nil {
+		t.Fatalf("generate: %v", benchErr)
+	}
+	return benchData
+}

@@ -1,0 +1,192 @@
+package analysis
+
+import (
+	"fmt"
+
+	"hpcfail/internal/dist"
+	"hpcfail/internal/failures"
+	"hpcfail/internal/lanl"
+	"hpcfail/internal/stats"
+)
+
+// SystemRate is one bar of Figure 2: a system's average failure rate over
+// its production time, raw and normalized by processor count.
+type SystemRate struct {
+	System int
+	HW     failures.HWType
+	// Failures is the total number of records for the system.
+	Failures int
+	// PerYear is the average number of failures per year of production
+	// (Figure 2a).
+	PerYear float64
+	// PerYearPerProc is PerYear divided by the processor count
+	// (Figure 2b).
+	PerYearPerProc float64
+}
+
+// FailureRates computes Figure 2 for every system in the catalog that has
+// records in the dataset.
+func FailureRates(d *failures.Dataset, catalog []lanl.System) ([]SystemRate, error) {
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("failure rates: %w", failures.ErrNoRecords)
+	}
+	out := make([]SystemRate, 0, len(catalog))
+	for _, sys := range catalog {
+		sub := d.BySystem(sys.ID)
+		years := sys.ProductionYears()
+		if years <= 0 {
+			return nil, fmt.Errorf("failure rates: system %d has empty production window", sys.ID)
+		}
+		perYear := float64(sub.Len()) / years
+		out = append(out, SystemRate{
+			System:         sys.ID,
+			HW:             sys.HW,
+			Failures:       sub.Len(),
+			PerYear:        perYear,
+			PerYearPerProc: perYear / float64(sys.Procs),
+		})
+	}
+	return out, nil
+}
+
+// RateSpread summarizes how strongly rates vary across a set of systems —
+// the paper's observation that raw rates range 20–1000+ per year while
+// normalized rates within a hardware type are nearly constant.
+type RateSpread struct {
+	Min, Max float64
+	// MaxOverMin is Max/Min, the dynamic range.
+	MaxOverMin float64
+}
+
+// SpreadPerYear computes the dynamic range of raw failure rates, ignoring
+// systems with no failures.
+func SpreadPerYear(rates []SystemRate) (RateSpread, error) {
+	return spread(rates, func(r SystemRate) float64 { return r.PerYear })
+}
+
+// SpreadPerYearPerProc computes the dynamic range of normalized rates.
+func SpreadPerYearPerProc(rates []SystemRate) (RateSpread, error) {
+	return spread(rates, func(r SystemRate) float64 { return r.PerYearPerProc })
+}
+
+func spread(rates []SystemRate, metric func(SystemRate) float64) (RateSpread, error) {
+	var vals []float64
+	for _, r := range rates {
+		if v := metric(r); v > 0 {
+			vals = append(vals, v)
+		}
+	}
+	if len(vals) == 0 {
+		return RateSpread{}, fmt.Errorf("rate spread: %w", failures.ErrNoRecords)
+	}
+	min, max := vals[0], vals[0]
+	for _, v := range vals {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return RateSpread{Min: min, Max: max, MaxOverMin: max / min}, nil
+}
+
+// NodeCountStudy is the Figure 3 analysis: the distribution of per-node
+// failure counts within one system, and how well Poisson, normal and
+// lognormal distributions describe the compute-only counts.
+type NodeCountStudy struct {
+	System int
+	// CountsByNode maps node ID to its total failures (Figure 3a).
+	CountsByNode map[int]int
+	// ComputeCounts are the counts of compute-only nodes in node order
+	// (Figure 3b fits exclude the graphics nodes).
+	ComputeCounts []int
+	// Summary describes the compute-only counts.
+	Summary stats.Summary
+	// Poisson is the fitted Poisson and its negative log-likelihood.
+	Poisson    dist.Poisson
+	PoissonNLL float64
+	PoissonErr error
+	Normal     dist.Normal
+	NormalNLL  float64
+	NormalErr  error
+	LogNormal  dist.LogNormal
+	LogNormNLL float64
+	LogNormErr error
+	// PoissonRejected reports the paper's conclusion for this system: the
+	// Poisson fit is worse (higher NLL) than both normal and lognormal.
+	PoissonRejected bool
+}
+
+// PerNodeCounts computes Figure 3 for one system. Nodes with zero failures
+// during the window still count (they appear with count 0), which requires
+// the catalog to know how many nodes exist.
+func PerNodeCounts(d *failures.Dataset, sys lanl.System) (*NodeCountStudy, error) {
+	sub := d.BySystem(sys.ID)
+	if sub.Len() == 0 {
+		return nil, fmt.Errorf("per-node counts: system %d: %w", sys.ID, failures.ErrNoRecords)
+	}
+	graphics := make(map[int]bool, len(sys.GraphicsNodes))
+	for _, n := range sys.GraphicsNodes {
+		graphics[n] = true
+	}
+	frontend := make(map[int]bool, len(sys.FrontendNodes))
+	for _, n := range sys.FrontendNodes {
+		frontend[n] = true
+	}
+	counts := sub.CountByNode()
+	study := &NodeCountStudy{System: sys.ID, CountsByNode: counts}
+	for node := 0; node < sys.Nodes; node++ {
+		if graphics[node] || frontend[node] {
+			continue
+		}
+		study.ComputeCounts = append(study.ComputeCounts, counts[node])
+	}
+	if len(study.ComputeCounts) < 2 {
+		return nil, fmt.Errorf("per-node counts: system %d has %d compute nodes, need >= 2",
+			sys.ID, len(study.ComputeCounts))
+	}
+	vals := make([]float64, len(study.ComputeCounts))
+	for i, c := range study.ComputeCounts {
+		vals[i] = float64(c)
+	}
+	summary, err := stats.Summarize(vals)
+	if err != nil {
+		return nil, fmt.Errorf("per-node counts: %w", err)
+	}
+	study.Summary = summary
+
+	study.Poisson, study.PoissonErr = dist.FitPoisson(study.ComputeCounts)
+	if study.PoissonErr == nil {
+		study.PoissonNLL, study.PoissonErr = dist.DiscreteNegLogLikelihood(study.Poisson, study.ComputeCounts)
+	}
+	// Continuous fits use the counts as real values; zero counts are kept
+	// for the normal fit but necessarily dropped for the lognormal.
+	study.Normal, study.NormalErr = dist.FitNormal(vals)
+	if study.NormalErr == nil {
+		study.NormalNLL, study.NormalErr = dist.NegLogLikelihood(study.Normal, vals)
+	}
+	positive := make([]float64, 0, len(vals))
+	for _, v := range vals {
+		if v > 0 {
+			positive = append(positive, v)
+		}
+	}
+	study.LogNormal, study.LogNormErr = dist.FitLogNormal(positive)
+	if study.LogNormErr == nil {
+		study.LogNormNLL, study.LogNormErr = dist.NegLogLikelihood(study.LogNormal, positive)
+	}
+	study.PoissonRejected = study.PoissonErr == nil && study.NormalErr == nil &&
+		study.PoissonNLL > study.NormalNLL
+	return study, nil
+}
+
+// Overdispersion returns the variance-to-mean ratio of the compute-node
+// counts. A Poisson process across identical nodes would give ~1; the paper
+// finds substantially more.
+func (s *NodeCountStudy) Overdispersion() float64 {
+	if s.Summary.Mean == 0 {
+		return 0
+	}
+	return s.Summary.Variance / s.Summary.Mean
+}

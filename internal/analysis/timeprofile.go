@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"fmt"
+	"time"
+
+	"hpcfail/internal/failures"
+)
+
+// LifecyclePoint is one month of a system's lifetime failure-rate curve
+// (Figure 4), broken down by root cause.
+type LifecyclePoint struct {
+	// Month is the system age in months (0-based).
+	Month int
+	// Total is the number of failures in the month.
+	Total int
+	// ByCause splits the month's failures by root cause.
+	ByCause map[failures.RootCause]int
+}
+
+// LifecycleCurve computes Figure 4 for one system: failures per month of
+// production age, from the system's first production month through its
+// last, with a per-cause breakdown.
+func LifecycleCurve(d *failures.Dataset, system int, productionStart time.Time, months int) ([]LifecyclePoint, error) {
+	if months <= 0 {
+		return nil, fmt.Errorf("lifecycle curve: non-positive month count %d", months)
+	}
+	sub := d.BySystem(system)
+	if sub.Len() == 0 {
+		return nil, fmt.Errorf("lifecycle curve: system %d: %w", system, failures.ErrNoRecords)
+	}
+	points := make([]LifecyclePoint, months)
+	for i := range points {
+		points[i] = LifecyclePoint{Month: i, ByCause: make(map[failures.RootCause]int)}
+	}
+	const daysPerMonth = 30.44
+	for _, r := range sub.Records() {
+		age := r.Start.Sub(productionStart).Hours() / 24 / daysPerMonth
+		m := int(age)
+		if m < 0 || m >= months {
+			continue
+		}
+		points[m].Total++
+		points[m].ByCause[r.Cause]++
+	}
+	return points, nil
+}
+
+// LifecycleShape classifies a lifecycle curve as one of the paper's two
+// patterns.
+type LifecycleShape int
+
+// The two observed shapes plus an indeterminate bucket.
+const (
+	// ShapeEarlyDrop is Figure 4(a): the rate is highest at the start and
+	// decays (types E and F).
+	ShapeEarlyDrop LifecycleShape = iota + 1
+	// ShapeRampThenDrop is Figure 4(b): the rate grows for many months
+	// before decaying (types D and G).
+	ShapeRampThenDrop
+	// ShapeFlat is neither (not observed in the paper's data, but the
+	// classifier must return something for degenerate inputs).
+	ShapeFlat
+)
+
+// String names the shape.
+func (s LifecycleShape) String() string {
+	switch s {
+	case ShapeEarlyDrop:
+		return "early-drop"
+	case ShapeRampThenDrop:
+		return "ramp-then-drop"
+	case ShapeFlat:
+		return "flat"
+	default:
+		return fmt.Sprintf("LifecycleShape(%d)", int(s))
+	}
+}
+
+// ClassifyLifecycle decides which Figure 4 pattern a monthly curve follows
+// by comparing the first quarter of the curve against the rate around its
+// peak. If the peak occurs in the first quarter and the tail is lower, the
+// curve is early-drop; if the peak occurs later and exceeds the start, it
+// ramps.
+func ClassifyLifecycle(points []LifecyclePoint) LifecycleShape {
+	if len(points) < 6 {
+		return ShapeFlat
+	}
+	// Smooth with a 3-month window to suppress noise.
+	smooth := make([]float64, len(points))
+	for i := range points {
+		total, n := 0, 0
+		for j := i - 1; j <= i+1; j++ {
+			if j >= 0 && j < len(points) {
+				total += points[j].Total
+				n++
+			}
+		}
+		smooth[i] = float64(total) / float64(n)
+	}
+	peakIdx, peakVal := 0, smooth[0]
+	for i, v := range smooth {
+		if v > peakVal {
+			peakIdx, peakVal = i, v
+		}
+	}
+	if peakVal == 0 {
+		return ShapeFlat
+	}
+	start := smooth[0]
+	quarter := len(points) / 4
+	switch {
+	case peakIdx >= quarter && peakVal > 1.5*start:
+		return ShapeRampThenDrop
+	case peakIdx < quarter:
+		return ShapeEarlyDrop
+	default:
+		return ShapeFlat
+	}
+}
+
+// TimeOfDayProfile is Figure 5: failure counts by hour of day and by day of
+// week across a dataset.
+type TimeOfDayProfile struct {
+	// ByHour[h] counts failures that started in hour h (0–23).
+	ByHour [24]int
+	// ByWeekday[d] counts failures by day of week (0 = Sunday).
+	ByWeekday [7]int
+}
+
+// NewTimeOfDayProfile computes Figure 5 for a dataset.
+func NewTimeOfDayProfile(d *failures.Dataset) (*TimeOfDayProfile, error) {
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("time-of-day profile: %w", failures.ErrNoRecords)
+	}
+	p := &TimeOfDayProfile{}
+	for _, r := range d.Records() {
+		p.ByHour[r.Start.Hour()]++
+		p.ByWeekday[int(r.Start.Weekday())]++
+	}
+	return p, nil
+}
+
+// PeakTroughRatio returns the ratio of the busiest to the quietest hour —
+// the paper reports roughly 2.
+func (p *TimeOfDayProfile) PeakTroughRatio() float64 {
+	peak, trough := p.ByHour[0], p.ByHour[0]
+	for _, c := range p.ByHour[1:] {
+		if c > peak {
+			peak = c
+		}
+		if c < trough {
+			trough = c
+		}
+	}
+	if trough == 0 {
+		return 0
+	}
+	return float64(peak) / float64(trough)
+}
+
+// WeekdayWeekendRatio returns the average weekday rate over the average
+// weekend rate — the paper reports nearly 2.
+func (p *TimeOfDayProfile) WeekdayWeekendRatio() float64 {
+	weekday := p.ByWeekday[1] + p.ByWeekday[2] + p.ByWeekday[3] + p.ByWeekday[4] + p.ByWeekday[5]
+	weekend := p.ByWeekday[0] + p.ByWeekday[6]
+	if weekend == 0 {
+		return 0
+	}
+	return (float64(weekday) / 5) / (float64(weekend) / 2)
+}

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"fmt"
+	"time"
+
+	"hpcfail/internal/failures"
+	"hpcfail/internal/stats"
+)
+
+// MonthlyPoint is one month of a reliability time series.
+type MonthlyPoint struct {
+	// Month is the first instant of the month (UTC).
+	Month time.Time
+	// Failures is the number of records starting in the month.
+	Failures int
+	// DowntimeMinutes is the summed repair time of those records.
+	DowntimeMinutes float64
+	// MedianRepairMinutes is the month's median repair time (0 when the
+	// month has no repairs).
+	MedianRepairMinutes float64
+}
+
+// MonthlySeries buckets a dataset into calendar months between from and to
+// (to exclusive), returning one point per month including empty ones —
+// the raw material for dashboards and for eyeballing the Figure 4 shapes
+// in wall-clock rather than system-age time.
+func MonthlySeries(d *failures.Dataset, from, to time.Time) ([]MonthlyPoint, error) {
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("monthly series: %w", failures.ErrNoRecords)
+	}
+	from = time.Date(from.Year(), from.Month(), 1, 0, 0, 0, 0, time.UTC)
+	if !from.Before(to) {
+		return nil, fmt.Errorf("monthly series: empty range [%v, %v)", from, to)
+	}
+	var months []time.Time
+	for m := from; m.Before(to); m = m.AddDate(0, 1, 0) {
+		months = append(months, m)
+	}
+	points := make([]MonthlyPoint, len(months))
+	repairs := make([][]float64, len(months))
+	for i, m := range months {
+		points[i].Month = m
+	}
+	for _, r := range d.Records() {
+		if r.Start.Before(from) || !r.Start.Before(to) {
+			continue
+		}
+		idx := (r.Start.Year()-from.Year())*12 + int(r.Start.Month()) - int(from.Month())
+		if idx < 0 || idx >= len(points) {
+			continue
+		}
+		points[idx].Failures++
+		minutes := r.Downtime().Minutes()
+		points[idx].DowntimeMinutes += minutes
+		if minutes > 0 {
+			repairs[idx] = append(repairs[idx], minutes)
+		}
+	}
+	for i := range points {
+		if len(repairs[i]) > 0 {
+			med, err := stats.Median(repairs[i])
+			if err != nil {
+				return nil, fmt.Errorf("monthly series: %w", err)
+			}
+			points[i].MedianRepairMinutes = med
+		}
+	}
+	return points, nil
+}
+
+// PeakMonth returns the series index with the most failures.
+func PeakMonth(series []MonthlyPoint) (int, error) {
+	if len(series) == 0 {
+		return 0, fmt.Errorf("peak month: empty series")
+	}
+	best := 0
+	for i, p := range series {
+		if p.Failures > series[best].Failures {
+			best = i
+		}
+	}
+	_ = series[best]
+	return best, nil
+}
+
+// MovingAverage smooths the failure counts of a series with a centered
+// window of the given (odd) width, returning one value per month.
+func MovingAverage(series []MonthlyPoint, window int) ([]float64, error) {
+	if window < 1 || window%2 == 0 {
+		return nil, fmt.Errorf("moving average: window %d must be odd and positive", window)
+	}
+	if len(series) == 0 {
+		return nil, fmt.Errorf("moving average: empty series")
+	}
+	half := window / 2
+	out := make([]float64, len(series))
+	for i := range series {
+		sum, n := 0, 0
+		for j := i - half; j <= i+half; j++ {
+			if j >= 0 && j < len(series) {
+				sum += series[j].Failures
+				n++
+			}
+		}
+		out[i] = float64(sum) / float64(n)
+	}
+	return out, nil
+}

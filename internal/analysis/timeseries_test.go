@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"hpcfail/internal/failures"
+	"hpcfail/internal/lanl"
+)
+
+func TestMonthlySeries(t *testing.T) {
+	t0 := time.Date(2000, 1, 15, 12, 0, 0, 0, time.UTC)
+	mk := func(dayOffset, repairMin int) failures.Record {
+		start := t0.AddDate(0, 0, dayOffset)
+		return failures.Record{
+			System: 1, Node: 0, HW: "E",
+			Workload: failures.WorkloadCompute, Cause: failures.CauseHardware,
+			Start: start, End: start.Add(time.Duration(repairMin) * time.Minute),
+		}
+	}
+	d, err := failures.NewDataset([]failures.Record{
+		mk(0, 30), mk(1, 60), // January
+		mk(40, 90), // late February
+		// March empty.
+		mk(80, 10), // early April
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := MonthlySeries(d, t0, time.Date(2000, 5, 1, 0, 0, 0, 0, time.UTC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 4 {
+		t.Fatalf("months = %d", len(series))
+	}
+	if series[0].Failures != 2 || series[0].DowntimeMinutes != 90 {
+		t.Fatalf("january = %+v", series[0])
+	}
+	if series[0].MedianRepairMinutes != 45 {
+		t.Fatalf("january median = %g", series[0].MedianRepairMinutes)
+	}
+	if series[1].Failures != 1 || series[2].Failures != 0 || series[3].Failures != 1 {
+		t.Fatalf("series = %+v", series)
+	}
+	if series[2].MedianRepairMinutes != 0 {
+		t.Fatal("empty month should have zero median")
+	}
+	// Months align to calendar starts.
+	if series[1].Month != time.Date(2000, 2, 1, 0, 0, 0, 0, time.UTC) {
+		t.Fatalf("month boundary = %v", series[1].Month)
+	}
+}
+
+func TestMonthlySeriesErrors(t *testing.T) {
+	empty, err := failures.NewDataset(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	month := time.Date(2004, 3, 1, 0, 0, 0, 0, time.UTC)
+	if _, err := MonthlySeries(empty, month, month.AddDate(0, 2, 0)); err == nil {
+		t.Error("empty dataset: want error")
+	}
+	d := referenceDataset(t)
+	if _, err := MonthlySeries(d, month, month); err == nil {
+		t.Error("empty range: want error")
+	}
+}
+
+func TestMonthlySeriesOnReferenceTrace(t *testing.T) {
+	d := referenceDataset(t).BySystem(19)
+	sys, err := lanl.SystemByID(19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := MonthlySeries(d, sys.Start, sys.End)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, p := range series {
+		total += p.Failures
+	}
+	if total != d.Len() {
+		t.Fatalf("series total %d != records %d", total, d.Len())
+	}
+	// Ramp shape: the peak month comes well after the start.
+	peak, err := PeakMonth(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak < 6 {
+		t.Errorf("system 19 peak month = %d, expected a late ramp peak", peak)
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	series := []MonthlyPoint{
+		{Failures: 10}, {Failures: 20}, {Failures: 30}, {Failures: 40},
+	}
+	ma, err := MovingAverage(series, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{15, 20, 30, 35}
+	for i := range want {
+		if math.Abs(ma[i]-want[i]) > 1e-12 {
+			t.Fatalf("ma = %v, want %v", ma, want)
+		}
+	}
+	// Window 1 is the identity.
+	ma, err = MovingAverage(series, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ma[0] != 10 || ma[3] != 40 {
+		t.Fatalf("window-1 ma = %v", ma)
+	}
+	if _, err := MovingAverage(series, 2); err == nil {
+		t.Error("even window: want error")
+	}
+	if _, err := MovingAverage(nil, 3); err == nil {
+		t.Error("empty series: want error")
+	}
+	if _, err := PeakMonth(nil); err == nil {
+		t.Error("empty peak: want error")
+	}
+}

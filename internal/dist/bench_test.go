@@ -1,0 +1,105 @@
+package dist
+
+import (
+	"testing"
+
+	"hpcfail/internal/randx"
+)
+
+// benchSample is a Weibull(0.7, 100) sample shared by fitting benchmarks.
+var benchSample = func() []float64 {
+	src := randx.NewSource(1)
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = src.Weibull(0.7, 100)
+	}
+	return xs
+}()
+
+func benchDistributions(b *testing.B) []Continuous {
+	b.Helper()
+	exp, err := NewExponential(0.01)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wb, err := NewWeibull(0.7, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gm, err := NewGamma(0.7, 140)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln, err := NewLogNormal(4, 1.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return []Continuous{exp, wb, gm, ln}
+}
+
+func BenchmarkPDF(b *testing.B) {
+	for _, d := range benchDistributions(b) {
+		b.Run(d.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if d.PDF(float64(i%1000)+0.5) < 0 {
+					b.Fatal("negative density")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCDF(b *testing.B) {
+	for _, d := range benchDistributions(b) {
+		b.Run(d.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if d.CDF(float64(i%1000)+0.5) > 1 {
+					b.Fatal("CDF above 1")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkQuantile(b *testing.B) {
+	ps := []float64{0.1, 0.5, 0.9, 0.99}
+	for _, d := range benchDistributions(b) {
+		b.Run(d.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.Quantile(ps[i%len(ps)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkRand(b *testing.B) {
+	src := randx.NewSource(2)
+	for _, d := range benchDistributions(b) {
+		b.Run(d.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if d.Rand(src) < 0 {
+					b.Fatal("negative variate")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFitAllStandard(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cmp, err := FitAll(benchSample)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cmp.Best(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

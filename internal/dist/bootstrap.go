@@ -1,0 +1,83 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"hpcfail/internal/randx"
+	"hpcfail/internal/stats"
+)
+
+// KSTestResult is the outcome of a parametric-bootstrap Kolmogorov–Smirnov
+// test of one family against a sample.
+type KSTestResult struct {
+	Family Family
+	// Dist is the fit to the original sample.
+	Dist Continuous
+	// KS is the observed statistic of that fit.
+	KS float64
+	// P is the bootstrap p-value: the fraction of same-size samples drawn
+	// from the fitted model whose own refitted KS statistic is at least as
+	// large. Small P means the family genuinely does not describe the
+	// data; the naive Kolmogorov p-value is anti-conservative here because
+	// the parameters were estimated from the same sample.
+	P float64
+	// Replications is the number of successful bootstrap rounds.
+	Replications int
+}
+
+// BootstrapKSTest runs a parametric-bootstrap KS test: fit the family,
+// measure KS, then repeatedly simulate same-size samples from the fit,
+// refit, and compare statistics. reps <= 0 uses 200 replications.
+func BootstrapKSTest(f Family, xs []float64, reps int, seed int64) (KSTestResult, error) {
+	if len(xs) < 5 {
+		return KSTestResult{}, fmt.Errorf("bootstrap KS: need >= 5 observations: %w", ErrInsufficientData)
+	}
+	if reps <= 0 {
+		reps = 200
+	}
+	fitted, err := Fit(f, xs)
+	if err != nil {
+		return KSTestResult{}, fmt.Errorf("bootstrap KS: %w", err)
+	}
+	ecdf, err := stats.NewECDF(xs)
+	if err != nil {
+		return KSTestResult{}, fmt.Errorf("bootstrap KS: %w", err)
+	}
+	observed := ecdf.KolmogorovSmirnov(fitted.CDF)
+
+	src := randx.NewSource(seed)
+	exceed, ok := 0, 0
+	sample := make([]float64, len(xs))
+	for r := 0; r < reps; r++ {
+		for i := range sample {
+			sample[i] = fitted.Rand(src)
+		}
+		refit, err := Fit(f, sample)
+		if err != nil {
+			continue // a degenerate resample; skip it
+		}
+		e, err := stats.NewECDF(sample)
+		if err != nil {
+			continue
+		}
+		ok++
+		if e.KolmogorovSmirnov(refit.CDF) >= observed {
+			exceed++
+		}
+	}
+	if ok == 0 {
+		return KSTestResult{}, fmt.Errorf("bootstrap KS: every replication failed: %w", ErrInsufficientData)
+	}
+	p := float64(exceed) / float64(ok)
+	if math.IsNaN(p) {
+		return KSTestResult{}, fmt.Errorf("bootstrap KS: NaN p-value")
+	}
+	return KSTestResult{
+		Family:       f,
+		Dist:         fitted,
+		KS:           observed,
+		P:            p,
+		Replications: ok,
+	}, nil
+}

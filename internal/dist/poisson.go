@@ -1,0 +1,132 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"hpcfail/internal/mathx"
+	"hpcfail/internal/randx"
+)
+
+// Discrete is a probability distribution over the non-negative integers.
+// Figure 3(b) of the paper fits a Poisson against per-node failure counts.
+type Discrete interface {
+	// Name identifies the distribution family.
+	Name() string
+	// PMF is the probability mass at k.
+	PMF(k int) float64
+	// LogPMF is the log-mass at k; -Inf outside the support.
+	LogPMF(k int) float64
+	// CDF is P(X <= k).
+	CDF(k int) float64
+	// Mean is the distribution mean.
+	Mean() float64
+	// Var is the distribution variance.
+	Var() float64
+	// Rand draws a variate using the given source.
+	Rand(src *randx.Source) int
+	// NumParams reports the number of free parameters.
+	NumParams() int
+	// Params returns a human-readable parameter description.
+	Params() string
+}
+
+// Poisson is the Poisson distribution with the given mean. Its defining
+// equidispersion (variance == mean) is exactly what the paper shows per-node
+// failure counts violate.
+type Poisson struct {
+	mean float64
+}
+
+var _ Discrete = Poisson{}
+
+// NewPoisson constructs a Poisson distribution with mean > 0.
+func NewPoisson(mean float64) (Poisson, error) {
+	if !(mean > 0) || math.IsInf(mean, 0) {
+		return Poisson{}, fmt.Errorf("poisson mean %g: %w", mean, ErrBadParam)
+	}
+	return Poisson{mean: mean}, nil
+}
+
+// Name implements Discrete.
+func (p Poisson) Name() string { return "poisson" }
+
+// NumParams implements Discrete.
+func (p Poisson) NumParams() int { return 1 }
+
+// Params implements Discrete.
+func (p Poisson) Params() string { return fmt.Sprintf("mean=%.6g", p.mean) }
+
+// PMF implements Discrete.
+func (p Poisson) PMF(k int) float64 {
+	return math.Exp(p.LogPMF(k))
+}
+
+// LogPMF implements Discrete.
+func (p Poisson) LogPMF(k int) float64 {
+	if k < 0 {
+		return math.Inf(-1)
+	}
+	lf, _ := mathx.LogFactorial(k)
+	return float64(k)*math.Log(p.mean) - p.mean - lf
+}
+
+// CDF implements Discrete: P(X <= k) = Q(k+1, mean) via the regularized
+// upper incomplete gamma identity.
+func (p Poisson) CDF(k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	q, err := mathx.GammaRegQ(float64(k+1), p.mean)
+	if err != nil {
+		return math.NaN()
+	}
+	return q
+}
+
+// Mean implements Discrete.
+func (p Poisson) Mean() float64 { return p.mean }
+
+// Var implements Discrete.
+func (p Poisson) Var() float64 { return p.mean }
+
+// Rand implements Discrete.
+func (p Poisson) Rand(src *randx.Source) int {
+	return src.Poisson(p.mean)
+}
+
+// FitPoisson computes the maximum-likelihood Poisson fit (the sample mean)
+// from non-negative integer counts.
+func FitPoisson(counts []int) (Poisson, error) {
+	if len(counts) == 0 {
+		return Poisson{}, fmt.Errorf("fit poisson: %w", ErrInsufficientData)
+	}
+	sum := 0
+	for i, c := range counts {
+		if c < 0 {
+			return Poisson{}, fmt.Errorf("fit poisson: count %d is negative: %w", i, ErrUnsupported)
+		}
+		sum += c
+	}
+	if sum == 0 {
+		return Poisson{}, fmt.Errorf("fit poisson: all counts zero: %w", ErrInsufficientData)
+	}
+	return NewPoisson(float64(sum) / float64(len(counts)))
+}
+
+// DiscreteNegLogLikelihood computes -Σ log P(X = k_i) for a fitted discrete
+// distribution over integer observations.
+func DiscreteNegLogLikelihood(d Discrete, counts []int) (float64, error) {
+	if len(counts) == 0 {
+		return math.NaN(), ErrInsufficientData
+	}
+	total := 0.0
+	for _, k := range counts {
+		lp := d.LogPMF(k)
+		if math.IsInf(lp, -1) {
+			return math.Inf(1), nil
+		}
+		total -= lp
+	}
+	return total, nil
+}

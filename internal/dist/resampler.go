@@ -1,0 +1,61 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+
+	"hpcfail/internal/randx"
+	"hpcfail/internal/stats"
+)
+
+// Resampler draws variates by bootstrap resampling from an empirical
+// sample — a nonparametric alternative to a fitted distribution for
+// simulation inputs. Feeding recorded repair times straight into the
+// cluster simulator avoids committing to any family when even the best
+// parametric fit (Figure 7a's lognormal) underweights some tail.
+type Resampler struct {
+	sorted []float64
+}
+
+// NewResampler copies and validates the sample (must be non-empty with
+// strictly positive values, matching the simulator's duration inputs).
+func NewResampler(xs []float64) (*Resampler, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("resampler: %w", ErrInsufficientData)
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if sorted[0] <= 0 {
+		return nil, fmt.Errorf("resampler: non-positive value %g: %w", sorted[0], ErrUnsupported)
+	}
+	return &Resampler{sorted: sorted}, nil
+}
+
+// Rand draws one value from the empirical sample, uniformly with
+// replacement.
+func (r *Resampler) Rand(src *randx.Source) float64 {
+	return r.sorted[src.Intn(len(r.sorted))]
+}
+
+// N returns the sample size.
+func (r *Resampler) N() int { return len(r.sorted) }
+
+// Mean returns the sample mean.
+func (r *Resampler) Mean() float64 { return stats.Mean(r.sorted) }
+
+// Quantile returns the q-th sample quantile.
+func (r *Resampler) Quantile(q float64) (float64, error) {
+	return stats.Quantile(r.sorted, q)
+}
+
+// CDF evaluates the empirical CDF at x.
+func (r *Resampler) CDF(x float64) float64 {
+	idx := sort.SearchFloat64s(r.sorted, x)
+	// SearchFloat64s finds the first index >= x; advance over equal values
+	// so CDF(x) counts values <= x.
+	for idx < len(r.sorted) && r.sorted[idx] == x {
+		idx++
+	}
+	return float64(idx) / float64(len(r.sorted))
+}

@@ -1,0 +1,113 @@
+package failures
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// csvHeader is the column layout of the on-disk format. It mirrors the
+// essential fields of the released LANL data.
+var csvHeader = []string{
+	"system", "node", "hw", "workload", "cause", "detail", "start", "end",
+}
+
+// WriteCSV encodes the dataset in the repository's CSV format: one header
+// row followed by one row per record, timestamps in RFC 3339.
+func WriteCSV(w io.Writer, d *Dataset) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("write csv header: %w", err)
+	}
+	for i := 0; i < d.Len(); i++ {
+		r := d.At(i)
+		row := []string{
+			strconv.Itoa(r.System),
+			strconv.Itoa(r.Node),
+			string(r.HW),
+			r.Workload.String(),
+			r.Cause.String(),
+			r.Detail,
+			r.Start.UTC().Format(time.RFC3339),
+			r.End.UTC().Format(time.RFC3339),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("write csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("flush csv: %w", err)
+	}
+	return nil
+}
+
+// ReadCSV decodes a dataset from the repository's CSV format.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("read csv header: %w", err)
+	}
+	for i, want := range csvHeader {
+		if header[i] != want {
+			return nil, fmt.Errorf("read csv: column %d is %q, want %q", i, header[i], want)
+		}
+	}
+	var records []Record
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("read csv line %d: %w", line, err)
+		}
+		rec, err := parseRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("read csv line %d: %w", line, err)
+		}
+		records = append(records, rec)
+	}
+	return NewDataset(records)
+}
+
+func parseRow(row []string) (Record, error) {
+	system, err := strconv.Atoi(row[0])
+	if err != nil {
+		return Record{}, fmt.Errorf("system: %w", err)
+	}
+	node, err := strconv.Atoi(row[1])
+	if err != nil {
+		return Record{}, fmt.Errorf("node: %w", err)
+	}
+	workload, err := ParseWorkload(row[3])
+	if err != nil {
+		return Record{}, err
+	}
+	cause, err := ParseRootCause(row[4])
+	if err != nil {
+		return Record{}, err
+	}
+	start, err := time.Parse(time.RFC3339, row[6])
+	if err != nil {
+		return Record{}, fmt.Errorf("start: %w", err)
+	}
+	end, err := time.Parse(time.RFC3339, row[7])
+	if err != nil {
+		return Record{}, fmt.Errorf("end: %w", err)
+	}
+	return Record{
+		System:   system,
+		Node:     node,
+		HW:       HWType(row[2]),
+		Workload: workload,
+		Cause:    cause,
+		Detail:   row[5],
+		Start:    start,
+		End:      end,
+	}, nil
+}

@@ -1,0 +1,160 @@
+// Package failures defines the failure-record data model of the LANL
+// "remedy" database described in Section 2.3 of the paper, together with a
+// dataset container supporting the filtering, interarrival extraction and
+// downtime accounting that the analyses are built on, and a CSV codec
+// matching the released data's spirit.
+package failures
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// RootCause is the high-level root-cause category of a failure record. The
+// taxonomy (Section 2.3) was developed jointly by LANL hardware engineers,
+// administrators and operations staff.
+type RootCause int
+
+// The six high-level root-cause categories.
+const (
+	CauseUnknown RootCause = iota + 1
+	CauseHuman
+	CauseEnvironment
+	CauseNetwork
+	CauseSoftware
+	CauseHardware
+)
+
+// Causes lists all root-cause categories in the order the paper's figures
+// present them (hardware first, unknown last).
+func Causes() []RootCause {
+	return []RootCause{
+		CauseHardware, CauseSoftware, CauseNetwork,
+		CauseEnvironment, CauseHuman, CauseUnknown,
+	}
+}
+
+// String returns the category name.
+func (c RootCause) String() string {
+	switch c {
+	case CauseUnknown:
+		return "Unknown"
+	case CauseHuman:
+		return "Human"
+	case CauseEnvironment:
+		return "Environment"
+	case CauseNetwork:
+		return "Network"
+	case CauseSoftware:
+		return "Software"
+	case CauseHardware:
+		return "Hardware"
+	default:
+		return fmt.Sprintf("RootCause(%d)", int(c))
+	}
+}
+
+// ParseRootCause converts a category name back to a RootCause.
+func ParseRootCause(s string) (RootCause, error) {
+	for _, c := range Causes() {
+		if c.String() == s {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("failures: unknown root cause %q", s)
+}
+
+// Workload is the type of work a node was running, recorded with each
+// failure (Section 2.3).
+type Workload int
+
+// The three workload types in the LANL data.
+const (
+	WorkloadCompute Workload = iota + 1
+	WorkloadGraphics
+	WorkloadFrontend
+)
+
+// Workloads lists all workload types.
+func Workloads() []Workload {
+	return []Workload{WorkloadCompute, WorkloadGraphics, WorkloadFrontend}
+}
+
+// String returns the workload name as used in the released data.
+func (w Workload) String() string {
+	switch w {
+	case WorkloadCompute:
+		return "compute"
+	case WorkloadGraphics:
+		return "graphics"
+	case WorkloadFrontend:
+		return "fe"
+	default:
+		return fmt.Sprintf("Workload(%d)", int(w))
+	}
+}
+
+// ParseWorkload converts a workload name back to a Workload.
+func ParseWorkload(s string) (Workload, error) {
+	for _, w := range Workloads() {
+		if w.String() == s {
+			return w, nil
+		}
+	}
+	return 0, fmt.Errorf("failures: unknown workload %q", s)
+}
+
+// HWType is the anonymized processor/memory chip model label (A–H) used in
+// place of vendor information (Table 1).
+type HWType string
+
+// Record is one failure: the interval a node was down, where it happened
+// and why. It mirrors the fields of a remedy-database entry (Section 2.3).
+type Record struct {
+	// System is the system ID (1–22 in the LANL data).
+	System int
+	// Node is the node index within the system.
+	Node int
+	// HW is the system's hardware type (A–H).
+	HW HWType
+	// Workload is what the node was running when it failed.
+	Workload Workload
+	// Cause is the high-level root-cause category.
+	Cause RootCause
+	// Detail is the finer-grained root cause (e.g. "memory" under
+	// Hardware); empty when unrecorded.
+	Detail string
+	// Start is when the failure was detected (node taken out of the mix).
+	Start time.Time
+	// End is when repair completed and the node rejoined the job mix.
+	End time.Time
+}
+
+// Downtime is the repair duration of the record.
+func (r Record) Downtime() time.Duration {
+	return r.End.Sub(r.Start)
+}
+
+// Validate checks internal consistency of a record.
+func (r Record) Validate() error {
+	if r.System <= 0 {
+		return fmt.Errorf("record: non-positive system ID %d", r.System)
+	}
+	if r.Node < 0 {
+		return fmt.Errorf("record: negative node ID %d", r.Node)
+	}
+	if r.Start.IsZero() || r.End.IsZero() {
+		return errors.New("record: zero start or end time")
+	}
+	if r.End.Before(r.Start) {
+		return fmt.Errorf("record: end %v before start %v", r.End, r.Start)
+	}
+	if r.Cause < CauseUnknown || r.Cause > CauseHardware {
+		return fmt.Errorf("record: invalid root cause %d", int(r.Cause))
+	}
+	if r.Workload < WorkloadCompute || r.Workload > WorkloadFrontend {
+		return fmt.Errorf("record: invalid workload %d", int(r.Workload))
+	}
+	return nil
+}

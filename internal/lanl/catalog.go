@@ -1,0 +1,280 @@
+// Package lanl reproduces the environment of the paper's data: the Table 1
+// catalog of the 22 LANL high-performance computing systems (1996–2005),
+// and a calibrated synthetic failure-trace generator standing in for the
+// released remedy-database data, which is no longer publicly hosted.
+//
+// The generator is parameterized from the paper's measured statistics so
+// that every analysis in internal/analysis, run end-to-end on generated
+// data, recovers the paper's qualitative findings (see DESIGN.md for the
+// substitution argument).
+package lanl
+
+import (
+	"fmt"
+	"time"
+
+	"hpcfail/internal/failures"
+)
+
+// NodeCategory describes one homogeneous group of nodes within a system
+// (right half of Table 1). Nodes of a system share a hardware type but may
+// differ in processor count, memory, NICs and production window.
+type NodeCategory struct {
+	// Nodes is how many nodes are in the category.
+	Nodes int
+	// ProcsPerNode is the number of processors per node.
+	ProcsPerNode int
+	// MemGB is main memory per node in GB.
+	MemGB int
+	// NICs is the number of network interfaces per node.
+	NICs int
+	// Start and End bound the category's production window. A zero Start
+	// means "already in production when data collection began" (June 1996).
+	Start, End time.Time
+}
+
+// System is one row of Table 1: a LANL production system.
+type System struct {
+	// ID is the system identifier (1–22) used throughout the paper.
+	ID int
+	// HW is the anonymized processor/memory chip model (A–H).
+	HW failures.HWType
+	// Nodes is the total node count.
+	Nodes int
+	// Procs is the total processor count.
+	Procs int
+	// NUMA reports the architecture class: systems 19–22 are NUMA, the
+	// rest are SMP clusters.
+	NUMA bool
+	// Categories partitions the nodes (right half of Table 1).
+	Categories []NodeCategory
+	// Start and End bound the system's production window within the
+	// 1996–2005 collection period.
+	Start, End time.Time
+	// GraphicsNodes lists node IDs running visualization workloads in
+	// addition to computation (for system 20, nodes 21–23; Section 5.1).
+	GraphicsNodes []int
+	// FrontendNodes lists node IDs dedicated to front-end work.
+	FrontendNodes []int
+}
+
+// ProductionYears returns the length of the production window in years.
+func (s System) ProductionYears() float64 {
+	return s.End.Sub(s.Start).Hours() / (24 * 365.25)
+}
+
+// date builds a UTC timestamp for the first of a month.
+func date(year, month int) time.Time {
+	return time.Date(year, time.Month(month), 1, 0, 0, 0, 0, time.UTC)
+}
+
+// Collection period boundaries (Section 2: June 1996 – November 2005).
+var (
+	// CollectionStart is when LANL began recording failures.
+	CollectionStart = date(1996, 6)
+	// CollectionEnd is the end of the released data.
+	CollectionEnd = date(2005, 11)
+)
+
+// Catalog returns the 22 systems of Table 1. Node categories are
+// reconstructed from the table; where the published scan is ambiguous the
+// totals (nodes, processors, production window) take precedence, since those
+// are what the analyses depend on.
+func Catalog() []System {
+	now := CollectionEnd
+	systems := []System{
+		{
+			ID: 1, HW: "A", Nodes: 1, Procs: 8,
+			Start: CollectionStart, End: date(1999, 12),
+			Categories: []NodeCategory{{Nodes: 1, ProcsPerNode: 8, MemGB: 16, NICs: 0}},
+		},
+		{
+			ID: 2, HW: "B", Nodes: 1, Procs: 32,
+			Start: CollectionStart, End: date(2003, 12),
+			Categories: []NodeCategory{{Nodes: 1, ProcsPerNode: 32, MemGB: 8, NICs: 1}},
+		},
+		{
+			ID: 3, HW: "C", Nodes: 1, Procs: 4,
+			Start: CollectionStart, End: date(2003, 4),
+			Categories: []NodeCategory{{Nodes: 1, ProcsPerNode: 4, MemGB: 1, NICs: 0}},
+		},
+		{
+			ID: 4, HW: "D", Nodes: 164, Procs: 328,
+			Start: date(2001, 4), End: now,
+			Categories: []NodeCategory{
+				{Nodes: 128, ProcsPerNode: 2, MemGB: 1, NICs: 1, Start: date(2001, 4)},
+				{Nodes: 36, ProcsPerNode: 2, MemGB: 1, NICs: 1, Start: date(2002, 12)},
+			},
+		},
+		{
+			ID: 5, HW: "E", Nodes: 256, Procs: 1024,
+			Start: date(2001, 12), End: now,
+			Categories: []NodeCategory{{Nodes: 256, ProcsPerNode: 4, MemGB: 16, NICs: 2}},
+		},
+		{
+			ID: 6, HW: "E", Nodes: 128, Procs: 512,
+			Start: date(2001, 9), End: now,
+			Categories: []NodeCategory{
+				{Nodes: 32, ProcsPerNode: 4, MemGB: 16, NICs: 2, Start: date(2001, 9), End: date(2002, 1)},
+				{Nodes: 96, ProcsPerNode: 4, MemGB: 8, NICs: 2, Start: date(2002, 5)},
+			},
+		},
+		{
+			ID: 7, HW: "E", Nodes: 1024, Procs: 4096,
+			Start: date(2002, 5), End: now,
+			Categories: []NodeCategory{
+				{Nodes: 768, ProcsPerNode: 4, MemGB: 16, NICs: 2},
+				{Nodes: 224, ProcsPerNode: 4, MemGB: 32, NICs: 2},
+				{Nodes: 32, ProcsPerNode: 4, MemGB: 352, NICs: 2},
+			},
+		},
+		{
+			ID: 8, HW: "E", Nodes: 1024, Procs: 4096,
+			Start: date(2002, 10), End: now,
+			Categories: []NodeCategory{
+				{Nodes: 512, ProcsPerNode: 4, MemGB: 8, NICs: 2},
+				{Nodes: 384, ProcsPerNode: 4, MemGB: 16, NICs: 2},
+				{Nodes: 128, ProcsPerNode: 4, MemGB: 32, NICs: 2},
+			},
+		},
+		{
+			ID: 9, HW: "E", Nodes: 128, Procs: 512,
+			Start: date(2003, 9), End: now,
+			Categories: []NodeCategory{{Nodes: 128, ProcsPerNode: 4, MemGB: 4, NICs: 1}},
+		},
+		{
+			ID: 10, HW: "E", Nodes: 128, Procs: 512,
+			Start: date(2003, 9), End: now,
+			Categories: []NodeCategory{{Nodes: 128, ProcsPerNode: 4, MemGB: 4, NICs: 1}},
+		},
+		{
+			ID: 11, HW: "E", Nodes: 128, Procs: 512,
+			Start: date(2003, 9), End: now,
+			Categories: []NodeCategory{
+				{Nodes: 96, ProcsPerNode: 4, MemGB: 4, NICs: 1},
+				{Nodes: 32, ProcsPerNode: 4, MemGB: 16, NICs: 1},
+			},
+		},
+		{
+			ID: 12, HW: "E", Nodes: 32, Procs: 128,
+			Start: date(2003, 9), End: now,
+			Categories: []NodeCategory{
+				{Nodes: 16, ProcsPerNode: 4, MemGB: 4, NICs: 1},
+				{Nodes: 16, ProcsPerNode: 4, MemGB: 16, NICs: 1},
+			},
+		},
+		{
+			ID: 13, HW: "F", Nodes: 128, Procs: 256,
+			Start: date(2003, 9), End: now,
+			Categories: []NodeCategory{{Nodes: 128, ProcsPerNode: 2, MemGB: 4, NICs: 1}},
+		},
+		{
+			ID: 14, HW: "F", Nodes: 256, Procs: 512,
+			Start: date(2003, 9), End: now,
+			Categories: []NodeCategory{{Nodes: 256, ProcsPerNode: 2, MemGB: 4, NICs: 1}},
+		},
+		{
+			ID: 15, HW: "F", Nodes: 256, Procs: 512,
+			Start: date(2003, 9), End: now,
+			Categories: []NodeCategory{{Nodes: 256, ProcsPerNode: 2, MemGB: 4, NICs: 1}},
+		},
+		{
+			ID: 16, HW: "F", Nodes: 256, Procs: 512,
+			Start: date(2003, 9), End: now,
+			Categories: []NodeCategory{{Nodes: 256, ProcsPerNode: 2, MemGB: 4, NICs: 1}},
+		},
+		{
+			ID: 17, HW: "F", Nodes: 256, Procs: 512,
+			Start: date(2003, 9), End: now,
+			Categories: []NodeCategory{{Nodes: 256, ProcsPerNode: 2, MemGB: 4, NICs: 1}},
+		},
+		{
+			ID: 18, HW: "F", Nodes: 512, Procs: 1024,
+			Start: date(2003, 9), End: now,
+			Categories: []NodeCategory{
+				{Nodes: 480, ProcsPerNode: 2, MemGB: 4, NICs: 1},
+				{Nodes: 32, ProcsPerNode: 2, MemGB: 4, NICs: 1, Start: date(2005, 3), End: date(2005, 6)},
+			},
+		},
+		{
+			ID: 19, HW: "G", Nodes: 16, Procs: 2048, NUMA: true,
+			Start: date(1996, 12), End: date(2002, 9),
+			Categories: []NodeCategory{
+				{Nodes: 8, ProcsPerNode: 128, MemGB: 32, NICs: 4},
+				{Nodes: 8, ProcsPerNode: 128, MemGB: 64, NICs: 4},
+			},
+		},
+		{
+			ID: 20, HW: "G", Nodes: 49, Procs: 6152, NUMA: true,
+			Start: date(1997, 1), End: now,
+			Categories: []NodeCategory{
+				// Node IDs are assigned sequentially across categories, so
+				// the first category here is node 0, which entered
+				// production much later than the rest (Figure 3 footnote).
+				{Nodes: 1, ProcsPerNode: 8, MemGB: 80, NICs: 0, Start: date(2005, 6)},
+				{Nodes: 44, ProcsPerNode: 128, MemGB: 128, NICs: 12},
+				{Nodes: 4, ProcsPerNode: 128, MemGB: 32, NICs: 12},
+			},
+			GraphicsNodes: []int{21, 22, 23},
+		},
+		{
+			ID: 21, HW: "G", Nodes: 5, Procs: 544, NUMA: true,
+			Start: date(1998, 10), End: date(2004, 12),
+			Categories: []NodeCategory{
+				{Nodes: 4, ProcsPerNode: 128, MemGB: 128, NICs: 4},
+				{Nodes: 1, ProcsPerNode: 32, MemGB: 16, NICs: 4},
+			},
+		},
+		{
+			ID: 22, HW: "H", Nodes: 1, Procs: 256, NUMA: true,
+			Start: date(2004, 11), End: now,
+			Categories: []NodeCategory{{Nodes: 1, ProcsPerNode: 256, MemGB: 1024, NICs: 0}},
+		},
+	}
+	// Front-end nodes: for multi-node SMP clusters (types D, E, F) node 0
+	// runs the interactive front-end workload (Section 5.1).
+	for i := range systems {
+		s := &systems[i]
+		if !s.NUMA && s.Nodes > 1 {
+			s.FrontendNodes = []int{0}
+		}
+		for j := range s.Categories {
+			c := &s.Categories[j]
+			if c.Start.IsZero() {
+				c.Start = s.Start
+			}
+			if c.End.IsZero() {
+				c.End = s.End
+			}
+		}
+	}
+	return systems
+}
+
+// SystemByID returns the catalog entry for one system.
+func SystemByID(id int) (System, error) {
+	for _, s := range Catalog() {
+		if s.ID == id {
+			return s, nil
+		}
+	}
+	return System{}, fmt.Errorf("lanl: no system with ID %d", id)
+}
+
+// TotalNodes returns the catalog-wide node count (4750 in Table 1's text).
+func TotalNodes() int {
+	total := 0
+	for _, s := range Catalog() {
+		total += s.Nodes
+	}
+	return total
+}
+
+// TotalProcs returns the catalog-wide processor count (24101 in the text).
+func TotalProcs() int {
+	total := 0
+	for _, s := range Catalog() {
+		total += s.Procs
+	}
+	return total
+}

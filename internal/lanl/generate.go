@@ -1,0 +1,341 @@
+package lanl
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"hpcfail/internal/failures"
+	"hpcfail/internal/randx"
+)
+
+// Config controls synthetic trace generation.
+type Config struct {
+	// Seed drives all randomness; the same seed always produces the same
+	// dataset. Seed 1 is the reference dataset of EXPERIMENTS.md.
+	Seed int64
+	// Systems optionally restricts generation to a subset of system IDs;
+	// empty means all 22 systems.
+	Systems []int
+	// RateScale scales every system's failure rate; 0 means 1.0. It exists
+	// for workload-size sweeps in benchmarks.
+	RateScale float64
+	// DisableCorrelatedBatches turns off the early type G simultaneous
+	// failures (ablation: removes the Figure 6c zero-interarrival mass).
+	DisableCorrelatedBatches bool
+	// DisableTimeModulation flattens the hour-of-day, day-of-week and
+	// month-to-month intensity cycles, leaving only the lifecycle curve
+	// (ablation: removes the Figure 5 structure and most of the
+	// system-wide over-dispersion behind Figure 6d).
+	DisableTimeModulation bool
+}
+
+// Generator produces synthetic LANL-like failure traces. Construct with
+// NewGenerator.
+type Generator struct {
+	cfg     Config
+	hw      map[failures.HWType]hwParams
+	repairs map[failures.RootCause]repairParam
+}
+
+// NewGenerator returns a Generator for the given configuration.
+func NewGenerator(cfg Config) *Generator {
+	if cfg.RateScale == 0 {
+		cfg.RateScale = 1
+	}
+	return &Generator{cfg: cfg, hw: hwTable(), repairs: repairTable()}
+}
+
+// Generate produces the full synthetic dataset across the configured
+// systems.
+func (g *Generator) Generate() (*failures.Dataset, error) {
+	want := make(map[int]bool, len(g.cfg.Systems))
+	for _, id := range g.cfg.Systems {
+		want[id] = true
+	}
+	root := randx.NewSource(g.cfg.Seed)
+	var all []failures.Record
+	for _, sys := range Catalog() {
+		// Every system consumes one child source whether selected or not,
+		// so a subset run reproduces the full run's records exactly.
+		src := root.Split()
+		if len(want) > 0 && !want[sys.ID] {
+			continue
+		}
+		records, err := g.generateSystem(sys, src)
+		if err != nil {
+			return nil, fmt.Errorf("generate system %d: %w", sys.ID, err)
+		}
+		all = append(all, records...)
+	}
+	return failures.NewDataset(all)
+}
+
+// intensityProfile is the hourly failure-rate modulation of one system:
+// lifecycle curve (Figure 4) times hour-of-day and day-of-week cycles
+// (Figure 5). cum[h] is the integral of the modulation over the first h
+// hours, so cum is strictly increasing and maps wall-clock hours to
+// "operational time".
+type intensityProfile struct {
+	start time.Time
+	rate  []float64 // rate[h]: modulation during hour h
+	cum   []float64 // cum[h]: integral up to hour h; len = len(rate)+1
+}
+
+// buildProfile computes the intensity profile of a system. src drives the
+// random month-to-month workload-intensity fluctuations.
+func (g *Generator) buildProfile(sys System, shape lifecycleShape, infantAmp float64, src *randx.Source) *intensityProfile {
+	hours := int(sys.End.Sub(sys.Start).Hours())
+	p := &intensityProfile{
+		start: sys.Start,
+		rate:  make([]float64, hours),
+		cum:   make([]float64, hours+1),
+	}
+	const hoursPerMonth = 24 * 30.44
+	months := int(float64(hours)/hoursPerMonth) + 1
+	monthFactor := make([]float64, months)
+	for i := range monthFactor {
+		monthFactor[i] = src.LogNormal(0, monthSigma)
+		if g.cfg.DisableTimeModulation {
+			monthFactor[i] = 1
+		}
+	}
+	for h := 0; h < hours; h++ {
+		t := sys.Start.Add(time.Duration(h) * time.Hour)
+		ageDays := float64(h) / 24
+		m := lifecycleAt(shape, infantAmp, ageDays) * monthFactor[int(float64(h)/hoursPerMonth)]
+		if !g.cfg.DisableTimeModulation {
+			m *= hourFactor(t) * dayFactor(t)
+		}
+		p.rate[h] = m
+		p.cum[h+1] = p.cum[h] + m
+	}
+	return p
+}
+
+// lifecycleAt evaluates the Figure 4 lifecycle multiplier at a system age.
+func lifecycleAt(shape lifecycleShape, infantAmp, ageDays float64) float64 {
+	switch shape {
+	case shapeRamp:
+		rampDays := rampMonths * 30.44
+		if ageDays < rampDays {
+			return rampLow + (rampPeak-rampLow)*(ageDays/rampDays)
+		}
+		return 1 + (rampPeak-1)*math.Exp(-(ageDays-rampDays)/rampDecayDays)
+	default: // shapeInfant
+		return 1 + infantAmp*math.Exp(-ageDays/infantTauDays)
+	}
+}
+
+// hourFactor is the hour-of-day modulation (Figure 5 left): sinusoidal with
+// its peak at peakHour and a 2x peak-to-trough ratio.
+func hourFactor(t time.Time) float64 {
+	hod := float64(t.Hour()) + float64(t.Minute())/60
+	return 1 + hourAmplitude*math.Cos(2*math.Pi*(hod-peakHour)/24)
+}
+
+// dayFactor is the day-of-week modulation (Figure 5 right).
+func dayFactor(t time.Time) float64 {
+	switch t.Weekday() {
+	case time.Saturday, time.Sunday:
+		return weekendFactor
+	default:
+		return weekdayFactor
+	}
+}
+
+// wallTime maps an operational-time position to a wall-clock instant by
+// inverting the cumulative intensity.
+func (p *intensityProfile) wallTime(op float64) time.Time {
+	h := sort.SearchFloat64s(p.cum, op) - 1
+	if h < 0 {
+		h = 0
+	}
+	if h >= len(p.rate) {
+		h = len(p.rate) - 1
+	}
+	frac := 0.0
+	if p.rate[h] > 0 {
+		frac = (op - p.cum[h]) / p.rate[h]
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return p.start.Add(time.Duration((float64(h) + frac) * float64(time.Hour)))
+}
+
+// hourIndex returns the profile hour index of a wall-clock time, clamped to
+// the profile bounds.
+func (p *intensityProfile) hourIndex(t time.Time) int {
+	h := int(t.Sub(p.start).Hours())
+	if h < 0 {
+		h = 0
+	}
+	if h > len(p.rate) {
+		h = len(p.rate)
+	}
+	return h
+}
+
+// generateSystem produces all records of one system.
+func (g *Generator) generateSystem(sys System, src *randx.Source) ([]failures.Record, error) {
+	params, ok := g.hw[sys.HW]
+	if !ok {
+		return nil, fmt.Errorf("no calibration for hardware type %q", sys.HW)
+	}
+	infantAmp := infantAmplitude
+	rateBoost := g.cfg.RateScale
+	if firstOfTypeSystems[sys.ID] {
+		infantAmp = firstOfTypeAmplitude
+		rateBoost *= firstOfTypeBoost
+	}
+	shape := params.lifecycle
+	if sys.ID == 21 {
+		// System 21 was commissioned two years after the other type G
+		// systems and follows the conventional early-drop curve
+		// (Section 5.2).
+		shape = shapeInfant
+	}
+	profile := g.buildProfile(sys, shape, infantAmp, src)
+
+	graphics := make(map[int]bool, len(sys.GraphicsNodes))
+	for _, n := range sys.GraphicsNodes {
+		graphics[n] = true
+	}
+	frontend := make(map[int]bool, len(sys.FrontendNodes))
+	for _, n := range sys.FrontendNodes {
+		frontend[n] = true
+	}
+
+	weibullScale := 1 / math.Gamma(1+1/tbfWeibullShape)
+	var records []failures.Record
+	nodeID := 0
+	for _, cat := range sys.Categories {
+		for i := 0; i < cat.Nodes; i++ {
+			node := nodeID
+			nodeID++
+			factor := 1.0
+			workload := failures.WorkloadCompute
+			switch {
+			case graphics[node]:
+				factor = graphicsRateFactor
+				workload = failures.WorkloadGraphics
+			case frontend[node]:
+				factor = frontendRateFactor
+				workload = failures.WorkloadFrontend
+			default:
+				factor = src.LogNormal(0, nodeHeterogeneitySigma)
+			}
+			years := cat.End.Sub(cat.Start).Hours() / (24 * 365.25)
+			meanCount := params.perProcYearRate * float64(cat.ProcsPerNode) * years * factor * rateBoost
+			if meanCount <= 0 {
+				continue
+			}
+			opStart := profile.cum[profile.hourIndex(cat.Start)]
+			opEnd := profile.cum[profile.hourIndex(cat.End)]
+			opSpan := opEnd - opStart
+			if opSpan <= 0 {
+				continue
+			}
+			meanGap := opSpan / meanCount
+			earlyScale := 1 / math.Gamma(1+1/earlyTBFShape)
+			pos := opStart
+			for {
+				// Type G systems draw from a burstier distribution while
+				// still in their chaotic early era (Section 5.3).
+				shapeK, scaleK := tbfWeibullShape, weibullScale
+				if sys.HW == "G" && profile.wallTime(pos).Year() < correlationEndYear {
+					shapeK, scaleK = earlyTBFShape, earlyScale
+				}
+				pos += src.Weibull(shapeK, meanGap*scaleK)
+				if pos >= opEnd {
+					break
+				}
+				start := profile.wallTime(pos).Truncate(time.Second)
+				records = append(records, g.makeRecord(sys, params, node, workload, start, src))
+				// Early correlated batches on type G systems (Section 5.3).
+				if sys.HW == "G" && sys.Nodes > 1 && start.Year() < correlationEndYear &&
+					!g.cfg.DisableCorrelatedBatches && src.Float64() < batchProb {
+					extra := 1 + src.Intn(maxBatchExtra)
+					for e := 0; e < extra; e++ {
+						other := src.Intn(sys.Nodes)
+						if other == node {
+							other = (other + 1) % sys.Nodes
+						}
+						wl := failures.WorkloadCompute
+						if graphics[other] {
+							wl = failures.WorkloadGraphics
+						}
+						records = append(records, g.makeRecord(sys, params, other, wl, start, src))
+					}
+				}
+			}
+		}
+	}
+	return records, nil
+}
+
+// makeRecord draws the root cause, detail and repair duration of a failure
+// that starts at the given instant.
+func (g *Generator) makeRecord(sys System, params hwParams, node int, workload failures.Workload, start time.Time, src *randx.Source) failures.Record {
+	causes := failures.Causes()
+	cause := causes[src.Categorical(params.causeWeights[:])]
+	detail := g.drawDetail(params, cause, src)
+	repair := g.drawRepair(params, cause, src)
+	return failures.Record{
+		System:   sys.ID,
+		Node:     node,
+		HW:       sys.HW,
+		Workload: workload,
+		Cause:    cause,
+		Detail:   detail,
+		Start:    start,
+		End:      start.Add(repair),
+	}
+}
+
+// drawDetail samples the low-level root cause for a record.
+func (g *Generator) drawDetail(params hwParams, cause failures.RootCause, src *randx.Source) string {
+	var table map[string]float64
+	switch cause {
+	case failures.CauseHardware:
+		table = params.hwDetail
+	case failures.CauseSoftware:
+		table = params.swDetail
+	case failures.CauseEnvironment:
+		table = map[string]float64{"power outage": 0.6, "A/C failure": 0.4}
+	default:
+		return ""
+	}
+	// Deterministic iteration order for reproducibility.
+	keys := make([]string, 0, len(table))
+	for k := range table {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	weights := make([]float64, len(keys))
+	for i, k := range keys {
+		weights[i] = table[k]
+	}
+	return keys[src.Categorical(weights)]
+}
+
+// drawRepair samples a repair duration from the cause's Table 2 lognormal,
+// scaled by the hardware type's repair multiplier and clamped to sane
+// bounds (1 minute to 180 days).
+func (g *Generator) drawRepair(params hwParams, cause failures.RootCause, src *randx.Source) time.Duration {
+	rp := g.repairs[cause]
+	minutes := src.LogNormal(rp.mu+math.Log(params.repairMuShift), rp.sigma)
+	const maxMinutes = 180 * 24 * 60
+	if minutes < 1 {
+		minutes = 1
+	}
+	if minutes > maxMinutes {
+		minutes = maxMinutes
+	}
+	return time.Duration(minutes * float64(time.Minute))
+}

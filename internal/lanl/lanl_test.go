@@ -1,0 +1,482 @@
+package lanl
+
+import (
+	"sync"
+	"testing"
+
+	"hpcfail/internal/failures"
+)
+
+// sharedDataset generates the reference dataset once for the whole package's
+// tests; generation is deterministic so sharing is safe.
+var (
+	sharedOnce sync.Once
+	sharedData *failures.Dataset
+	sharedErr  error
+)
+
+func referenceDataset(t *testing.T) *failures.Dataset {
+	t.Helper()
+	sharedOnce.Do(func() {
+		sharedData, sharedErr = NewGenerator(Config{Seed: 1}).Generate()
+	})
+	if sharedErr != nil {
+		t.Fatalf("generate reference dataset: %v", sharedErr)
+	}
+	return sharedData
+}
+
+func TestCatalogTotals(t *testing.T) {
+	if got := TotalNodes(); got != 4750 {
+		t.Errorf("total nodes = %d, want 4750 (Table 1)", got)
+	}
+	// The paper's text reports 24101 processors; our per-category
+	// reconstruction of the garbled table sums within 0.5% of that.
+	procs := TotalProcs()
+	if procs < 23900 || procs > 24300 {
+		t.Errorf("total procs = %d, want ~24101", procs)
+	}
+	if got := len(Catalog()); got != 22 {
+		t.Errorf("system count = %d, want 22", got)
+	}
+}
+
+func TestCatalogConsistency(t *testing.T) {
+	for _, sys := range Catalog() {
+		catNodes := 0
+		catProcs := 0
+		for _, c := range sys.Categories {
+			catNodes += c.Nodes
+			catProcs += c.Nodes * c.ProcsPerNode
+			if c.Start.Before(sys.Start) || c.End.After(sys.End) {
+				t.Errorf("system %d: category window [%v, %v] outside system window [%v, %v]",
+					sys.ID, c.Start, c.End, sys.Start, sys.End)
+			}
+			if !c.Start.Before(c.End) {
+				t.Errorf("system %d: empty category window", sys.ID)
+			}
+		}
+		if catNodes != sys.Nodes {
+			t.Errorf("system %d: categories sum to %d nodes, header says %d", sys.ID, catNodes, sys.Nodes)
+		}
+		if catProcs != sys.Procs {
+			t.Errorf("system %d: categories sum to %d procs, header says %d", sys.ID, catProcs, sys.Procs)
+		}
+		if !sys.Start.Before(sys.End) {
+			t.Errorf("system %d: empty production window", sys.ID)
+		}
+		if sys.Start.Before(CollectionStart) || sys.End.After(CollectionEnd) {
+			t.Errorf("system %d: window outside collection period", sys.ID)
+		}
+		wantNUMA := sys.ID >= 19
+		if sys.NUMA != wantNUMA {
+			t.Errorf("system %d: NUMA = %v", sys.ID, sys.NUMA)
+		}
+	}
+}
+
+func TestSystemByID(t *testing.T) {
+	s, err := SystemByID(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Nodes != 49 || s.HW != "G" {
+		t.Fatalf("system 20 = %+v", s)
+	}
+	if len(s.GraphicsNodes) != 3 || s.GraphicsNodes[0] != 21 {
+		t.Fatalf("system 20 graphics nodes = %v", s.GraphicsNodes)
+	}
+	if _, err := SystemByID(99); err == nil {
+		t.Fatal("system 99: want error")
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	a, err := NewGenerator(Config{Seed: 7, Systems: []int{12}}).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewGenerator(Config{Seed: 7, Systems: []int{12}}).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("same seed gave %d vs %d records", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.At(i) != b.At(i) {
+			t.Fatalf("record %d differs between identical runs", i)
+		}
+	}
+	c, err := NewGenerator(Config{Seed: 8, Systems: []int{12}}).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() == a.Len() {
+		equal := true
+		for i := 0; i < a.Len(); i++ {
+			if a.At(i) != c.At(i) {
+				equal = false
+				break
+			}
+		}
+		if equal {
+			t.Fatal("different seeds produced identical datasets")
+		}
+	}
+}
+
+func TestSubsetMatchesFullRun(t *testing.T) {
+	full := referenceDataset(t)
+	sub, err := NewGenerator(Config{Seed: 1, Systems: []int{13}}).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := full.BySystem(13)
+	if sub.Len() != want.Len() {
+		t.Fatalf("subset run: %d records, full run's system 13 has %d", sub.Len(), want.Len())
+	}
+	for i := 0; i < sub.Len(); i++ {
+		if sub.At(i) != want.At(i) {
+			t.Fatalf("record %d differs between subset and full run", i)
+		}
+	}
+}
+
+func TestGenerateScale(t *testing.T) {
+	d := referenceDataset(t)
+	// The paper's dataset has ~23000 failures over 9 years.
+	if d.Len() < 18000 || d.Len() > 32000 {
+		t.Errorf("total records = %d, want roughly 23000", d.Len())
+	}
+	if got := len(d.Systems()); got != 22 {
+		t.Errorf("systems present = %d, want 22", got)
+	}
+	// All records valid and within the collection period.
+	for _, r := range d.Records() {
+		if r.Start.Before(CollectionStart) || r.Start.After(CollectionEnd) {
+			t.Fatalf("record outside collection period: %v", r.Start)
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatalf("invalid generated record: %v", err)
+		}
+	}
+}
+
+func TestFailureRatesScaleWithProcessors(t *testing.T) {
+	// Figure 2(b): normalized failure rates are roughly constant within a
+	// hardware type even as size varies 8x (systems 5–12 span 128–1024
+	// nodes).
+	d := referenceDataset(t)
+	rates := make(map[int]float64)
+	for _, id := range []int{5, 7, 8, 9, 12} {
+		sys, err := SystemByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := d.BySystem(id).Len()
+		rates[id] = float64(n) / sys.ProductionYears() / float64(sys.Procs)
+	}
+	for id, r := range rates {
+		if r < 0.1 || r > 0.6 {
+			t.Errorf("system %d: %.3f failures/yr/proc outside type E band", id, r)
+		}
+	}
+	// Largest vs smallest type E system differ 32x in size but the
+	// normalized rate should be within ~2.5x.
+	hi, lo := rates[7], rates[12]
+	if hi/lo > 2.5 || lo/hi > 2.5 {
+		t.Errorf("type E normalized rates spread too wide: %v", rates)
+	}
+}
+
+func TestGraphicsNodesDominateFailures(t *testing.T) {
+	// Section 5.1: nodes 21–23 are 6% of system 20's nodes but ~20% of its
+	// failures.
+	d := referenceDataset(t).BySystem(20)
+	graphics := 0
+	for _, r := range d.Records() {
+		if r.Workload == failures.WorkloadGraphics {
+			graphics++
+		}
+	}
+	share := float64(graphics) / float64(d.Len())
+	if share < 0.12 || share > 0.28 {
+		t.Errorf("graphics share = %.3f, want ~0.20", share)
+	}
+	// Per-node counts for graphics nodes should far exceed the compute
+	// median.
+	counts := d.CountByNode()
+	if counts[22] < 2*counts[10] {
+		t.Errorf("graphics node 22 (%d) should fail much more than compute node 10 (%d)",
+			counts[22], counts[10])
+	}
+}
+
+func TestEarlyCorrelatedFailures(t *testing.T) {
+	// Section 5.3: >30% of system-wide interarrivals in system 20 during
+	// 1996–1999 are zero (simultaneous failures); far fewer later.
+	d := referenceDataset(t).BySystem(20)
+	early := d.Between(CollectionStart, date(2000, 1))
+	late := d.Between(date(2000, 1), CollectionEnd)
+	if f := early.ZeroInterarrivalFraction(); f < 0.25 {
+		t.Errorf("early zero-interarrival fraction = %.3f, want > 0.30", f)
+	}
+	if f := late.ZeroInterarrivalFraction(); f > 0.10 {
+		t.Errorf("late zero-interarrival fraction = %.3f, want small", f)
+	}
+}
+
+func TestCauseMixPerType(t *testing.T) {
+	d := referenceDataset(t)
+	// Figure 1(a): hardware is the largest category (30–60%+), software
+	// second; type E has <5% unknown; type D has hardware ~ software.
+	for _, hw := range []failures.HWType{"D", "E", "F", "G"} {
+		sub := d.ByHW(hw)
+		counts := sub.CountByCause()
+		total := float64(sub.Len())
+		hwFrac := float64(counts[failures.CauseHardware]) / total
+		swFrac := float64(counts[failures.CauseSoftware]) / total
+		unkFrac := float64(counts[failures.CauseUnknown]) / total
+		if hwFrac < 0.25 {
+			t.Errorf("type %s: hardware fraction %.3f too low", hw, hwFrac)
+		}
+		if hwFrac < swFrac {
+			t.Errorf("type %s: software (%.3f) exceeds hardware (%.3f)", hw, swFrac, hwFrac)
+		}
+		switch hw {
+		case "E":
+			if unkFrac > 0.06 {
+				t.Errorf("type E: unknown fraction %.3f, want < 0.05", unkFrac)
+			}
+		case "D":
+			if hwFrac > 1.5*swFrac {
+				t.Errorf("type D: hardware (%.3f) should be close to software (%.3f)", hwFrac, swFrac)
+			}
+			if unkFrac < 0.2 {
+				t.Errorf("type D: unknown fraction %.3f, want 0.2–0.3", unkFrac)
+			}
+		}
+	}
+}
+
+func TestDetailCauses(t *testing.T) {
+	d := referenceDataset(t)
+	memShare := func(hw failures.HWType) float64 {
+		sub := d.ByHW(hw)
+		return float64(sub.CountByDetail()["memory"]) / float64(sub.Len())
+	}
+	// Section 4: memory is >10% of ALL failures everywhere we model it;
+	// >25% for types F and H.
+	for _, hw := range []failures.HWType{"D", "E", "F", "G", "H"} {
+		if s := memShare(hw); s < 0.08 {
+			t.Errorf("type %s memory share = %.3f, want > 0.10", hw, s)
+		}
+	}
+	if s := memShare("F"); s < 0.20 {
+		t.Errorf("type F memory share = %.3f, want > 0.25", s)
+	}
+	// Type E: >50% of all failures are CPU related.
+	e := d.ByHW("E")
+	cpuShare := float64(e.CountByDetail()["cpu"]) / float64(e.Len())
+	if cpuShare < 0.42 {
+		t.Errorf("type E cpu share = %.3f, want ~0.50", cpuShare)
+	}
+}
+
+func TestRepairTimesHeavyTailed(t *testing.T) {
+	d := referenceDataset(t)
+	// Table 2: mean repair far above median for software/hardware causes.
+	for _, cause := range []failures.RootCause{failures.CauseSoftware, failures.CauseHardware} {
+		rt := d.ByCause(cause).RepairTimes()
+		if len(rt) < 100 {
+			t.Fatalf("%v: only %d repairs", cause, len(rt))
+		}
+		var sum float64
+		for _, x := range rt {
+			sum += x
+		}
+		mean := sum / float64(len(rt))
+		// Rough median via partial sort-free estimate: count below mean.
+		below := 0
+		for _, x := range rt {
+			if x < mean {
+				below++
+			}
+		}
+		if frac := float64(below) / float64(len(rt)); frac < 0.75 {
+			t.Errorf("%v: only %.2f of repairs below the mean; want a heavy right tail", cause, frac)
+		}
+	}
+}
+
+func TestLifecycleShapes(t *testing.T) {
+	d := referenceDataset(t)
+	monthlyCounts := func(id int, months int) []int {
+		sys, err := SystemByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub := d.BySystem(id)
+		counts := make([]int, months)
+		for _, r := range sub.Records() {
+			m := int(r.Start.Sub(sys.Start).Hours() / (24 * 30.44))
+			if m >= 0 && m < months {
+				counts[m]++
+			}
+		}
+		return counts
+	}
+	// System 5 (type E, Figure 4a): first 3 months should far exceed
+	// months 24–27.
+	c5 := monthlyCounts(5, 36)
+	early := c5[0] + c5[1] + c5[2]
+	late := c5[24] + c5[25] + c5[26]
+	if early < 2*late {
+		t.Errorf("system 5: early months %d vs late %d; want early-drop shape", early, late)
+	}
+	// System 19 (type G, Figure 4b): rate around month 18 should exceed
+	// the first 3 months.
+	c19 := monthlyCounts(19, 36)
+	start := c19[0] + c19[1] + c19[2]
+	peak := c19[17] + c19[18] + c19[19]
+	if peak < start {
+		t.Errorf("system 19: start %d vs peak %d; want ramp shape", start, peak)
+	}
+}
+
+func TestDayNightAndWeekendCycle(t *testing.T) {
+	d := referenceDataset(t)
+	var hourCounts [24]int
+	var dayCounts [7]int
+	for _, r := range d.Records() {
+		hourCounts[r.Start.Hour()]++
+		dayCounts[int(r.Start.Weekday())]++
+	}
+	// Figure 5: peak-hour rate about 2x the night minimum.
+	peak, trough := 0, 1<<62
+	for _, c := range hourCounts {
+		if c > peak {
+			peak = c
+		}
+		if c < trough {
+			trough = c
+		}
+	}
+	ratio := float64(peak) / float64(trough)
+	if ratio < 1.5 || ratio > 3.0 {
+		t.Errorf("hour-of-day peak/trough = %.2f, want ~2", ratio)
+	}
+	// Weekday vs weekend.
+	weekday := dayCounts[1] + dayCounts[2] + dayCounts[3] + dayCounts[4] + dayCounts[5]
+	weekend := dayCounts[0] + dayCounts[6]
+	wr := (float64(weekday) / 5) / (float64(weekend) / 2)
+	if wr < 1.4 || wr > 2.6 {
+		t.Errorf("weekday/weekend rate ratio = %.2f, want ~1.8", wr)
+	}
+}
+
+func TestNode0OfSystem20ShortLife(t *testing.T) {
+	d := referenceDataset(t).BySystem(20)
+	counts := d.CountByNode()
+	// Node 0 entered production in mid-2005; it must have far fewer
+	// failures than a typical node.
+	typical := counts[10]
+	if counts[0] >= typical/2 {
+		t.Errorf("node 0 count %d vs typical %d; node 0 should be much lower", counts[0], typical)
+	}
+}
+
+func TestWorkloadAssignment(t *testing.T) {
+	d := referenceDataset(t)
+	// Front-end failures exist for E systems (node 0).
+	fe := d.BySystem(7).ByWorkload(failures.WorkloadFrontend)
+	if fe.Len() == 0 {
+		t.Error("system 7 should have front-end failures on node 0")
+	}
+	for _, r := range fe.Records() {
+		if r.Node != 0 {
+			t.Fatalf("front-end record on node %d", r.Node)
+		}
+	}
+	// Graphics workloads exist only on system 20.
+	for _, id := range d.Systems() {
+		if id == 20 {
+			continue
+		}
+		if n := d.BySystem(id).ByWorkload(failures.WorkloadGraphics).Len(); n != 0 {
+			t.Errorf("system %d has %d graphics records", id, n)
+		}
+	}
+}
+
+func TestRateScale(t *testing.T) {
+	base, err := NewGenerator(Config{Seed: 3, Systems: []int{13}}).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	doubled, err := NewGenerator(Config{Seed: 3, Systems: []int{13}, RateScale: 2}).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(doubled.Len()) / float64(base.Len())
+	if ratio < 1.6 || ratio > 2.4 {
+		t.Errorf("RateScale 2 gave %.2fx records", ratio)
+	}
+}
+
+func TestProductionYears(t *testing.T) {
+	s, err := SystemByID(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	years := s.ProductionYears()
+	if years < 8.5 || years > 9.1 {
+		t.Errorf("system 20 production years = %.2f", years)
+	}
+}
+
+func TestAblationCorrelatedBatches(t *testing.T) {
+	base, err := NewGenerator(Config{Seed: 4, Systems: []int{20}}).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ablated, err := NewGenerator(Config{Seed: 4, Systems: []int{20}, DisableCorrelatedBatches: true}).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	boundary := date(2000, 1)
+	baseZeros := base.Between(CollectionStart, boundary).ZeroInterarrivalFraction()
+	ablatedZeros := ablated.Between(CollectionStart, boundary).ZeroInterarrivalFraction()
+	if baseZeros < 0.25 {
+		t.Fatalf("baseline early zero fraction = %.3f", baseZeros)
+	}
+	if ablatedZeros > baseZeros/3 {
+		t.Fatalf("ablated zero fraction %.3f should collapse (baseline %.3f)", ablatedZeros, baseZeros)
+	}
+}
+
+func TestAblationTimeModulation(t *testing.T) {
+	ablated, err := NewGenerator(Config{Seed: 4, Systems: []int{7}, DisableTimeModulation: true}).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hourCounts [24]int
+	for _, r := range ablated.Records() {
+		hourCounts[r.Start.Hour()]++
+	}
+	peak, trough := hourCounts[0], hourCounts[0]
+	for _, c := range hourCounts[1:] {
+		if c > peak {
+			peak = c
+		}
+		if c < trough {
+			trough = c
+		}
+	}
+	// Without modulation the hour-of-day histogram is flat up to noise;
+	// the 2x Figure 5 structure must be gone.
+	if ratio := float64(peak) / float64(trough); ratio > 1.5 {
+		t.Fatalf("ablated peak/trough = %.2f, want flat", ratio)
+	}
+}

@@ -1,0 +1,245 @@
+package lanl
+
+import (
+	"math"
+
+	"hpcfail/internal/failures"
+)
+
+// lifecycleShape selects which of the paper's two observed failure-rate
+// lifecycle curves (Figure 4) a system follows.
+type lifecycleShape int
+
+const (
+	// shapeInfant is the early-drop curve of Figure 4(a): high initial
+	// failure rate decaying as initial bugs are fixed (types E and F).
+	shapeInfant lifecycleShape = iota + 1
+	// shapeRamp is the rise-then-drop curve of Figure 4(b): failure rate
+	// grows for ~20 months while the system reaches full production, then
+	// decays (types D and G; Section 5.2).
+	shapeRamp
+)
+
+// hwParams captures the per-hardware-type calibration derived from the
+// paper's published statistics.
+type hwParams struct {
+	// perProcYearRate is the long-run average number of failures per
+	// processor per year (Figure 2b: roughly constant within a type).
+	perProcYearRate float64
+	// lifecycle selects the Figure 4 curve.
+	lifecycle lifecycleShape
+	// causeWeights are the root-cause mix (Figure 1a), indexed in the
+	// order of failures.Causes(): HW, SW, Net, Env, Human, Unknown.
+	causeWeights [6]float64
+	// hwDetail is the low-level cause mix within Hardware failures
+	// (Section 4: memory dominant except type E's CPU design flaw).
+	hwDetail map[string]float64
+	// swDetail is the low-level cause mix within Software failures
+	// (Section 4: parallel FS for F, scheduler for H, OS for E,
+	// unspecified for D and G).
+	swDetail map[string]float64
+	// repairMuShift scales the per-cause lognormal repair median
+	// (Figure 7b/c: repair time depends on hardware type, not size).
+	repairMuShift float64
+}
+
+// hwTable returns the calibration for each hardware type A–H.
+func hwTable() map[failures.HWType]hwParams {
+	genericHW := map[string]float64{
+		"memory": 0.35, "cpu": 0.20, "disk": 0.20,
+		"node interconnect": 0.10, "power supply": 0.10, "other": 0.05,
+	}
+	genericSW := map[string]float64{
+		"os": 0.40, "": 0.30, "parallel filesystem": 0.20, "scheduler": 0.10,
+	}
+	return map[failures.HWType]hwParams{
+		"A": {
+			perProcYearRate: 1.0, lifecycle: shapeInfant,
+			causeWeights: [6]float64{45, 20, 6, 4, 5, 20},
+			hwDetail:     genericHW, swDetail: genericSW,
+			repairMuShift: 2.0,
+		},
+		"B": {
+			perProcYearRate: 0.5, lifecycle: shapeInfant,
+			causeWeights: [6]float64{45, 20, 6, 4, 5, 20},
+			hwDetail:     genericHW, swDetail: genericSW,
+			repairMuShift: 1.5,
+		},
+		"C": {
+			perProcYearRate: 2.2, lifecycle: shapeInfant,
+			causeWeights: [6]float64{45, 20, 6, 4, 5, 20},
+			hwDetail:     genericHW, swDetail: genericSW,
+			repairMuShift: 0.8,
+		},
+		"D": {
+			// Type D: hardware and software almost equally frequent, large
+			// unknown share from its early-deployment period (Section 4).
+			perProcYearRate: 0.75, lifecycle: shapeRamp,
+			causeWeights: [6]float64{32, 28, 4, 3, 3, 30},
+			hwDetail: map[string]float64{
+				"memory": 0.40, "cpu": 0.15, "disk": 0.20,
+				"node interconnect": 0.10, "power supply": 0.08, "other": 0.07,
+			},
+			swDetail: map[string]float64{
+				"": 0.55, "os": 0.20, "parallel filesystem": 0.15, "scheduler": 0.10,
+			},
+			repairMuShift: 0.6,
+		},
+		"E": {
+			// Type E: <5% unknown root causes; >50% of all failures CPU
+			// related (a CPU design flaw), memory >10% of all failures.
+			perProcYearRate: 0.23, lifecycle: shapeInfant,
+			causeWeights: [6]float64{64, 18, 6, 4, 4, 4},
+			hwDetail: map[string]float64{
+				"cpu": 0.80, "memory": 0.17, "disk": 0.01,
+				"node interconnect": 0.01, "power supply": 0.005, "other": 0.005,
+			},
+			swDetail: map[string]float64{
+				"os": 0.50, "parallel filesystem": 0.15, "scheduler": 0.10, "": 0.25,
+			},
+			repairMuShift: 0.5,
+		},
+		"F": {
+			// Type F: memory >25% of all failures; parallel file system the
+			// most common software failure.
+			perProcYearRate: 0.26, lifecycle: shapeInfant,
+			causeWeights: [6]float64{58, 12, 4, 3, 2, 21},
+			hwDetail: map[string]float64{
+				"memory": 0.45, "cpu": 0.15, "disk": 0.15,
+				"node interconnect": 0.12, "power supply": 0.06, "other": 0.07,
+			},
+			swDetail: map[string]float64{
+				"parallel filesystem": 0.40, "os": 0.25, "scheduler": 0.15, "": 0.20,
+			},
+			repairMuShift: 1.0,
+		},
+		"G": {
+			// Type G: first NUMA clusters; ramp lifecycle and a high early
+			// unknown fraction; software failures often unspecified.
+			perProcYearRate: 0.082, lifecycle: shapeRamp,
+			causeWeights: [6]float64{47, 15, 6, 3, 4, 25},
+			hwDetail: map[string]float64{
+				"memory": 0.30, "cpu": 0.20, "disk": 0.18,
+				"node interconnect": 0.17, "power supply": 0.08, "other": 0.07,
+			},
+			swDetail: map[string]float64{
+				"": 0.50, "os": 0.20, "parallel filesystem": 0.20, "scheduler": 0.10,
+			},
+			repairMuShift: 3.0,
+		},
+		"H": {
+			// Type H: memory >25% of all failures; scheduler software the
+			// most common software failure.
+			perProcYearRate: 0.08, lifecycle: shapeInfant,
+			causeWeights: [6]float64{48, 24, 5, 2, 1, 20},
+			hwDetail: map[string]float64{
+				"memory": 0.56, "cpu": 0.12, "disk": 0.12,
+				"node interconnect": 0.10, "power supply": 0.05, "other": 0.05,
+			},
+			swDetail: map[string]float64{
+				"scheduler": 0.45, "os": 0.20, "parallel filesystem": 0.15, "": 0.20,
+			},
+			repairMuShift: 1.5,
+		},
+	}
+}
+
+// repairParam is the lognormal parameterization of repair time (minutes)
+// for one root cause, derived from Table 2's median (mu = ln median) and
+// mean/median ratio (sigma = sqrt(2 ln(mean/median))).
+type repairParam struct {
+	mu, sigma float64
+}
+
+// repairTable maps each root cause to its Table 2 calibration.
+func repairTable() map[failures.RootCause]repairParam {
+	calib := func(median, mean float64) repairParam {
+		return repairParam{
+			mu:    math.Log(median),
+			sigma: math.Sqrt(2 * math.Log(mean/median)),
+		}
+	}
+	return map[failures.RootCause]repairParam{
+		failures.CauseUnknown:     calib(32, 398),
+		failures.CauseHuman:       calib(44, 163),
+		failures.CauseEnvironment: calib(269, 572),
+		failures.CauseNetwork:     calib(70, 247),
+		failures.CauseSoftware:    calib(33, 369),
+		failures.CauseHardware:    calib(64, 342),
+	}
+}
+
+// Temporal calibration constants.
+const (
+	// tbfWeibullShape is the Weibull shape of per-node interarrivals in
+	// operational time (paper Section 5.3: 0.7–0.8, decreasing hazard).
+	tbfWeibullShape = 0.7
+
+	// earlyTBFShape is the burstier Weibull shape used on type G systems
+	// before correlationEndYear. It reproduces the much higher variability
+	// the paper measures in 1996–1999 (C² of 3.9 vs 1.9 later; Figure 6a),
+	// where the lognormal becomes the best per-node fit.
+	earlyTBFShape = 0.45
+
+	// hourAmplitude sets the hour-of-day rate modulation; 1/3 gives the
+	// paper's 2x peak-to-trough ratio (Figure 5 left).
+	hourAmplitude = 1.0 / 3
+
+	// peakHour is the hour of day with the highest failure rate.
+	peakHour = 14.0
+
+	// weekdayFactor and weekendFactor give the Figure 5 (right) weekday vs
+	// weekend failure-rate contrast of nearly 2x.
+	weekdayFactor = 1.15
+	weekendFactor = 0.62
+
+	// infantAmplitude and infantTauDays shape the Figure 4(a) early decay.
+	infantAmplitude = 3.0
+	infantTauDays   = 120.0
+
+	// firstOfTypeAmplitude replaces infantAmplitude for the first systems
+	// of a type (footnote 3: systems 5–6 had elevated early rates).
+	firstOfTypeAmplitude = 5.0
+
+	// Ramp shape (Figure 4b): rate climbs from rampLow to rampPeak over
+	// rampMonths months, then decays toward 1 with time constant
+	// rampDecayDays.
+	rampLow       = 0.30
+	rampPeak      = 2.80
+	rampMonths    = 20.0
+	rampDecayDays = 450.0
+
+	// graphicsRateFactor and frontendRateFactor elevate the failure rate of
+	// visualization and front-end nodes (Section 5.1: nodes 21–23 of
+	// system 20 are 6% of nodes but 20% of failures; front-end nodes of E
+	// and F systems fail more often than compute nodes).
+	graphicsRateFactor = 4.5
+	frontendRateFactor = 2.2
+
+	// nodeHeterogeneitySigma is the lognormal spread of per-node rate
+	// multipliers among compute nodes, which over-disperses per-node
+	// failure counts relative to a Poisson (Figure 3b).
+	nodeHeterogeneitySigma = 0.30
+
+	// monthSigma is the lognormal spread of a per-system month-to-month
+	// workload-intensity modulation. Slow shared fluctuations are what
+	// keep the system-wide superposition of many node processes from
+	// collapsing to a Poisson process; they are needed for the Figure 6(d)
+	// system-wide Weibull shape of ~0.78.
+	monthSigma = 0.45
+
+	// Early correlated failures (Section 5.3: >30% of system-wide
+	// interarrivals in system 20 during 1996–1999 were zero). Until
+	// correlationEndYear, each type G arrival spawns a simultaneous batch
+	// with probability batchProb, hitting 1–maxBatchExtra other nodes.
+	batchProb          = 0.28
+	maxBatchExtra      = 3
+	correlationEndYear = 2000
+
+	// firstOfTypeBoost scales the overall rate of the first systems of a
+	// hardware type (systems 5–6).
+	firstOfTypeBoost = 1.35
+)
+
+// firstOfTypeSystems are the system IDs with elevated early failure rates.
+var firstOfTypeSystems = map[int]bool{5: true, 6: true}

@@ -1,0 +1,162 @@
+package maintenance
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"hpcfail/internal/dist"
+)
+
+func policy(t *testing.T, shape float64) Policy {
+	t.Helper()
+	wb, err := dist.NewWeibull(shape, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Policy{Lifetime: wb, CostFailure: 10, CostPreventive: 1}
+}
+
+func TestValidate(t *testing.T) {
+	good := policy(t, 2)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Lifetime = nil
+	if err := bad.Validate(); !errors.Is(err, ErrBadInput) {
+		t.Error("nil lifetime")
+	}
+	bad = good
+	bad.CostFailure = 0
+	if err := bad.Validate(); !errors.Is(err, ErrBadInput) {
+		t.Error("zero failure cost")
+	}
+	bad = good
+	bad.CostPreventive = 20
+	if err := bad.Validate(); !errors.Is(err, ErrBadInput) {
+		t.Error("preventive >= failure cost")
+	}
+}
+
+func TestCostRateLimits(t *testing.T) {
+	p := policy(t, 2)
+	// As T→∞ the cost rate approaches run-to-failure.
+	baseline, err := p.RunToFailureRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	atHuge, err := p.CostRate(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(atHuge-baseline)/baseline > 0.02 {
+		t.Fatalf("cost rate at huge T = %g, baseline %g", atHuge, baseline)
+	}
+	// Tiny T: dominated by preventive cost over tiny cycles -> enormous.
+	atTiny, err := p.CostRate(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if atTiny < 50*baseline {
+		t.Fatalf("cost rate at tiny T = %g should be enormous", atTiny)
+	}
+	if _, err := p.CostRate(0); !errors.Is(err, ErrBadInput) {
+		t.Error("zero age")
+	}
+	if _, err := p.CostRate(math.Inf(1)); !errors.Is(err, ErrBadInput) {
+		t.Error("infinite age")
+	}
+}
+
+func TestIncreasingHazardMakesPMWorthwhile(t *testing.T) {
+	// Weibull shape 2 (wear-out): age replacement should pay off with a
+	// finite optimal age and a clearly lower cost rate.
+	p := policy(t, 2)
+	opt, err := p.Optimize(1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opt.Worthwhile {
+		t.Fatalf("PM should be worthwhile under increasing hazard: %+v", opt)
+	}
+	if opt.CostRate >= opt.RunToFailure {
+		t.Fatalf("optimal rate %g should beat baseline %g", opt.CostRate, opt.RunToFailure)
+	}
+	// The classic analytic check for Weibull shape 2, Cf/Cp = 10:
+	// optimum is well below the mean lifetime.
+	if opt.AgeT >= 100 {
+		t.Fatalf("optimal age %g should be well below the scale", opt.AgeT)
+	}
+}
+
+func TestDecreasingHazardMakesPMPointless(t *testing.T) {
+	// The paper's case: Weibull shape 0.7. A freshly replaced component is
+	// MORE failure-prone than a seasoned one, so preventive replacement
+	// can only hurt.
+	p := policy(t, 0.7)
+	opt, err := p.Optimize(1, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Worthwhile {
+		t.Fatalf("PM should NOT be worthwhile under decreasing hazard: %+v", opt)
+	}
+	if opt.CostRate != opt.RunToFailure {
+		t.Fatalf("cost rate should fall back to run-to-failure: %+v", opt)
+	}
+	// And every finite age is strictly worse than the baseline.
+	for _, age := range []float64{10, 50, 100, 500} {
+		rate, err := p.CostRate(age)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rate <= opt.RunToFailure {
+			t.Fatalf("cost rate at T=%g (%g) should exceed baseline %g",
+				age, rate, opt.RunToFailure)
+		}
+	}
+}
+
+func TestExponentialIndifference(t *testing.T) {
+	// Memoryless lifetimes: replacement age is irrelevant asymptotically;
+	// PM never strictly helps.
+	exp, err := dist.NewExponential(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Policy{Lifetime: exp, CostFailure: 10, CostPreventive: 1}
+	opt, err := p.Optimize(1, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Worthwhile {
+		t.Fatalf("PM should not help under memoryless failures: %+v", opt)
+	}
+}
+
+func TestOptimizeValidation(t *testing.T) {
+	p := policy(t, 2)
+	if _, err := p.Optimize(-1, 10); !errors.Is(err, ErrBadInput) {
+		t.Error("negative lo")
+	}
+	if _, err := p.Optimize(10, 5); !errors.Is(err, ErrBadInput) {
+		t.Error("inverted range")
+	}
+	bad := p
+	bad.Lifetime = nil
+	if _, err := bad.Optimize(1, 10); !errors.Is(err, ErrBadInput) {
+		t.Error("invalid policy")
+	}
+}
+
+func TestRunToFailureInfiniteMean(t *testing.T) {
+	pareto, err := dist.NewPareto(1, 0.9) // infinite mean
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Policy{Lifetime: pareto, CostFailure: 10, CostPreventive: 1}
+	if _, err := p.RunToFailureRate(); !errors.Is(err, ErrBadInput) {
+		t.Error("infinite mean should be rejected")
+	}
+}

@@ -1,0 +1,168 @@
+package mathx
+
+import (
+	"fmt"
+	"math"
+)
+
+// GoldenSection minimizes a unimodal function f on [a, b] by golden-section
+// search, returning the minimizer location.
+func GoldenSection(f func(float64) float64, a, b, tol float64) (float64, error) {
+	if a >= b {
+		return math.NaN(), fmt.Errorf("golden section on [%g, %g]: %w", a, b, ErrDomain)
+	}
+	const invPhi = 0.6180339887498949
+	x1 := b - invPhi*(b-a)
+	x2 := a + invPhi*(b-a)
+	f1, f2 := f(x1), f(x2)
+	for i := 0; i < 300; i++ {
+		if b-a < tol {
+			return a + (b-a)/2, nil
+		}
+		if f1 < f2 {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - invPhi*(b-a)
+			f1 = f(x1)
+		} else {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + invPhi*(b-a)
+			f2 = f(x2)
+		}
+	}
+	return math.NaN(), fmt.Errorf("golden section: %w", ErrNoConvergence)
+}
+
+// NelderMead minimizes f over R^n starting from x0 using the Nelder–Mead
+// simplex algorithm with standard coefficients. It returns the best point
+// found. scale controls the size of the initial simplex.
+func NelderMead(f func([]float64) float64, x0 []float64, scale, tol float64, maxIter int) ([]float64, float64, error) {
+	n := len(x0)
+	if n == 0 {
+		return nil, math.NaN(), fmt.Errorf("nelder-mead: empty start point: %w", ErrDomain)
+	}
+	if maxIter <= 0 {
+		maxIter = 200 * n
+	}
+	const (
+		alpha = 1.0 // reflection
+		gamma = 2.0 // expansion
+		rho   = 0.5 // contraction
+		sigma = 0.5 // shrink
+	)
+	// Build the initial simplex.
+	simplex := make([][]float64, n+1)
+	fvals := make([]float64, n+1)
+	for i := range simplex {
+		pt := make([]float64, n)
+		copy(pt, x0)
+		if i > 0 {
+			if pt[i-1] != 0 {
+				pt[i-1] += scale * math.Abs(pt[i-1])
+			} else {
+				pt[i-1] = scale
+			}
+		}
+		simplex[i] = pt
+		fvals[i] = f(pt)
+	}
+	order := func() {
+		// Insertion sort: simplex is tiny.
+		for i := 1; i <= n; i++ {
+			for j := i; j > 0 && fvals[j] < fvals[j-1]; j-- {
+				fvals[j], fvals[j-1] = fvals[j-1], fvals[j]
+				simplex[j], simplex[j-1] = simplex[j-1], simplex[j]
+			}
+		}
+	}
+	centroid := make([]float64, n)
+	trial := make([]float64, n)
+	trial2 := make([]float64, n)
+	for iter := 0; iter < maxIter; iter++ {
+		order()
+		if math.Abs(fvals[n]-fvals[0]) <= tol*(math.Abs(fvals[0])+math.Abs(fvals[n])+1e-300) {
+			return simplex[0], fvals[0], nil
+		}
+		// Centroid of all but the worst point.
+		for j := 0; j < n; j++ {
+			centroid[j] = 0
+			for i := 0; i < n; i++ {
+				centroid[j] += simplex[i][j]
+			}
+			centroid[j] /= float64(n)
+		}
+		// Reflection.
+		for j := 0; j < n; j++ {
+			trial[j] = centroid[j] + alpha*(centroid[j]-simplex[n][j])
+		}
+		fr := f(trial)
+		switch {
+		case fr < fvals[0]:
+			// Expansion.
+			for j := 0; j < n; j++ {
+				trial2[j] = centroid[j] + gamma*(trial[j]-centroid[j])
+			}
+			fe := f(trial2)
+			if fe < fr {
+				copy(simplex[n], trial2)
+				fvals[n] = fe
+			} else {
+				copy(simplex[n], trial)
+				fvals[n] = fr
+			}
+		case fr < fvals[n-1]:
+			copy(simplex[n], trial)
+			fvals[n] = fr
+		default:
+			// Contraction.
+			if fr < fvals[n] {
+				for j := 0; j < n; j++ {
+					trial2[j] = centroid[j] + rho*(trial[j]-centroid[j])
+				}
+			} else {
+				for j := 0; j < n; j++ {
+					trial2[j] = centroid[j] + rho*(simplex[n][j]-centroid[j])
+				}
+			}
+			fc := f(trial2)
+			if fc < math.Min(fr, fvals[n]) {
+				copy(simplex[n], trial2)
+				fvals[n] = fc
+			} else {
+				// Shrink toward the best point.
+				for i := 1; i <= n; i++ {
+					for j := 0; j < n; j++ {
+						simplex[i][j] = simplex[0][j] + sigma*(simplex[i][j]-simplex[0][j])
+					}
+					fvals[i] = f(simplex[i])
+				}
+			}
+		}
+	}
+	order()
+	return simplex[0], fvals[0], nil
+}
+
+// Simpson integrates f over [a, b] with composite Simpson's rule using n
+// subintervals (rounded up to even).
+func Simpson(f func(float64) float64, a, b float64, n int) (float64, error) {
+	if !(a < b) {
+		return math.NaN(), fmt.Errorf("simpson on [%g, %g]: %w", a, b, ErrDomain)
+	}
+	if n < 2 {
+		n = 2
+	}
+	if n%2 == 1 {
+		n++
+	}
+	h := (b - a) / float64(n)
+	sum := f(a) + f(b)
+	for i := 1; i < n; i++ {
+		x := a + float64(i)*h
+		if i%2 == 1 {
+			sum += 4 * f(x)
+		} else {
+			sum += 2 * f(x)
+		}
+	}
+	return sum * h / 3, nil
+}

@@ -1,0 +1,242 @@
+package randx
+
+import (
+	"math"
+	"testing"
+)
+
+const sampleN = 200000
+
+func moments(xs []float64) (mean, variance float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - mean
+		variance += d * d
+	}
+	variance /= float64(len(xs) - 1)
+	return mean, variance
+}
+
+func draw(t *testing.T, n int, gen func() float64) []float64 {
+	t.Helper()
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = gen()
+		if math.IsNaN(xs[i]) || math.IsInf(xs[i], 0) {
+			t.Fatalf("sample %d is %v", i, xs[i])
+		}
+	}
+	return xs
+}
+
+func TestDeterminism(t *testing.T) {
+	a := NewSource(42)
+	b := NewSource(42)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must produce identical streams")
+		}
+	}
+	c := NewSource(43)
+	same := true
+	d := NewSource(42)
+	for i := 0; i < 100; i++ {
+		if c.Float64() != d.Float64() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should diverge")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := NewSource(7)
+	child1 := parent.Split()
+	child2 := parent.Split()
+	equal := 0
+	for i := 0; i < 100; i++ {
+		if child1.Float64() == child2.Float64() {
+			equal++
+		}
+	}
+	if equal > 2 {
+		t.Fatalf("split children look correlated: %d equal draws", equal)
+	}
+}
+
+func TestExponentialMoments(t *testing.T) {
+	s := NewSource(1)
+	rate := 2.5
+	xs := draw(t, sampleN, func() float64 { return s.Exponential(rate) })
+	mean, variance := moments(xs)
+	if math.Abs(mean-1/rate) > 0.01 {
+		t.Fatalf("mean = %g, want %g", mean, 1/rate)
+	}
+	if math.Abs(variance-1/(rate*rate)) > 0.02 {
+		t.Fatalf("variance = %g, want %g", variance, 1/(rate*rate))
+	}
+}
+
+func TestWeibullMoments(t *testing.T) {
+	s := NewSource(2)
+	shape, scale := 0.7, 100.0
+	xs := draw(t, sampleN, func() float64 { return s.Weibull(shape, scale) })
+	mean, _ := moments(xs)
+	want := scale * math.Gamma(1+1/shape)
+	if math.Abs(mean-want)/want > 0.02 {
+		t.Fatalf("mean = %g, want %g", mean, want)
+	}
+	for _, x := range xs[:100] {
+		if x < 0 {
+			t.Fatal("Weibull variate must be non-negative")
+		}
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	s := NewSource(3)
+	for _, tc := range []struct{ shape, scale float64 }{
+		{0.5, 2}, {1, 1}, {2.5, 3}, {10, 0.5},
+	} {
+		xs := draw(t, sampleN, func() float64 { return s.Gamma(tc.shape, tc.scale) })
+		mean, variance := moments(xs)
+		wantMean := tc.shape * tc.scale
+		wantVar := tc.shape * tc.scale * tc.scale
+		if math.Abs(mean-wantMean)/wantMean > 0.03 {
+			t.Fatalf("gamma(%g,%g) mean = %g, want %g", tc.shape, tc.scale, mean, wantMean)
+		}
+		if math.Abs(variance-wantVar)/wantVar > 0.08 {
+			t.Fatalf("gamma(%g,%g) var = %g, want %g", tc.shape, tc.scale, variance, wantVar)
+		}
+	}
+}
+
+func TestLogNormalMoments(t *testing.T) {
+	s := NewSource(4)
+	mu, sigma := 4.0, 1.2
+	xs := draw(t, sampleN, func() float64 { return s.LogNormal(mu, sigma) })
+	// Compare log-domain moments: much tighter than heavy-tailed raw moments.
+	logs := make([]float64, len(xs))
+	for i, x := range xs {
+		logs[i] = math.Log(x)
+	}
+	mean, variance := moments(logs)
+	if math.Abs(mean-mu) > 0.02 {
+		t.Fatalf("log-mean = %g, want %g", mean, mu)
+	}
+	if math.Abs(math.Sqrt(variance)-sigma) > 0.02 {
+		t.Fatalf("log-stddev = %g, want %g", math.Sqrt(variance), sigma)
+	}
+}
+
+func TestParetoTail(t *testing.T) {
+	s := NewSource(5)
+	xm, alpha := 10.0, 2.5
+	xs := draw(t, sampleN, func() float64 { return s.Pareto(xm, alpha) })
+	for _, x := range xs {
+		if x < xm {
+			t.Fatalf("Pareto variate %g below minimum %g", x, xm)
+		}
+	}
+	// P(X > 2*xm) should be 2^-alpha.
+	count := 0
+	for _, x := range xs {
+		if x > 2*xm {
+			count++
+		}
+	}
+	got := float64(count) / float64(len(xs))
+	want := math.Pow(2, -alpha)
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("tail probability = %g, want %g", got, want)
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	s := NewSource(6)
+	for _, mean := range []float64{0.5, 3, 12, 45, 200} {
+		xs := draw(t, 100000, func() float64 { return float64(s.Poisson(mean)) })
+		m, v := moments(xs)
+		if math.Abs(m-mean)/mean > 0.03 {
+			t.Fatalf("poisson(%g) mean = %g", mean, m)
+		}
+		if math.Abs(v-mean)/mean > 0.08 {
+			t.Fatalf("poisson(%g) variance = %g", mean, v)
+		}
+	}
+	if s.Poisson(0) != 0 || s.Poisson(-1) != 0 {
+		t.Fatal("non-positive mean must give 0")
+	}
+}
+
+func TestCategorical(t *testing.T) {
+	s := NewSource(7)
+	weights := []float64{1, 3, 6}
+	counts := make([]int, 3)
+	n := 120000
+	for i := 0; i < n; i++ {
+		counts[s.Categorical(weights)]++
+	}
+	for i, w := range weights {
+		want := w / 10
+		got := float64(counts[i]) / float64(n)
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("category %d frequency = %g, want %g", i, got, want)
+		}
+	}
+	if got := s.Categorical([]float64{0, 0}); got != 1 {
+		t.Fatalf("all-zero weights should return last index, got %d", got)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := NewSource(8)
+	for i := 0; i < 1000; i++ {
+		u := s.Uniform(5, 9)
+		if u < 5 || u >= 9 {
+			t.Fatalf("uniform(5,9) = %g out of range", u)
+		}
+	}
+}
+
+func TestBinomialEdges(t *testing.T) {
+	s := NewSource(9)
+	if s.binomial(0, 0.5) != 0 {
+		t.Fatal("binomial(0, p) must be 0")
+	}
+	if s.binomial(10, 0) != 0 {
+		t.Fatal("binomial(n, 0) must be 0")
+	}
+	if s.binomial(10, 1) != 10 {
+		t.Fatal("binomial(n, 1) must be n")
+	}
+}
+
+func TestPerm(t *testing.T) {
+	s := NewSource(10)
+	p := s.Perm(10)
+	if len(p) != 10 {
+		t.Fatalf("len = %d", len(p))
+	}
+	seen := make(map[int]bool, 10)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := NewSource(11)
+	for i := 0; i < 1000; i++ {
+		if v := s.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}

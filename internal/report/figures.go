@@ -1,0 +1,257 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hpcfail/internal/analysis"
+	"hpcfail/internal/dist"
+	"hpcfail/internal/failures"
+	"hpcfail/internal/lanl"
+	"hpcfail/internal/stats"
+)
+
+// Table1 renders the systems-overview table.
+func Table1(catalog []lanl.System) string {
+	t := NewTable("ID", "HW", "Nodes", "Procs", "Arch", "Production")
+	for _, s := range catalog {
+		arch := "SMP"
+		if s.NUMA {
+			arch = "NUMA"
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", s.ID),
+			string(s.HW),
+			FormatCount(s.Nodes),
+			FormatCount(s.Procs),
+			arch,
+			fmt.Sprintf("%s - %s", s.Start.Format("01/06"), s.End.Format("01/06")),
+		)
+	}
+	return "Table 1: overview of the 22 systems\n" + t.String()
+}
+
+// Figure1 renders a root-cause or downtime breakdown (Figure 1a/1b) as a
+// percentage table, one row per group.
+func Figure1(title string, bds []analysis.CauseBreakdown) string {
+	header := []string{"Group"}
+	for _, c := range failures.Causes() {
+		header = append(header, c.String())
+	}
+	t := NewTable(header...)
+	for _, bd := range bds {
+		row := []string{bd.Label}
+		for _, c := range failures.Causes() {
+			row = append(row, fmt.Sprintf("%5.1f%%", bd.Percent(c)))
+		}
+		t.AddRow(row...)
+	}
+	return title + "\n" + t.String()
+}
+
+// Figure2 renders the per-system failure rates, raw and normalized.
+func Figure2(rates []analysis.SystemRate) string {
+	t := NewTable("System", "HW", "Failures", "Per year", "Per year per proc")
+	for _, r := range rates {
+		t.AddRow(
+			fmt.Sprintf("%d", r.System),
+			string(r.HW),
+			FormatCount(r.Failures),
+			fmt.Sprintf("%.1f", r.PerYear),
+			fmt.Sprintf("%.3f", r.PerYearPerProc),
+		)
+	}
+	return "Figure 2: average failures per year, raw (a) and per processor (b)\n" + t.String()
+}
+
+// Figure3 renders the per-node failure counts of a system and the count
+// distribution fits.
+func Figure3(study *analysis.NodeCountStudy) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3: failures per node, system %d\n", study.System)
+	nodes := make([]int, 0, len(study.CountsByNode))
+	for n := range study.CountsByNode {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+	labels := make([]string, len(nodes))
+	values := make([]float64, len(nodes))
+	for i, n := range nodes {
+		labels[i] = fmt.Sprintf("node %2d", n)
+		values[i] = float64(study.CountsByNode[n])
+	}
+	b.WriteString(BarChart(labels, values, 40))
+	fmt.Fprintf(&b, "\ncompute-only counts: mean=%.1f var=%.1f C2=%.2f overdispersion=%.1f\n",
+		study.Summary.Mean, study.Summary.Variance, study.Summary.C2, study.Overdispersion())
+	t := NewTable("Model", "NLL", "Verdict")
+	verdict := func(err error, nll float64, best float64) string {
+		if err != nil {
+			return "fit failed: " + err.Error()
+		}
+		if nll <= best {
+			return "best"
+		}
+		return fmt.Sprintf("+%.1f vs best", nll-best)
+	}
+	best := study.NormalNLL
+	if study.LogNormErr == nil && study.LogNormNLL < best {
+		best = study.LogNormNLL
+	}
+	if study.PoissonErr == nil && study.PoissonNLL < best {
+		best = study.PoissonNLL
+	}
+	t.AddRow("poisson", fmt.Sprintf("%.1f", study.PoissonNLL), verdict(study.PoissonErr, study.PoissonNLL, best))
+	t.AddRow("normal", fmt.Sprintf("%.1f", study.NormalNLL), verdict(study.NormalErr, study.NormalNLL, best))
+	t.AddRow("lognormal", fmt.Sprintf("%.1f", study.LogNormNLL), verdict(study.LogNormErr, study.LogNormNLL, best))
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// Figure4 renders a monthly lifecycle curve.
+func Figure4(system int, points []analysis.LifecyclePoint) string {
+	var b strings.Builder
+	shape := analysis.ClassifyLifecycle(points)
+	fmt.Fprintf(&b, "Figure 4: failures per month over lifetime, system %d (shape: %s)\n", system, shape)
+	labels := make([]string, len(points))
+	values := make([]float64, len(points))
+	for i, p := range points {
+		labels[i] = fmt.Sprintf("month %2d", p.Month)
+		values[i] = float64(p.Total)
+	}
+	b.WriteString(BarChart(labels, values, 40))
+	return b.String()
+}
+
+// Figure5 renders the hour-of-day and day-of-week failure histograms.
+func Figure5(p *analysis.TimeOfDayProfile) string {
+	var b strings.Builder
+	b.WriteString("Figure 5: failures by hour of day and day of week\n")
+	hourLabels := make([]string, 24)
+	hourValues := make([]float64, 24)
+	for h := 0; h < 24; h++ {
+		hourLabels[h] = fmt.Sprintf("%02d:00", h)
+		hourValues[h] = float64(p.ByHour[h])
+	}
+	b.WriteString(BarChart(hourLabels, hourValues, 40))
+	b.WriteString("\n")
+	days := []string{"Sun", "Mon", "Tue", "Wed", "Thu", "Fri", "Sat"}
+	dayValues := make([]float64, 7)
+	for d := 0; d < 7; d++ {
+		dayValues[d] = float64(p.ByWeekday[d])
+	}
+	b.WriteString(BarChart(days, dayValues, 40))
+	fmt.Fprintf(&b, "\npeak/trough hour ratio: %.2f   weekday/weekend ratio: %.2f\n",
+		p.PeakTroughRatio(), p.WeekdayWeekendRatio())
+	return b.String()
+}
+
+// FitComparison renders a distribution-fit comparison table.
+func FitComparison(c *dist.Comparison) string {
+	t := NewTable("Family", "Params", "NLL", "KS", "Verdict")
+	best, err := c.Best()
+	for _, r := range c.Results {
+		if r.Err != nil {
+			t.AddRow(r.Family.String(), "-", "-", "-", "fit failed: "+r.Err.Error())
+			continue
+		}
+		verdict := ""
+		if err == nil && r.Family == best.Family {
+			verdict = "best"
+		}
+		t.AddRow(r.Family.String(), r.Dist.Params(),
+			fmt.Sprintf("%.1f", r.NLL), fmt.Sprintf("%.4f", r.KS), verdict)
+	}
+	return t.String()
+}
+
+// Figure6Panel renders one interarrival study panel.
+func Figure6Panel(label string, s *analysis.InterarrivalStudy) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6 %s (%s view, %s)\n", label, s.View, s.Window)
+	fmt.Fprintf(&b, "n=%d  mean=%.0fs  median=%.0fs  C2=%.2f  zero-interarrival fraction=%.3f\n",
+		s.Summary.N, s.Summary.Mean, s.Summary.Median, s.Summary.C2, s.ZeroFraction)
+	b.WriteString(FitComparison(s.Fits))
+	fmt.Fprintf(&b, "weibull shape=%.3f (hazard %s)\n", s.WeibullShape, hazardWord(s.HazardDecreasing))
+	return b.String()
+}
+
+func hazardWord(decreasing bool) string {
+	if decreasing {
+		return "decreasing"
+	}
+	return "not decreasing"
+}
+
+// Table2 renders the repair-time statistics by root cause.
+func Table2(rows []analysis.RepairStats) string {
+	t := NewTable("Cause", "N", "Mean (min)", "Median (min)", "Std dev (min)", "C2")
+	for _, r := range rows {
+		label := "All"
+		if r.Cause != 0 {
+			label = r.Cause.String()
+		}
+		t.AddRow(label, FormatCount(r.N),
+			fmt.Sprintf("%.0f", r.Mean),
+			fmt.Sprintf("%.0f", r.Median),
+			fmt.Sprintf("%.0f", r.StdDev),
+			fmt.Sprintf("%.0f", r.C2),
+		)
+	}
+	return "Table 2: time to repair by root cause\n" + t.String()
+}
+
+// Figure7a renders the repair-time distribution fits.
+func Figure7a(study *analysis.RepairFitStudy) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7(a): repair-time distribution, n=%d mean=%.0fmin median=%.0fmin C2=%.0f\n",
+		study.Summary.N, study.Summary.Mean, study.Summary.Median, study.Summary.C2)
+	b.WriteString(FitComparison(study.Fits))
+	return b.String()
+}
+
+// Figure7bc renders per-system mean and median repair times.
+func Figure7bc(repairs []analysis.SystemRepair) string {
+	t := NewTable("System", "HW", "N", "Mean (min)", "Median (min)")
+	for _, r := range repairs {
+		t.AddRow(
+			fmt.Sprintf("%d", r.System),
+			string(r.HW),
+			FormatCount(r.N),
+			fmt.Sprintf("%.0f", r.MeanMinutes),
+			fmt.Sprintf("%.0f", r.MedianMinutes),
+		)
+	}
+	return "Figure 7(b, c): mean and median repair time per system\n" + t.String()
+}
+
+// CDFSeries renders (x, F(x)) pairs of an empirical CDF alongside fitted
+// model CDFs at the empirical quantile points, subsampled to at most n
+// rows — the data behind one of the paper's CDF plots.
+func CDFSeries(e *stats.ECDF, fits []dist.FitResult, n int) string {
+	xs, ps := e.Points()
+	if n <= 0 {
+		n = 20
+	}
+	step := len(xs) / n
+	if step == 0 {
+		step = 1
+	}
+	header := []string{"x", "empirical"}
+	for _, f := range fits {
+		if f.Err == nil {
+			header = append(header, f.Family.String())
+		}
+	}
+	t := NewTable(header...)
+	for i := 0; i < len(xs); i += step {
+		row := []string{fmt.Sprintf("%.4g", xs[i]), fmt.Sprintf("%.4f", ps[i])}
+		for _, f := range fits {
+			if f.Err == nil {
+				row = append(row, fmt.Sprintf("%.4f", f.Dist.CDF(xs[i])))
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}

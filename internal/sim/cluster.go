@@ -1,0 +1,308 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"hpcfail/internal/randx"
+)
+
+// Scheduler chooses nodes for a job. Implementations see every node that is
+// currently up and idle and must return exactly `need` of them (or nil if
+// the job cannot be placed yet).
+type Scheduler interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Pick selects need nodes from the idle, up candidates.
+	Pick(candidates []*Node, need int) []*Node
+}
+
+// FirstFitScheduler picks the lowest-numbered idle nodes — the baseline
+// reliability-oblivious policy.
+type FirstFitScheduler struct{}
+
+var _ Scheduler = FirstFitScheduler{}
+
+// Name implements Scheduler.
+func (FirstFitScheduler) Name() string { return "first-fit" }
+
+// Pick implements Scheduler.
+func (FirstFitScheduler) Pick(candidates []*Node, need int) []*Node {
+	if len(candidates) < need {
+		return nil
+	}
+	picked := make([]*Node, need)
+	copy(picked, candidates[:need])
+	return picked
+}
+
+// ReliabilityScheduler picks the nodes with the highest observed mean time
+// between failures — the failure-aware allocation the paper's Section 5.1
+// suggests ("assigning critical jobs ... to more reliable nodes").
+type ReliabilityScheduler struct{}
+
+var _ Scheduler = ReliabilityScheduler{}
+
+// Name implements Scheduler.
+func (ReliabilityScheduler) Name() string { return "reliability-aware" }
+
+// Pick implements Scheduler.
+func (ReliabilityScheduler) Pick(candidates []*Node, need int) []*Node {
+	if len(candidates) < need {
+		return nil
+	}
+	sorted := make([]*Node, len(candidates))
+	copy(sorted, candidates)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sorted[i].MTBFHours() > sorted[j].MTBFHours()
+	})
+	return sorted[:need]
+}
+
+// ScoredScheduler picks nodes by an externally supplied reliability score
+// (higher is better) — for example failure counts from years of collected
+// failure records, the data product the paper's Section 5.1 proposes to
+// exploit. Nodes without a score rank lowest.
+type ScoredScheduler struct {
+	// PolicyName labels the policy in reports; defaults to "scored".
+	PolicyName string
+	// Score maps node ID to reliability score; higher is preferred.
+	Score map[int]float64
+}
+
+var _ Scheduler = ScoredScheduler{}
+
+// Name implements Scheduler.
+func (s ScoredScheduler) Name() string {
+	if s.PolicyName != "" {
+		return s.PolicyName
+	}
+	return "scored"
+}
+
+// Pick implements Scheduler.
+func (s ScoredScheduler) Pick(candidates []*Node, need int) []*Node {
+	if len(candidates) < need {
+		return nil
+	}
+	sorted := make([]*Node, len(candidates))
+	copy(sorted, candidates)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return s.Score[sorted[i].ID] > s.Score[sorted[j].ID]
+	})
+	return sorted[:need]
+}
+
+// NodeSpec describes one node to build in a cluster.
+type NodeSpec struct {
+	// TBF and TTR are the failure and repair samplers in hours; any
+	// dist.Continuous works, as does a nonparametric dist.Resampler.
+	TBF, TTR Sampler
+}
+
+// ClusterConfig describes a simulated cluster.
+type ClusterConfig struct {
+	Nodes     []NodeSpec
+	Scheduler Scheduler
+	Seed      int64
+	// Backfill allows jobs behind a blocked queue head to start when
+	// enough idle nodes exist for them (EASY-style backfilling without
+	// reservations). Without it the queue is strictly FIFO.
+	Backfill bool
+}
+
+// Cluster owns a set of nodes and runs a FIFO queue of jobs over them.
+type Cluster struct {
+	engine    *Engine
+	nodes     []*Node
+	scheduler Scheduler
+	backfill  bool
+
+	busy    map[int]bool
+	queue   []JobConfig
+	needs   []int // node counts, parallel to queue
+	started []*Job
+}
+
+// NewCluster builds a cluster and starts its nodes' failure processes.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("sim: cluster needs nodes")
+	}
+	if cfg.Scheduler == nil {
+		return nil, fmt.Errorf("sim: cluster needs a scheduler")
+	}
+	engine := &Engine{}
+	src := randx.NewSource(cfg.Seed)
+	c := &Cluster{
+		engine:    engine,
+		scheduler: cfg.Scheduler,
+		backfill:  cfg.Backfill,
+		busy:      make(map[int]bool),
+	}
+	for i, spec := range cfg.Nodes {
+		if spec.TBF == nil || spec.TTR == nil {
+			return nil, fmt.Errorf("sim: node %d: missing distribution", i)
+		}
+		n, err := NewNode(i, engine, spec.TBF, spec.TTR, src.Split())
+		if err != nil {
+			return nil, err
+		}
+		if err := n.Start(); err != nil {
+			return nil, fmt.Errorf("sim: start node %d: %w", i, err)
+		}
+		c.nodes = append(c.nodes, n)
+	}
+	return c, nil
+}
+
+// Engine exposes the cluster's simulation clock.
+func (c *Cluster) Engine() *Engine { return c.engine }
+
+// Nodes returns the cluster's nodes.
+func (c *Cluster) Nodes() []*Node {
+	out := make([]*Node, len(c.nodes))
+	copy(out, c.nodes)
+	return out
+}
+
+// Submit queues a job; NodesNeeded is inferred as 1 when zero.
+func (c *Cluster) Submit(cfg JobConfig, nodesNeeded int) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if nodesNeeded <= 0 {
+		nodesNeeded = 1
+	}
+	if nodesNeeded > len(c.nodes) {
+		return fmt.Errorf("sim: job %d needs %d nodes, cluster has %d",
+			cfg.ID, nodesNeeded, len(c.nodes))
+	}
+	c.queue = append(c.queue, cfg)
+	c.needs = append(c.needs, nodesNeeded)
+	return nil
+}
+
+// dispatch tries to start queued jobs on idle up nodes. By default the
+// queue is strictly FIFO (a blocked head blocks everything, as in
+// space-shared HPC scheduling); with Backfill enabled, jobs behind a
+// blocked head may start when they fit.
+func (c *Cluster) dispatch() {
+	for i := 0; i < len(c.queue); {
+		need := c.needs[i]
+		var idle []*Node
+		for _, n := range c.nodes {
+			if !c.busy[n.ID] && n.State() == StateUp {
+				idle = append(idle, n)
+			}
+		}
+		picked := c.scheduler.Pick(idle, need)
+		if picked == nil {
+			if !c.backfill {
+				return
+			}
+			i++ // head blocked: try the next queued job
+			continue
+		}
+		c.startQueued(i, picked)
+		// Restart the scan: indices shifted and idle capacity changed.
+		i = 0
+	}
+}
+
+// startQueued removes queue entry i and starts it on the picked nodes.
+func (c *Cluster) startQueued(i int, picked []*Node) {
+	cfg := c.queue[i]
+	c.queue = append(c.queue[:i], c.queue[i+1:]...)
+	c.needs = append(c.needs[:i], c.needs[i+1:]...)
+	for _, n := range picked {
+		c.busy[n.ID] = true
+	}
+	job, err := StartJob(c.engine, cfg, picked, func(j *Job) {
+		for _, n := range picked {
+			delete(c.busy, n.ID)
+		}
+		// Try to place the next job as soon as nodes free up.
+		c.dispatch()
+	})
+	if err != nil {
+		panic(fmt.Sprintf("sim: dispatch job %d: %v", cfg.ID, err))
+	}
+	c.started = append(c.started, job)
+}
+
+// Run dispatches queued jobs and processes events until the horizon.
+func (c *Cluster) Run(horizon time.Duration) error {
+	c.dispatch()
+	// Re-attempt dispatch whenever a node is repaired: a waiting queue head
+	// may now fit. A small poller keeps the implementation simple and the
+	// cadence (1h) is far below node MTBF.
+	var poll func()
+	poll = func() {
+		c.dispatch()
+		if len(c.queue) > 0 {
+			if err := c.engine.Schedule(time.Hour, poll); err != nil {
+				panic(fmt.Sprintf("sim: schedule poll: %v", err))
+			}
+		}
+	}
+	if len(c.queue) > 0 {
+		if err := c.engine.Schedule(time.Hour, poll); err != nil {
+			return err
+		}
+	}
+	return c.engine.Run(horizon)
+}
+
+// Jobs returns all started jobs.
+func (c *Cluster) Jobs() []*Job {
+	out := make([]*Job, len(c.started))
+	copy(out, c.started)
+	return out
+}
+
+// QueueLength returns the number of jobs still waiting for nodes.
+func (c *Cluster) QueueLength() int { return len(c.queue) }
+
+// Metrics summarizes a finished simulation.
+type Metrics struct {
+	JobsCompleted  int
+	JobsUnfinished int
+	// MeanEfficiency averages useful-work fraction over completed jobs.
+	MeanEfficiency float64
+	// TotalInterruptions counts failures that hit running jobs.
+	TotalInterruptions int
+	// TotalLostWorkHours is work discarded by rollbacks.
+	TotalLostWorkHours float64
+	// MeanAvailability averages node availability.
+	MeanAvailability float64
+}
+
+// Collect computes metrics at the current simulation time.
+func (c *Cluster) Collect() Metrics {
+	var m Metrics
+	var effSum float64
+	for _, j := range c.started {
+		if j.Done() {
+			m.JobsCompleted++
+			effSum += j.Efficiency()
+		} else {
+			m.JobsUnfinished++
+		}
+		m.TotalInterruptions += j.Interruptions()
+		m.TotalLostWorkHours += j.LostWorkHours()
+	}
+	m.JobsUnfinished += len(c.queue)
+	if m.JobsCompleted > 0 {
+		m.MeanEfficiency = effSum / float64(m.JobsCompleted)
+	}
+	var availSum float64
+	for _, n := range c.nodes {
+		availSum += n.Availability()
+	}
+	if len(c.nodes) > 0 {
+		m.MeanAvailability = availSum / float64(len(c.nodes))
+	}
+	return m
+}

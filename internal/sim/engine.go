@@ -1,0 +1,97 @@
+// Package sim is a discrete-event cluster simulator for the failure-aware
+// scenarios the paper motivates: periodic checkpointing of long-running
+// jobs (Section 2.2) and reliability-aware node allocation (Section 5.1).
+// Failure and repair processes are pluggable distributions, so fitted
+// models from internal/dist drive the simulation directly.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrStopped is returned by Run when the engine was stopped explicitly.
+var ErrStopped = errors.New("sim: engine stopped")
+
+// event is one scheduled callback.
+type event struct {
+	at  time.Duration
+	seq uint64 // tie-breaker for deterministic ordering
+	fn  func()
+}
+
+// eventQueue implements heap.Interface ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+// Engine is a deterministic discrete-event simulation clock. The zero value
+// is ready to use.
+type Engine struct {
+	now     time.Duration
+	seq     uint64
+	queue   eventQueue
+	stopped bool
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Schedule runs fn after delay simulation time. Negative delays are
+// rejected — simulated causality only moves forward.
+func (e *Engine) Schedule(delay time.Duration, fn func()) error {
+	if delay < 0 {
+		return fmt.Errorf("sim: negative delay %v", delay)
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: e.now + delay, seq: e.seq, fn: fn})
+	return nil
+}
+
+// Stop halts the event loop after the current event.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run processes events until the queue empties or the horizon is reached;
+// events scheduled beyond the horizon remain unprocessed and the clock is
+// left at the horizon.
+func (e *Engine) Run(horizon time.Duration) error {
+	e.stopped = false
+	for e.queue.Len() > 0 {
+		if e.stopped {
+			return ErrStopped
+		}
+		next := e.queue[0]
+		if next.at > horizon {
+			e.now = horizon
+			return nil
+		}
+		heap.Pop(&e.queue)
+		e.now = next.at
+		next.fn()
+	}
+	if e.now < horizon {
+		e.now = horizon
+	}
+	return nil
+}
+
+// Pending returns the number of unprocessed events.
+func (e *Engine) Pending() int { return e.queue.Len() }

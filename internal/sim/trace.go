@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"hpcfail/internal/failures"
+)
+
+// TraceEvent is one scripted failure: when (offset from simulation start)
+// and how long the repair takes.
+type TraceEvent struct {
+	At     time.Duration
+	Repair time.Duration
+}
+
+// NewTraceNode constructs a node that replays a recorded failure history
+// instead of drawing from distributions: trace-driven simulation lets a
+// checkpoint policy or scheduler be evaluated against the actual nine-year
+// LANL failure sequence rather than a fitted model. Events must be in
+// increasing order of At; after the last event the node never fails again.
+//
+// If a scripted failure time falls inside the previous event's repair
+// window, the failure fires one second after the repair completes (the
+// node cannot fail while already down).
+func NewTraceNode(id int, engine *Engine, events []TraceEvent) (*Node, error) {
+	if engine == nil {
+		return nil, fmt.Errorf("sim: trace node %d: nil engine", id)
+	}
+	for i, e := range events {
+		if e.At < 0 || e.Repair < 0 {
+			return nil, fmt.Errorf("sim: trace node %d: negative time in event %d", id, i)
+		}
+		if i > 0 && e.At < events[i-1].At {
+			return nil, fmt.Errorf("sim: trace node %d: event %d out of order", id, i)
+		}
+	}
+	script := make([]TraceEvent, len(events))
+	copy(script, events)
+	idx := 0
+	n := &Node{ID: id, engine: engine, state: StateUp}
+	n.nextTTF = func(now time.Duration) time.Duration {
+		if idx >= len(script) {
+			return neverFail
+		}
+		delay := script[idx].At - now
+		if delay < time.Second {
+			delay = time.Second
+		}
+		return delay
+	}
+	n.nextTTR = func(now time.Duration) time.Duration {
+		repair := script[idx].Repair
+		idx++
+		if repair < time.Second {
+			repair = time.Second
+		}
+		return repair
+	}
+	return n, nil
+}
+
+// TraceFromRecords converts one node's failure records into trace events
+// relative to the given origin. Records starting before the origin are
+// skipped. The records may come straight from Dataset.ByNode.
+func TraceFromRecords(records []failures.Record, origin time.Time) []TraceEvent {
+	var out []TraceEvent
+	for _, r := range records {
+		if r.Start.Before(origin) {
+			continue
+		}
+		out = append(out, TraceEvent{
+			At:     r.Start.Sub(origin),
+			Repair: r.Downtime(),
+		})
+	}
+	return out
+}
+
+// ReplayCluster builds a cluster whose nodes replay the failure histories
+// of a recorded (single-system) dataset, one simulated node per distinct
+// node ID, starting the clock at the dataset's first record.
+func ReplayCluster(d *failures.Dataset, scheduler Scheduler) (*Cluster, error) {
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("sim: replay: empty dataset")
+	}
+	if scheduler == nil {
+		return nil, fmt.Errorf("sim: replay: nil scheduler")
+	}
+	origin, _, err := d.TimeSpan()
+	if err != nil {
+		return nil, fmt.Errorf("sim: replay: %w", err)
+	}
+	engine := &Engine{}
+	c := &Cluster{
+		engine:    engine,
+		scheduler: scheduler,
+		busy:      make(map[int]bool),
+	}
+	for i, nodeID := range d.Nodes() {
+		records := d.Filter(func(r failures.Record) bool { return r.Node == nodeID })
+		node, err := NewTraceNode(i, engine, TraceFromRecords(records.Records(), origin))
+		if err != nil {
+			return nil, err
+		}
+		if err := node.Start(); err != nil {
+			return nil, fmt.Errorf("sim: replay: start node %d: %w", i, err)
+		}
+		c.nodes = append(c.nodes, node)
+	}
+	return c, nil
+}

@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"hpcfail/internal/failures"
+	"hpcfail/internal/lanl"
+)
+
+func TestTraceNodeReplaysScript(t *testing.T) {
+	var e Engine
+	events := []TraceEvent{
+		{At: 10 * time.Hour, Repair: 2 * time.Hour},
+		{At: 50 * time.Hour, Repair: 1 * time.Hour},
+	}
+	n, err := NewTraceNode(0, &e, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failedAt, repairedAt []time.Duration
+	n.Subscribe(listenerFuncs{
+		onFail:   func(_ *Node, at time.Duration) { failedAt = append(failedAt, at) },
+		onRepair: func(_ *Node, at time.Duration) { repairedAt = append(repairedAt, at) },
+	})
+	if err := n.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(1000 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if len(failedAt) != 2 || len(repairedAt) != 2 {
+		t.Fatalf("events: failed %v repaired %v", failedAt, repairedAt)
+	}
+	if failedAt[0] != 10*time.Hour || repairedAt[0] != 12*time.Hour {
+		t.Fatalf("first cycle: %v -> %v", failedAt[0], repairedAt[0])
+	}
+	if failedAt[1] != 50*time.Hour || repairedAt[1] != 51*time.Hour {
+		t.Fatalf("second cycle: %v -> %v", failedAt[1], repairedAt[1])
+	}
+	if n.Failures() != 2 {
+		t.Fatalf("failures = %d", n.Failures())
+	}
+	// Availability: 3h down over 1000h.
+	want := 1 - 3.0/1000
+	if math.Abs(n.Availability()-want) > 1e-9 {
+		t.Fatalf("availability = %g, want %g", n.Availability(), want)
+	}
+}
+
+// listenerFuncs adapts closures to FailureListener.
+type listenerFuncs struct {
+	onFail   func(*Node, time.Duration)
+	onRepair func(*Node, time.Duration)
+}
+
+func (l listenerFuncs) NodeFailed(n *Node, at time.Duration)   { l.onFail(n, at) }
+func (l listenerFuncs) NodeRepaired(n *Node, at time.Duration) { l.onRepair(n, at) }
+
+func TestTraceNodeOverlappingRepair(t *testing.T) {
+	// Second failure scheduled during the first repair: it must fire
+	// after the repair, not be lost.
+	var e Engine
+	events := []TraceEvent{
+		{At: 10 * time.Hour, Repair: 20 * time.Hour},
+		{At: 15 * time.Hour, Repair: 1 * time.Hour},
+	}
+	n, err := NewTraceNode(0, &e, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(100 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if n.Failures() != 2 {
+		t.Fatalf("failures = %d, want 2 (overlap handled)", n.Failures())
+	}
+}
+
+func TestTraceNodeValidation(t *testing.T) {
+	var e Engine
+	if _, err := NewTraceNode(0, nil, nil); err == nil {
+		t.Fatal("nil engine: want error")
+	}
+	if _, err := NewTraceNode(0, &e, []TraceEvent{{At: -time.Hour}}); err == nil {
+		t.Fatal("negative time: want error")
+	}
+	if _, err := NewTraceNode(0, &e, []TraceEvent{
+		{At: 10 * time.Hour}, {At: 5 * time.Hour},
+	}); err == nil {
+		t.Fatal("out of order: want error")
+	}
+	// Empty script: node never fails.
+	n, err := NewTraceNode(0, &e, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(100 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if n.Failures() != 0 || n.Availability() != 1 {
+		t.Fatal("empty-script node should never fail")
+	}
+}
+
+func TestTraceFromRecords(t *testing.T) {
+	origin := time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+	records := []failures.Record{
+		{Start: origin.Add(-time.Hour), End: origin}, // before origin: skipped
+		{Start: origin.Add(5 * time.Hour), End: origin.Add(7 * time.Hour)},
+		{Start: origin.Add(20 * time.Hour), End: origin.Add(21 * time.Hour)},
+	}
+	events := TraceFromRecords(records, origin)
+	if len(events) != 2 {
+		t.Fatalf("events = %+v", events)
+	}
+	if events[0].At != 5*time.Hour || events[0].Repair != 2*time.Hour {
+		t.Fatalf("first event = %+v", events[0])
+	}
+}
+
+func TestReplayClusterRunsJobsOverRealTrace(t *testing.T) {
+	// Replay system 12 (small: 32 nodes) and push a job stream through.
+	d, err := lanl.NewGenerator(lanl.Config{Seed: 1, Systems: []int{12}}).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := ReplayCluster(d, FirstFitScheduler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Nodes()) != len(d.Nodes()) {
+		t.Fatalf("nodes = %d, want %d", len(c.Nodes()), len(d.Nodes()))
+	}
+	for i := 0; i < 10; i++ {
+		if err := c.Submit(JobConfig{
+			ID: i, WorkHours: 500, CheckpointInterval: 24, CheckpointCostHours: 0.2,
+		}, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	horizon := lanl.CollectionEnd.Sub(d.Records()[0].Start)
+	if err := c.Run(horizon); err != nil {
+		t.Fatal(err)
+	}
+	m := c.Collect()
+	if m.JobsCompleted != 10 {
+		t.Fatalf("completed = %d of 10", m.JobsCompleted)
+	}
+	// Total node failures in the sim equal the record count (no failures
+	// lost or invented), modulo records skipped for starting at origin.
+	totalFailures := 0
+	for _, n := range c.Nodes() {
+		totalFailures += n.Failures()
+	}
+	if diff := d.Len() - totalFailures; diff < 0 || diff > 2 {
+		t.Fatalf("sim failures %d vs records %d", totalFailures, d.Len())
+	}
+}
+
+func TestReplayClusterValidation(t *testing.T) {
+	empty, err := failures.NewDataset(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayCluster(empty, FirstFitScheduler{}); err == nil {
+		t.Fatal("empty dataset: want error")
+	}
+	d, err := lanl.NewGenerator(lanl.Config{Seed: 1, Systems: []int{12}}).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayCluster(d, nil); err == nil {
+		t.Fatal("nil scheduler: want error")
+	}
+}

@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"testing"
+)
+
+var benchXs = func() []float64 {
+	xs := make([]float64, 20000)
+	seed := uint64(7)
+	for i := range xs {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		xs[i] = float64(seed>>40) / 1000
+	}
+	return xs
+}()
+
+func BenchmarkSummarize(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Summarize(benchXs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkECDFBuild(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewECDF(benchXs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKolmogorovSmirnov(b *testing.B) {
+	e, err := NewECDF(benchXs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cdf := func(x float64) float64 {
+		v := x / 17000
+		if v < 0 {
+			return 0
+		}
+		if v > 1 {
+			return 1
+		}
+		return v
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if ks := e.KolmogorovSmirnov(cdf); ks < 0 {
+			b.Fatal("negative KS")
+		}
+	}
+}
+
+func BenchmarkQuantileSort(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Quantile(benchXs, 0.95); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

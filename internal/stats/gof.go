@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KolmogorovPValue returns the asymptotic p-value of a Kolmogorov–Smirnov
+// statistic d computed from a sample of size n against a fully specified
+// (not fitted) distribution, using the Kolmogorov limiting distribution
+// with the Stephens finite-n correction. When the reference distribution's
+// parameters were estimated from the same data, the true p-value is
+// smaller — use this as an upper bound (the paper relies on visual fits
+// plus log-likelihood, Section 3; this makes the KS column interpretable).
+func KolmogorovPValue(d float64, n int) (float64, error) {
+	if n <= 0 {
+		return math.NaN(), fmt.Errorf("stats: sample size %d", n)
+	}
+	if d < 0 || d > 1 || math.IsNaN(d) {
+		return math.NaN(), fmt.Errorf("stats: KS statistic %g outside [0, 1]", d)
+	}
+	if d == 0 {
+		return 1, nil
+	}
+	sqrtN := math.Sqrt(float64(n))
+	lambda := (sqrtN + 0.12 + 0.11/sqrtN) * d
+	var p float64
+	if lambda < 1.18 {
+		// Dual theta-function form, rapidly convergent for small λ:
+		// Q(λ) = 1 − (√(2π)/λ) Σ_{k>=1} e^{−(2k−1)²π²/(8λ²)}.
+		t := math.Exp(-math.Pi * math.Pi / (8 * lambda * lambda))
+		sum := t + math.Pow(t, 9) + math.Pow(t, 25) + math.Pow(t, 49)
+		p = 1 - math.Sqrt(2*math.Pi)/lambda*sum
+	} else {
+		// Q(λ) = 2 Σ_{k>=1} (−1)^{k−1} e^{−2k²λ²}, fast for large λ.
+		sum := 0.0
+		sign := 1.0
+		for k := 1; k <= 100; k++ {
+			term := math.Exp(-2 * float64(k*k) * lambda * lambda)
+			sum += sign * term
+			if term < 1e-14 {
+				break
+			}
+			sign = -sign
+		}
+		p = 2 * sum
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p, nil
+}
+
+// AndersonDarling computes the Anderson–Darling statistic A² of a sample
+// against a reference CDF. Unlike KS, it weights the tails heavily, which
+// matters for the heavy-tailed repair-time data of Section 6.
+func AndersonDarling(xs []float64, cdf func(float64) float64) (float64, error) {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN(), ErrEmpty
+	}
+	sorted := make([]float64, n)
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for i, x := range sorted {
+		u := cdf(x)
+		// Clamp to avoid log(0) from numerically saturated CDF values.
+		const eps = 1e-15
+		if u < eps {
+			u = eps
+		}
+		if u > 1-eps {
+			u = 1 - eps
+		}
+		uc := cdf(sorted[n-1-i])
+		if uc < eps {
+			uc = eps
+		}
+		if uc > 1-eps {
+			uc = 1 - eps
+		}
+		sum += (2*float64(i) + 1) * (math.Log(u) + math.Log(1-uc))
+	}
+	return -float64(n) - sum/float64(n), nil
+}

@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKolmogorovPValueKnownValues(t *testing.T) {
+	// For large n, λ = 1.36 corresponds to p ≈ 0.05 (classic critical
+	// value for α = 0.05 at λ = 1.358).
+	n := 10000
+	d := 1.358 / math.Sqrt(float64(n))
+	p, err := KolmogorovPValue(d, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.05) > 0.005 {
+		t.Fatalf("p = %g, want ~0.05", p)
+	}
+	// Tiny statistic: p near 1. Large statistic: p near 0.
+	p, err = KolmogorovPValue(0.001, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.99 {
+		t.Fatalf("p for tiny d = %g", p)
+	}
+	p, err = KolmogorovPValue(0.5, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-10 {
+		t.Fatalf("p for huge d = %g", p)
+	}
+	if p, err := KolmogorovPValue(0, 10); err != nil || p != 1 {
+		t.Fatalf("d=0: %g, %v", p, err)
+	}
+}
+
+func TestKolmogorovPValueErrors(t *testing.T) {
+	if _, err := KolmogorovPValue(0.1, 0); err == nil {
+		t.Fatal("n=0: want error")
+	}
+	if _, err := KolmogorovPValue(-0.1, 10); err == nil {
+		t.Fatal("negative d: want error")
+	}
+	if _, err := KolmogorovPValue(1.5, 10); err == nil {
+		t.Fatal("d>1: want error")
+	}
+}
+
+func TestKolmogorovPValueMonotone(t *testing.T) {
+	prev := 1.1
+	for _, d := range []float64{0.01, 0.05, 0.1, 0.2, 0.4} {
+		p, err := KolmogorovPValue(d, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p >= prev {
+			t.Fatalf("p-value should decrease with d: p(%g) = %g", d, p)
+		}
+		prev = p
+	}
+}
+
+func TestAndersonDarlingUniform(t *testing.T) {
+	// A perfectly spaced uniform sample has a small A².
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = (float64(i) + 0.5) / 1000
+	}
+	uniformCDF := func(x float64) float64 {
+		if x < 0 {
+			return 0
+		}
+		if x > 1 {
+			return 1
+		}
+		return x
+	}
+	a2, err := AndersonDarling(xs, uniformCDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2 > 0.5 {
+		t.Fatalf("A² = %g for near-perfect fit", a2)
+	}
+	// A badly wrong CDF gives a much larger statistic.
+	wrong := func(x float64) float64 { return uniformCDF(x * x) }
+	a2Wrong, err := AndersonDarling(xs, wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2Wrong < 10*a2 {
+		t.Fatalf("A² wrong (%g) should dwarf A² right (%g)", a2Wrong, a2)
+	}
+}
+
+func TestAndersonDarlingEdges(t *testing.T) {
+	if _, err := AndersonDarling(nil, func(float64) float64 { return 0.5 }); err == nil {
+		t.Fatal("empty: want error")
+	}
+	// Saturated CDF values must not produce NaN/Inf.
+	a2, err := AndersonDarling([]float64{1, 2, 3}, func(x float64) float64 {
+		if x < 2 {
+			return 0
+		}
+		return 1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(a2) || math.IsInf(a2, 0) {
+		t.Fatalf("A² = %g", a2)
+	}
+}

@@ -1,0 +1,115 @@
+package trend
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+
+	"hpcfail/internal/lanl"
+	"hpcfail/internal/randx"
+)
+
+// simulateTwoRate draws a Poisson process with rate1 on (0, split] and
+// rate2 on (split, horizon].
+func simulateTwoRate(src *randx.Source, rate1, rate2, split, horizon float64) []float64 {
+	var out []float64
+	t := 0.0
+	for {
+		t += src.Exponential(rate1)
+		if t > split {
+			break
+		}
+		out = append(out, t)
+	}
+	t = split
+	for {
+		t += src.Exponential(rate2)
+		if t > horizon {
+			break
+		}
+		out = append(out, t)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+func TestFindChangePointRecoversSplit(t *testing.T) {
+	src := randx.NewSource(1)
+	const split, horizon = 400.0, 1000.0
+	events := simulateTwoRate(src, 2.0, 0.3, split, horizon)
+	cp, err := FindChangePoint(events, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cp.At-split) > 40 {
+		t.Fatalf("change at %g, want ~%g", cp.At, split)
+	}
+	if math.Abs(cp.RateBefore-2)/2 > 0.15 {
+		t.Fatalf("rate before = %g", cp.RateBefore)
+	}
+	if math.Abs(cp.RateAfter-0.3)/0.3 > 0.2 {
+		t.Fatalf("rate after = %g", cp.RateAfter)
+	}
+	if cp.LogLikRatio < 50 {
+		t.Fatalf("log-likelihood ratio %g too weak for a 6.7x change", cp.LogLikRatio)
+	}
+}
+
+func TestFindChangePointStationaryIsWeak(t *testing.T) {
+	src := randx.NewSource(2)
+	events := simulateTwoRate(src, 1, 1, 500, 1000) // no change
+	cp, err := FindChangePoint(events, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Some spurious split always maximizes the ratio, but it stays small.
+	if cp.LogLikRatio > 10 {
+		t.Fatalf("stationary process gave ratio %g", cp.LogLikRatio)
+	}
+}
+
+func TestFindChangePointErrors(t *testing.T) {
+	if _, err := FindChangePoint([]float64{1, 2, 3}, 10); !errors.Is(err, ErrInsufficientData) {
+		t.Fatal("too few events")
+	}
+	good := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	if _, err := FindChangePoint(good, 0); err == nil {
+		t.Fatal("bad horizon")
+	}
+	if _, err := FindChangePoint([]float64{1, 2, 3, 4, 5, 4, 7, 8, 9}, 10); err == nil {
+		t.Fatal("out of order")
+	}
+	if _, err := FindChangePoint([]float64{1, 2, 3, 4, 5, 6, 7, 8, 99}, 10); err == nil {
+		t.Fatal("beyond horizon")
+	}
+}
+
+func TestChangePointOnSystem5(t *testing.T) {
+	// System 5's infant-mortality decay (Figure 4a): the detected change
+	// point falls within the first year of production and the rate drops.
+	d, err := lanl.NewGenerator(lanl.Config{Seed: 1, Systems: []int{5}}).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := lanl.SystemByID(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := d.OffsetHours(sys.Start)
+	horizon := sys.End.Sub(sys.Start).Hours()
+	cp, err := FindChangePoint(events, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.At > 24*548 { // 18 months
+		t.Errorf("change point at %.0f h (%.1f months), expected early",
+			cp.At, cp.At/(24*30.44))
+	}
+	if cp.RateAfter >= cp.RateBefore {
+		t.Errorf("rate should drop: %.4f -> %.4f", cp.RateBefore, cp.RateAfter)
+	}
+	if cp.LogLikRatio < 5 {
+		t.Errorf("ratio %.1f too weak", cp.LogLikRatio)
+	}
+}

@@ -1,0 +1,188 @@
+// Package trend provides reliability-trend tests for failure event series:
+// the Laplace test and the Crow–AMSAA (power-law NHPP) model. The paper
+// observes two failure-rate lifecycle shapes (Figure 4) by eye; these are
+// the standard statistical tools that make such statements precise —
+// whether a system's failure rate is improving (reliability growth, the
+// Figure 4a decay), deteriorating, or stable.
+package trend
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"hpcfail/internal/mathx"
+)
+
+// ErrInsufficientData is returned when a test needs more events.
+var ErrInsufficientData = errors.New("trend: insufficient data")
+
+// Verdict classifies a failure-rate trend.
+type Verdict int
+
+// Trend verdicts.
+const (
+	// Improving means the failure rate decreases with time (reliability
+	// growth; Figure 4a after the first months).
+	Improving Verdict = iota + 1
+	// Deteriorating means the failure rate increases with time (the first
+	// ~20 months of Figure 4b).
+	Deteriorating
+	// Stable means no significant trend (a homogeneous Poisson process is
+	// consistent with the data).
+	Stable
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case Improving:
+		return "improving"
+	case Deteriorating:
+		return "deteriorating"
+	case Stable:
+		return "stable"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// LaplaceResult is the outcome of the Laplace trend test.
+type LaplaceResult struct {
+	// U is the test statistic, asymptotically standard normal under the
+	// no-trend (homogeneous Poisson) hypothesis. U < 0 indicates
+	// improvement, U > 0 deterioration.
+	U float64
+	// P is the two-sided p-value.
+	P float64
+	// Verdict applies the significance level supplied to the test.
+	Verdict Verdict
+}
+
+// Laplace runs the Laplace trend test on event times in (0, horizon],
+// using significance level alpha (e.g. 0.05) for the verdict. Event times
+// are offsets from the start of observation, in any consistent unit.
+func Laplace(eventTimes []float64, horizon, alpha float64) (LaplaceResult, error) {
+	n := len(eventTimes)
+	if n < 4 {
+		return LaplaceResult{}, fmt.Errorf("trend: %d events, need >= 4: %w", n, ErrInsufficientData)
+	}
+	if horizon <= 0 || alpha <= 0 || alpha >= 1 {
+		return LaplaceResult{}, fmt.Errorf("trend: horizon=%g alpha=%g invalid", horizon, alpha)
+	}
+	var sum float64
+	for i, t := range eventTimes {
+		if t <= 0 || t > horizon {
+			return LaplaceResult{}, fmt.Errorf("trend: event %d at %g outside (0, %g]", i, t, horizon)
+		}
+		sum += t
+	}
+	mean := sum / float64(n)
+	u := (mean - horizon/2) / (horizon * math.Sqrt(1/(12*float64(n))))
+	p := 2 * mathx.NormCDF(-math.Abs(u))
+	res := LaplaceResult{U: u, P: p}
+	switch {
+	case p >= alpha:
+		res.Verdict = Stable
+	case u < 0:
+		res.Verdict = Improving
+	default:
+		res.Verdict = Deteriorating
+	}
+	return res, nil
+}
+
+// PowerLaw is a fitted Crow–AMSAA (power-law) nonhomogeneous Poisson
+// process with intensity λ(t) = (β/η) (t/η)^(β−1). β < 1 means the rate
+// falls over time; β > 1 means it grows.
+type PowerLaw struct {
+	// Beta is the growth parameter.
+	Beta float64
+	// Eta is the scale parameter (same unit as the event times).
+	Eta float64
+	// N is the number of events used in the fit.
+	N int
+	// Horizon is the observation end used for the (time-truncated) MLE.
+	Horizon float64
+}
+
+// FitPowerLaw computes the time-truncated MLE of the Crow–AMSAA model:
+// β = n / Σ ln(T / t_i), η = T / n^{1/β}.
+func FitPowerLaw(eventTimes []float64, horizon float64) (PowerLaw, error) {
+	n := len(eventTimes)
+	if n < 3 {
+		return PowerLaw{}, fmt.Errorf("trend: %d events, need >= 3: %w", n, ErrInsufficientData)
+	}
+	if horizon <= 0 {
+		return PowerLaw{}, fmt.Errorf("trend: horizon %g invalid", horizon)
+	}
+	var sumLog float64
+	for i, t := range eventTimes {
+		if t <= 0 || t > horizon {
+			return PowerLaw{}, fmt.Errorf("trend: event %d at %g outside (0, %g]", i, t, horizon)
+		}
+		sumLog += math.Log(horizon / t)
+	}
+	if sumLog == 0 {
+		return PowerLaw{}, fmt.Errorf("trend: all events at the horizon: %w", ErrInsufficientData)
+	}
+	beta := float64(n) / sumLog
+	eta := horizon / math.Pow(float64(n), 1/beta)
+	return PowerLaw{Beta: beta, Eta: eta, N: n, Horizon: horizon}, nil
+}
+
+// Intensity returns the fitted failure intensity λ(t).
+func (p PowerLaw) Intensity(t float64) float64 {
+	if t <= 0 {
+		if p.Beta < 1 {
+			return math.Inf(1)
+		}
+		if p.Beta > 1 {
+			return 0
+		}
+		return 1 / p.Eta
+	}
+	return (p.Beta / p.Eta) * math.Pow(t/p.Eta, p.Beta-1)
+}
+
+// ExpectedEvents returns the fitted cumulative event count E[N(t)] =
+// (t/η)^β.
+func (p PowerLaw) ExpectedEvents(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return math.Pow(t/p.Eta, p.Beta)
+}
+
+// Verdict interprets β with the given tolerance band around 1 (e.g. 0.1:
+// β < 0.9 improving, β > 1.1 deteriorating, otherwise stable).
+func (p PowerLaw) Verdict(band float64) Verdict {
+	switch {
+	case p.Beta < 1-band:
+		return Improving
+	case p.Beta > 1+band:
+		return Deteriorating
+	default:
+		return Stable
+	}
+}
+
+// MilHdbk189GoodnessOfFit computes the Cramér–von Mises statistic of the
+// power-law fit (the MIL-HDBK-189 procedure): small values mean the NHPP
+// describes the event series well. The conventional 5% critical value for
+// moderate n is about 0.22.
+func (p PowerLaw) MilHdbk189GoodnessOfFit(eventTimes []float64) (float64, error) {
+	n := len(eventTimes)
+	if n < 3 {
+		return math.NaN(), fmt.Errorf("trend: %d events: %w", n, ErrInsufficientData)
+	}
+	// Unbiased beta for the GoF statistic.
+	betaBar := p.Beta * float64(n-1) / float64(n)
+	stat := 1.0 / (12 * float64(n))
+	for i, t := range eventTimes {
+		z := math.Pow(t/p.Horizon, betaBar)
+		d := z - (2*float64(i+1)-1)/(2*float64(n))
+		stat += d * d
+	}
+	return stat, nil
+}

@@ -1,0 +1,227 @@
+package trend
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+
+	"hpcfail/internal/lanl"
+	"hpcfail/internal/randx"
+)
+
+// simulatePowerLaw draws event times from a power-law NHPP on (0, horizon]
+// by inversion of the cumulative intensity.
+func simulatePowerLaw(src *randx.Source, beta, eta, horizon float64) []float64 {
+	// N(horizon) ~ Poisson((horizon/eta)^beta); given N, event times are
+	// iid with CDF (t/horizon)^beta.
+	mean := math.Pow(horizon/eta, beta)
+	n := src.Poisson(mean)
+	out := make([]float64, n)
+	for i := range out {
+		u := src.Float64()
+		out[i] = horizon * math.Pow(u, 1/beta)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+func TestLaplaceDetectsTrends(t *testing.T) {
+	src := randx.NewSource(1)
+	const horizon = 1000.0
+
+	// Improving: power-law with beta 0.6 (early-heavy events).
+	improving := simulatePowerLaw(src, 0.6, 1, horizon)
+	res, err := Laplace(improving, horizon, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Improving || res.U >= 0 {
+		t.Fatalf("improving series: %+v", res)
+	}
+
+	// Deteriorating: beta 1.8.
+	deteriorating := simulatePowerLaw(src, 1.8, 10, horizon)
+	res, err = Laplace(deteriorating, horizon, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Deteriorating || res.U <= 0 {
+		t.Fatalf("deteriorating series: %+v", res)
+	}
+
+	// Stable: homogeneous Poisson (beta 1).
+	stable := simulatePowerLaw(src, 1, 2, horizon)
+	res, err = Laplace(stable, horizon, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict == Improving && res.P < 0.01 {
+		t.Fatalf("stable series misclassified: %+v", res)
+	}
+	if res.P < 0 || res.P > 1 {
+		t.Fatalf("p-value %g out of range", res.P)
+	}
+}
+
+func TestLaplaceErrors(t *testing.T) {
+	if _, err := Laplace([]float64{1, 2}, 10, 0.05); !errors.Is(err, ErrInsufficientData) {
+		t.Fatal("too few events: want ErrInsufficientData")
+	}
+	if _, err := Laplace([]float64{1, 2, 3, 4}, 0, 0.05); err == nil {
+		t.Fatal("zero horizon: want error")
+	}
+	if _, err := Laplace([]float64{1, 2, 3, 4}, 10, 1.5); err == nil {
+		t.Fatal("bad alpha: want error")
+	}
+	if _, err := Laplace([]float64{1, 2, 3, 40}, 10, 0.05); err == nil {
+		t.Fatal("event beyond horizon: want error")
+	}
+	if _, err := Laplace([]float64{-1, 2, 3, 4}, 10, 0.05); err == nil {
+		t.Fatal("non-positive event: want error")
+	}
+}
+
+func TestFitPowerLawRecovers(t *testing.T) {
+	src := randx.NewSource(2)
+	const horizon = 5000.0
+	for _, beta := range []float64{0.6, 1.0, 1.7} {
+		// Scale eta so we get a few thousand events.
+		eta := horizon / math.Pow(3000, 1/beta)
+		events := simulatePowerLaw(src, beta, eta, horizon)
+		fit, err := FitPowerLaw(events, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(fit.Beta-beta)/beta > 0.06 {
+			t.Errorf("beta = %g, want %g", fit.Beta, beta)
+		}
+		// Expected events at horizon should approximate the actual count.
+		if math.Abs(fit.ExpectedEvents(horizon)-float64(len(events)))/float64(len(events)) > 0.01 {
+			t.Errorf("expected events %g vs actual %d", fit.ExpectedEvents(horizon), len(events))
+		}
+	}
+}
+
+func TestPowerLawVerdictAndIntensity(t *testing.T) {
+	p := PowerLaw{Beta: 0.6, Eta: 10, N: 100, Horizon: 1000}
+	if p.Verdict(0.1) != Improving {
+		t.Fatal("beta 0.6 should be improving")
+	}
+	if (PowerLaw{Beta: 1.05}).Verdict(0.1) != Stable {
+		t.Fatal("beta 1.05 should be stable at band 0.1")
+	}
+	if (PowerLaw{Beta: 1.5}).Verdict(0.1) != Deteriorating {
+		t.Fatal("beta 1.5 should be deteriorating")
+	}
+	// Intensity decreasing for beta < 1.
+	if !(p.Intensity(1) > p.Intensity(100)) {
+		t.Fatal("beta<1 intensity should decrease")
+	}
+	if !math.IsInf(p.Intensity(0), 1) {
+		t.Fatal("beta<1 intensity at 0 is +Inf")
+	}
+	if (PowerLaw{Beta: 2, Eta: 1}).Intensity(0) != 0 {
+		t.Fatal("beta>1 intensity at 0 is 0")
+	}
+	if (PowerLaw{Beta: 1, Eta: 4}).Intensity(0) != 0.25 {
+		t.Fatal("beta=1 intensity is 1/eta")
+	}
+	if p.ExpectedEvents(-5) != 0 {
+		t.Fatal("expected events before 0")
+	}
+}
+
+func TestFitPowerLawErrors(t *testing.T) {
+	if _, err := FitPowerLaw([]float64{1, 2}, 10); !errors.Is(err, ErrInsufficientData) {
+		t.Fatal("too few: want error")
+	}
+	if _, err := FitPowerLaw([]float64{1, 2, 3}, -1); err == nil {
+		t.Fatal("bad horizon: want error")
+	}
+	if _, err := FitPowerLaw([]float64{10, 10, 10}, 10); !errors.Is(err, ErrInsufficientData) {
+		t.Fatal("all at horizon: want error")
+	}
+	if _, err := FitPowerLaw([]float64{0, 1, 2}, 10); err == nil {
+		t.Fatal("zero event time: want error")
+	}
+}
+
+func TestGoodnessOfFit(t *testing.T) {
+	src := randx.NewSource(3)
+	const horizon = 2000.0
+	events := simulatePowerLaw(src, 0.7, 0.5, horizon)
+	fit, err := FitPowerLaw(events, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stat, err := fit.MilHdbk189GoodnessOfFit(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The generating process IS a power law: the statistic should be
+	// small (well under the ~0.22 critical value).
+	if stat > 0.22 {
+		t.Fatalf("GoF statistic %g too large for power-law data", stat)
+	}
+	if _, err := fit.MilHdbk189GoodnessOfFit(events[:2]); !errors.Is(err, ErrInsufficientData) {
+		t.Fatal("too few: want error")
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if Improving.String() != "improving" || Deteriorating.String() != "deteriorating" ||
+		Stable.String() != "stable" || Verdict(9).String() != "Verdict(9)" {
+		t.Fatal("verdict names")
+	}
+}
+
+func TestTrendOnReferenceSystems(t *testing.T) {
+	// The Figure 4 shapes, now statistically: system 5 (type E) improves
+	// from day one; system 19 (type G) deteriorates over its first 20
+	// months.
+	d, err := lanl.NewGenerator(lanl.Config{Seed: 1, Systems: []int{5, 19}}).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eventOffsets := func(system int) ([]float64, float64) {
+		sys, err := lanl.SystemByID(system)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d.BySystem(system).OffsetHours(sys.Start), sys.End.Sub(sys.Start).Hours()
+	}
+
+	ev5, hor5 := eventOffsets(5)
+	res, err := Laplace(ev5, hor5, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Improving {
+		t.Errorf("system 5 Laplace verdict = %v (U=%.1f)", res.Verdict, res.U)
+	}
+	fit5, err := FitPowerLaw(ev5, hor5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit5.Beta >= 1 {
+		t.Errorf("system 5 beta = %.2f, want < 1", fit5.Beta)
+	}
+
+	// System 19's first 20 months only: deteriorating.
+	ev19, _ := eventOffsets(19)
+	cut := 20 * 30.44 * 24.0
+	var early []float64
+	for _, t := range ev19 {
+		if t <= cut {
+			early = append(early, t)
+		}
+	}
+	res, err = Laplace(early, cut, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Deteriorating {
+		t.Errorf("system 19 early Laplace verdict = %v (U=%.1f)", res.Verdict, res.U)
+	}
+}
