@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: check vet build test race fuzz bench
+
+# The full gate: what CI runs.
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fuzz:
+	$(GO) test -fuzz=FuzzReadCSV -fuzztime=30s ./internal/failures
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...

@@ -1,0 +1,47 @@
+package main
+
+import "testing"
+
+// TestRun guards the example against bit-rot: it must execute end to end
+// without error — run itself fails unless the resilient policy strictly
+// beats the naive one on goodput. Output goes to the test log.
+func TestRun(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResilientBeatsNaive pins the acceptance criterion directly: under
+// the seeded correlated-burst scenario, fencing plus backoff delivers
+// strictly more goodput than immediate retry with no fencing.
+func TestResilientBeatsNaive(t *testing.T) {
+	naive, resilient, err := compare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resilient.Goodput <= naive.Goodput {
+		t.Fatalf("resilient goodput %.4f <= naive %.4f", resilient.Goodput, naive.Goodput)
+	}
+	if resilient.JobsCompleted < naive.JobsCompleted {
+		t.Fatalf("resilient completed %d jobs, naive %d", resilient.JobsCompleted, naive.JobsCompleted)
+	}
+}
+
+// TestCompareIsDeterministic re-runs the full comparison and demands
+// identical metrics: the demo's numbers are reproducible run to run.
+func TestCompareIsDeterministic(t *testing.T) {
+	n1, r1, err := compare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, r2, err := compare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 != n2 {
+		t.Fatalf("naive metrics differ:\n%+v\n%+v", n1, n2)
+	}
+	if r1 != r2 {
+		t.Fatalf("resilient metrics differ:\n%+v\n%+v", r1, r2)
+	}
+}

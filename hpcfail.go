@@ -31,6 +31,7 @@ import (
 	"hpcfail/internal/lanl"
 	"hpcfail/internal/maintenance"
 	"hpcfail/internal/randx"
+	"hpcfail/internal/resilience"
 	"hpcfail/internal/sim"
 	"hpcfail/internal/stats"
 	"hpcfail/internal/trend"
@@ -76,11 +77,20 @@ var (
 	NewDataset = failures.NewDataset
 	// MergeDatasets combines datasets into one time-ordered dataset.
 	MergeDatasets = failures.Merge
-	// WriteCSV and ReadCSV are the trace codec.
-	WriteCSV = failures.WriteCSV
-	ReadCSV  = failures.ReadCSV
+	// WriteCSV and ReadCSV are the trace codec; ReadCSVWith adds a
+	// lenient mode that skips malformed rows and reports them as
+	// RowErrors instead of aborting the load.
+	WriteCSV    = failures.WriteCSV
+	ReadCSV     = failures.ReadCSV
+	ReadCSVWith = failures.ReadCSVWith
 	// Causes lists the root-cause categories in figure order.
 	Causes = failures.Causes
+)
+
+// CSV ingest options and per-row errors for the lenient mode.
+type (
+	ReadCSVOptions = failures.ReadCSVOptions
+	RowError       = failures.RowError
 )
 
 // ---- LANL environment and synthetic trace generation (internal/lanl) ----
@@ -403,6 +413,29 @@ type (
 	HazardPolicy   = checkpoint.HazardPolicy
 	// TraceEvent scripts one failure for trace-driven simulation.
 	TraceEvent = sim.TraceEvent
+	// ResilienceConfig selects the cluster's failure-response policies:
+	// a RetryPolicy for interrupted jobs, a FencingPolicy for node
+	// admission, and a DetectionModel for failure-observation latency.
+	ResilienceConfig   = sim.ResilienceConfig
+	RetryPolicy        = resilience.RetryPolicy
+	ImmediateRetry     = resilience.ImmediateRetry
+	FixedBackoff       = resilience.FixedBackoff
+	ExponentialBackoff = resilience.ExponentialBackoff
+	FencingPolicy      = resilience.FencingPolicy
+	NoFencing          = resilience.NoFencing
+	WindowFencing      = resilience.WindowFencing
+	DetectionModel     = resilience.DetectionModel
+	InstantDetection   = resilience.InstantDetection
+	FixedDetection     = resilience.FixedDetection
+	UniformDetection   = resilience.UniformDetection
+	// Scenario scripts adversarial fault injection (correlated bursts,
+	// repair-time inflation, cascades) armed on a cluster via
+	// Cluster.Inject; Injector reports what it forced.
+	Scenario        = resilience.Scenario
+	Burst           = resilience.Burst
+	RepairInflation = resilience.RepairInflation
+	Cascade         = resilience.Cascade
+	Injector        = sim.Injector
 	// MaintenancePolicy analyzes age-replacement under a fitted lifetime
 	// model; MaintenanceOptimum is its optimization result.
 	MaintenancePolicy  = maintenance.Policy
@@ -418,6 +451,9 @@ var (
 	NewTraceNode     = sim.NewTraceNode
 	TraceFromRecords = sim.TraceFromRecords
 	ReplayCluster    = sim.ReplayCluster
+	// NewWindowFencing builds the K-strikes sliding-window fencing
+	// policy with probationary re-admission.
+	NewWindowFencing = resilience.NewWindowFencing
 	// SimulatePolicyEfficiency evaluates adaptive checkpoint policies.
 	SimulatePolicyEfficiency = checkpoint.SimulatePolicyEfficiency
 

@@ -71,6 +71,10 @@ type SimConfig struct {
 	// CheckpointCost and RestartCost are overheads in hours.
 	CheckpointCost float64
 	RestartCost    float64
+	// RetryDelayHours is an extra delay paid before each restart — the
+	// backoff a resilience retry policy imposes between a failure and
+	// the re-run. Zero restarts immediately (the classic model).
+	RetryDelayHours float64
 	// WorkHours is the total useful work to simulate per replication.
 	WorkHours float64
 	// Replications averages this many independent runs (default 32).
@@ -86,6 +90,9 @@ func (c SimConfig) validate() error {
 	if c.CheckpointCost <= 0 || c.RestartCost < 0 || c.WorkHours <= 0 {
 		return fmt.Errorf("checkpoint sim: cost=%g restart=%g work=%g: %w",
 			c.CheckpointCost, c.RestartCost, c.WorkHours, ErrBadInput)
+	}
+	if c.RetryDelayHours < 0 {
+		return fmt.Errorf("checkpoint sim: retry delay %g: %w", c.RetryDelayHours, ErrBadInput)
 	}
 	return nil
 }
@@ -134,10 +141,10 @@ func simulateOnce(cfg SimConfig, tau float64, src *randx.Source) float64 {
 			done += segment
 			continue
 		}
-		// Failure mid-segment: lose partial work, pay restart, draw a new
-		// failure horizon (the failed component is repaired/replaced, so
-		// the renewal restarts).
-		wall += nextFailure + cfg.RestartCost
+		// Failure mid-segment: lose partial work, wait out the retry
+		// delay, pay restart, and draw a new failure horizon (the failed
+		// component is repaired/replaced, so the renewal restarts).
+		wall += nextFailure + cfg.RetryDelayHours + cfg.RestartCost
 		nextFailure = cfg.TBF.Rand(src)
 	}
 	return wall

@@ -157,6 +157,31 @@ func TestSimulateEfficiencyValidation(t *testing.T) {
 	if _, err := SimulateEfficiency(cfg, 1); !errors.Is(err, ErrBadInput) {
 		t.Fatal("zero work: want error")
 	}
+	cfg = baseConfig(t, expDist(t, 100))
+	cfg.RetryDelayHours = -1
+	if _, err := SimulateEfficiency(cfg, 1); !errors.Is(err, ErrBadInput) {
+		t.Fatal("negative retry delay: want error")
+	}
+}
+
+func TestRetryDelayLowersEfficiency(t *testing.T) {
+	cfg := baseConfig(t, expDist(t, 100))
+	base, err := SimulateEfficiency(cfg, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.RetryDelayHours = 5
+	delayed, err := SimulateEfficiency(cfg, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delayed >= base {
+		t.Fatalf("efficiency with 5h retry delay %g >= without %g", delayed, base)
+	}
+	// The delay only adds wall time; useful work is unchanged.
+	if delayed <= 0 {
+		t.Fatalf("efficiency %g not positive", delayed)
+	}
 }
 
 func TestOptimizeIntervalNearYoungForExponential(t *testing.T) {

@@ -2,6 +2,7 @@ package failures
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -44,35 +45,95 @@ func WriteCSV(w io.Writer, d *Dataset) error {
 	return nil
 }
 
-// ReadCSV decodes a dataset from the repository's CSV format.
+// RowError describes one malformed CSV row skipped in lenient mode.
+type RowError struct {
+	// Line is the 1-based line number in the input (the header is 1).
+	Line int
+	// Err is the parse or validation failure.
+	Err error
+}
+
+// Error implements error.
+func (e RowError) Error() string { return fmt.Sprintf("row %d: %v", e.Line, e.Err) }
+
+// Unwrap exposes the underlying cause.
+func (e RowError) Unwrap() error { return e.Err }
+
+// ReadCSVOptions controls ReadCSVWith.
+type ReadCSVOptions struct {
+	// SkipMalformed collects malformed rows as RowErrors and keeps
+	// loading instead of aborting on the first bad row. Structural
+	// failures — an unreadable or mismatched header — still abort.
+	SkipMalformed bool
+}
+
+// ReadCSV decodes a dataset from the repository's CSV format, aborting
+// on the first malformed row.
 func ReadCSV(r io.Reader) (*Dataset, error) {
+	d, _, err := ReadCSVWith(r, ReadCSVOptions{})
+	return d, err
+}
+
+// ReadCSVWith decodes a dataset from the repository's CSV format. In
+// strict mode (the default) the first malformed row aborts the load. In
+// lenient mode malformed rows — bad CSV framing, unparseable fields, or
+// records failing validation — are skipped and reported as RowErrors
+// with their line numbers, and every well-formed row is kept.
+func ReadCSVWith(r io.Reader, opts ReadCSVOptions) (*Dataset, []RowError, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = len(csvHeader)
 	header, err := cr.Read()
 	if err != nil {
-		return nil, fmt.Errorf("read csv header: %w", err)
+		return nil, nil, fmt.Errorf("read csv header: %w", err)
 	}
 	for i, want := range csvHeader {
 		if header[i] != want {
-			return nil, fmt.Errorf("read csv: column %d is %q, want %q", i, header[i], want)
+			return nil, nil, fmt.Errorf("read csv: column %d is %q, want %q", i, header[i], want)
 		}
 	}
 	var records []Record
+	var rowErrs []RowError
+	skip := func(line int, err error) ([]RowError, bool) {
+		if !opts.SkipMalformed {
+			return nil, false
+		}
+		rowErrs = append(rowErrs, RowError{Line: line, Err: err})
+		return rowErrs, true
+	}
 	for line := 2; ; line++ {
 		row, err := cr.Read()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("read csv line %d: %w", line, err)
+			var perr *csv.ParseError
+			if errors.As(err, &perr) {
+				// Framing errors report their own line; the reader can
+				// resume on the next row.
+				if _, ok := skip(perr.Line, err); ok {
+					line = perr.Line
+					continue
+				}
+			}
+			return nil, rowErrs, fmt.Errorf("read csv line %d: %w", line, err)
 		}
 		rec, err := parseRow(row)
+		if err == nil {
+			err = rec.Validate()
+		}
 		if err != nil {
-			return nil, fmt.Errorf("read csv line %d: %w", line, err)
+			if _, ok := skip(line, err); ok {
+				continue
+			}
+			return nil, rowErrs, fmt.Errorf("read csv line %d: %w", line, err)
 		}
 		records = append(records, rec)
 	}
-	return NewDataset(records)
+	d, err := NewDataset(records)
+	if err != nil {
+		return nil, rowErrs, err
+	}
+	return d, rowErrs, nil
 }
 
 func parseRow(row []string) (Record, error) {

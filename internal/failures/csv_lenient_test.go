@@ -1,0 +1,91 @@
+package failures
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// lenientInput mixes well-formed rows with malformed ones: a bad cause
+// (line 3), a wrong field count (line 5) and an unparseable start time
+// (line 7). Good rows sit on lines 2, 4, 6 and 8.
+const lenientInput = "system,node,hw,workload,cause,detail,start,end\n" +
+	"1,0,E,compute,Hardware,,2000-01-01T00:00:00Z,2000-01-01T01:00:00Z\n" +
+	"1,1,E,compute,Bogus,,2000-01-01T02:00:00Z,2000-01-01T03:00:00Z\n" +
+	"1,2,E,compute,Software,,2000-01-01T04:00:00Z,2000-01-01T05:00:00Z\n" +
+	"1,3,E\n" +
+	"1,4,E,compute,Network,,2000-01-01T06:00:00Z,2000-01-01T07:00:00Z\n" +
+	"1,5,E,compute,Hardware,,not-a-time,2000-01-01T09:00:00Z\n" +
+	"1,6,E,graphics,Human,,2000-01-01T10:00:00Z,2000-01-01T11:00:00Z\n"
+
+func TestReadCSVLenientSkipsMalformedRows(t *testing.T) {
+	d, rowErrs, err := ReadCSVWith(strings.NewReader(lenientInput), ReadCSVOptions{SkipMalformed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 4 {
+		t.Fatalf("kept %d records, want 4", d.Len())
+	}
+	wantNodes := []int{0, 2, 4, 6}
+	for i, want := range wantNodes {
+		if got := d.At(i).Node; got != want {
+			t.Errorf("record %d: node = %d, want %d", i, got, want)
+		}
+	}
+	wantLines := []int{3, 5, 7}
+	if len(rowErrs) != len(wantLines) {
+		t.Fatalf("row errors = %v, want %d of them", rowErrs, len(wantLines))
+	}
+	for i, want := range wantLines {
+		if rowErrs[i].Line != want {
+			t.Errorf("row error %d: line = %d, want %d", i, rowErrs[i].Line, want)
+		}
+		if rowErrs[i].Unwrap() == nil {
+			t.Errorf("row error %d: no underlying cause", i)
+		}
+	}
+}
+
+func TestReadCSVStrictStillAborts(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(lenientInput)); err == nil {
+		t.Fatal("strict read of malformed input: want error")
+	}
+	d, rowErrs, err := ReadCSVWith(strings.NewReader(lenientInput), ReadCSVOptions{})
+	if err == nil {
+		t.Fatal("strict ReadCSVWith of malformed input: want error")
+	}
+	if d != nil || rowErrs != nil {
+		t.Fatalf("strict failure returned d=%v rowErrs=%v, want nil", d, rowErrs)
+	}
+}
+
+func TestReadCSVLenientHeaderStillAborts(t *testing.T) {
+	for _, input := range []string{"", "a,b,c,d,e,f,g,h\n"} {
+		if _, _, err := ReadCSVWith(strings.NewReader(input), ReadCSVOptions{SkipMalformed: true}); err == nil {
+			t.Errorf("lenient read of %q: want header error", input)
+		}
+	}
+}
+
+func TestReadCSVLenientCleanInput(t *testing.T) {
+	clean := "system,node,hw,workload,cause,detail,start,end\n" +
+		"1,0,E,compute,Hardware,,2000-01-01T00:00:00Z,2000-01-01T01:00:00Z\n"
+	d, rowErrs, err := ReadCSVWith(strings.NewReader(clean), ReadCSVOptions{SkipMalformed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 1 || len(rowErrs) != 0 {
+		t.Fatalf("clean input: len=%d rowErrs=%v", d.Len(), rowErrs)
+	}
+}
+
+func TestRowErrorFormatting(t *testing.T) {
+	cause := errors.New("boom")
+	re := RowError{Line: 7, Err: cause}
+	if got := re.Error(); !strings.Contains(got, "7") || !strings.Contains(got, "boom") {
+		t.Fatalf("Error() = %q", got)
+	}
+	if !errors.Is(re, cause) {
+		t.Fatal("errors.Is should see the wrapped cause")
+	}
+}

@@ -7,6 +7,7 @@ package randx
 import (
 	"math"
 	"math/rand"
+	"time"
 )
 
 // Source is a deterministic random source. It wraps math/rand with an
@@ -40,6 +41,20 @@ func (s *Source) Intn(n int) int { return s.rng.Intn(n) }
 
 // Perm returns a random permutation of [0, n).
 func (s *Source) Perm(n int) []int { return s.rng.Perm(n) }
+
+// JitterDuration scales d by a uniform factor in [1-frac, 1], drawing
+// from src. It de-synchronizes retry storms: simultaneous failures that
+// share a backoff schedule would otherwise retry in lockstep. frac is
+// clamped to [0, 1]; a nil src returns d unchanged.
+func JitterDuration(d time.Duration, frac float64, src *Source) time.Duration {
+	if src == nil || frac <= 0 || d <= 0 {
+		return d
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return time.Duration(float64(d) * (1 - frac*src.Float64()))
+}
 
 // Normal returns a variate from N(mu, sigma²).
 func (s *Source) Normal(mu, sigma float64) float64 {

@@ -1,0 +1,80 @@
+package resilience
+
+import (
+	"fmt"
+	"time"
+
+	"hpcfail/internal/randx"
+)
+
+// DetectionModel draws the lag between a node's true failure and the
+// moment the system observes it. During the lag a job keeps "running" on
+// the dead node, so the lag is pure lost work on top of the rollback —
+// the gap between failure occurrence and the remedy-database record the
+// paper's Section 2.3 measurement methodology acknowledges.
+type DetectionModel interface {
+	// Name identifies the model in reports.
+	Name() string
+	// Latency draws one detection lag. Implementations must return a
+	// non-negative duration.
+	Latency(src *randx.Source) time.Duration
+}
+
+// InstantDetection observes failures immediately — the idealized
+// baseline the original simulator assumed.
+type InstantDetection struct{}
+
+var _ DetectionModel = InstantDetection{}
+
+// Name implements DetectionModel.
+func (InstantDetection) Name() string { return "instant" }
+
+// Latency implements DetectionModel.
+func (InstantDetection) Latency(*randx.Source) time.Duration { return 0 }
+
+// FixedDetection observes every failure after a constant lag, e.g. a
+// heartbeat timeout.
+type FixedDetection struct {
+	// Delay is the constant detection lag.
+	Delay time.Duration
+}
+
+var _ DetectionModel = FixedDetection{}
+
+// Name implements DetectionModel.
+func (FixedDetection) Name() string { return "fixed" }
+
+// Latency implements DetectionModel.
+func (d FixedDetection) Latency(*randx.Source) time.Duration {
+	if d.Delay < 0 {
+		return 0
+	}
+	return d.Delay
+}
+
+// UniformDetection draws the lag uniformly from [Min, Max] — a simple
+// model of a polling monitor with phase uncertainty.
+type UniformDetection struct {
+	Min, Max time.Duration
+}
+
+var _ DetectionModel = UniformDetection{}
+
+// Name implements DetectionModel.
+func (UniformDetection) Name() string { return "uniform" }
+
+// Validate checks the model parameters.
+func (d UniformDetection) Validate() error {
+	if d.Min < 0 || d.Max < d.Min {
+		return fmt.Errorf("resilience: uniform detection range [%v, %v]", d.Min, d.Max)
+	}
+	return nil
+}
+
+// Latency implements DetectionModel.
+func (d UniformDetection) Latency(src *randx.Source) time.Duration {
+	if d.Max <= d.Min {
+		return d.Min
+	}
+	return d.Min + time.Duration(src.Float64()*float64(d.Max-d.Min))
+}

@@ -1,0 +1,135 @@
+// Package resilience defines the failure-response policies the simulator
+// composes: how long to wait before re-running an interrupted job
+// (RetryPolicy), when to stop scheduling onto a flaky node
+// (FencingPolicy), and how long a failure goes unnoticed before the
+// system reacts (DetectionModel). It also defines the adversarial
+// injection scenarios (Scenario) that stress those policies with the
+// paper's pathologies: correlated failure bursts (Section 4, Fig. 6's
+// system-20 skew), heavy-tailed repair inflation (Section 5.2) and
+// cascading co-scheduled failures.
+//
+// The package is a leaf: policies speak in node IDs and durations so
+// internal/sim can depend on it without a cycle.
+package resilience
+
+import (
+	"fmt"
+	"time"
+
+	"hpcfail/internal/randx"
+)
+
+// RetryPolicy decides whether and when an interrupted job is re-queued.
+// retry is 1-based: the first re-run after the first interruption asks
+// NextDelay(1, src).
+type RetryPolicy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// NextDelay returns the wait before the retry-th re-run. ok=false
+	// means the job has exhausted its retry budget and is abandoned.
+	NextDelay(retry int, src *randx.Source) (delay time.Duration, ok bool)
+}
+
+// allowed reports whether the retry-th attempt fits a budget of max
+// retries, where max <= 0 means unlimited.
+func allowed(retry, max int) bool {
+	return max <= 0 || retry <= max
+}
+
+// ImmediateRetry re-queues interrupted jobs with no delay — the naive
+// "resubmit at once" response.
+type ImmediateRetry struct {
+	// MaxRetries bounds re-runs per job; <= 0 means unlimited.
+	MaxRetries int
+}
+
+var _ RetryPolicy = ImmediateRetry{}
+
+// Name implements RetryPolicy.
+func (ImmediateRetry) Name() string { return "immediate" }
+
+// NextDelay implements RetryPolicy.
+func (p ImmediateRetry) NextDelay(retry int, _ *randx.Source) (time.Duration, bool) {
+	return 0, allowed(retry, p.MaxRetries)
+}
+
+// FixedBackoff waits a constant delay before every re-run.
+type FixedBackoff struct {
+	// Delay is the constant wait before each re-run.
+	Delay time.Duration
+	// MaxRetries bounds re-runs per job; <= 0 means unlimited.
+	MaxRetries int
+}
+
+var _ RetryPolicy = FixedBackoff{}
+
+// Name implements RetryPolicy.
+func (FixedBackoff) Name() string { return "fixed-backoff" }
+
+// NextDelay implements RetryPolicy.
+func (p FixedBackoff) NextDelay(retry int, _ *randx.Source) (time.Duration, bool) {
+	if !allowed(retry, p.MaxRetries) {
+		return 0, false
+	}
+	return p.Delay, true
+}
+
+// ExponentialBackoff doubles (by Factor) the wait on every consecutive
+// re-run, capped at Max, with optional uniform jitter to de-synchronize
+// the retry herd a correlated burst creates.
+type ExponentialBackoff struct {
+	// Base is the delay before the first re-run.
+	Base time.Duration
+	// Factor multiplies the delay per retry; values <= 1 default to 2.
+	Factor float64
+	// Max caps the delay; <= 0 means uncapped.
+	Max time.Duration
+	// Jitter in [0, 1] scales each delay by a uniform factor in
+	// [1-Jitter, 1]; zero disables jitter.
+	Jitter float64
+	// MaxRetries bounds re-runs per job; <= 0 means unlimited.
+	MaxRetries int
+}
+
+var _ RetryPolicy = ExponentialBackoff{}
+
+// Name implements RetryPolicy.
+func (ExponentialBackoff) Name() string { return "exponential-backoff" }
+
+// Validate checks the policy parameters.
+func (p ExponentialBackoff) Validate() error {
+	if p.Base <= 0 {
+		return fmt.Errorf("resilience: exponential backoff needs positive base, got %v", p.Base)
+	}
+	if p.Jitter < 0 || p.Jitter > 1 {
+		return fmt.Errorf("resilience: jitter %g outside [0, 1]", p.Jitter)
+	}
+	return nil
+}
+
+// NextDelay implements RetryPolicy.
+func (p ExponentialBackoff) NextDelay(retry int, src *randx.Source) (time.Duration, bool) {
+	if !allowed(retry, p.MaxRetries) {
+		return 0, false
+	}
+	factor := p.Factor
+	if factor <= 1 {
+		factor = 2
+	}
+	d := float64(p.Base)
+	for i := 1; i < retry; i++ {
+		d *= factor
+		if p.Max > 0 && d >= float64(p.Max) {
+			d = float64(p.Max)
+			break
+		}
+	}
+	if p.Max > 0 && d > float64(p.Max) {
+		d = float64(p.Max)
+	}
+	delay := time.Duration(d)
+	if p.Jitter > 0 && src != nil {
+		delay = randx.JitterDuration(delay, p.Jitter, src)
+	}
+	return delay, true
+}

@@ -1,0 +1,140 @@
+package resilience
+
+import (
+	"fmt"
+	"time"
+)
+
+// Burst scripts one correlated failure burst: every node in the
+// contiguous ID range [FirstNode, FirstNode+Span) fails independently
+// with probability FailProb, at a moment drawn uniformly from
+// [At, At+Spread]. This reproduces the spatially-clustered simultaneous
+// failures the paper observes on system 20 (Fig. 6): bursts hit
+// neighboring nodes, not uniform samples of the machine.
+type Burst struct {
+	// At is when the burst strikes (simulation time).
+	At time.Duration
+	// FirstNode and Span bound the contiguous victim range.
+	FirstNode, Span int
+	// FailProb is each in-range node's chance of being struck.
+	FailProb float64
+	// RepairHours is the repair duration for struck nodes.
+	RepairHours float64
+	// Spread staggers the strikes over [At, At+Spread]; zero makes the
+	// burst simultaneous.
+	Spread time.Duration
+}
+
+// Validate checks the burst against a cluster of the given size.
+func (b Burst) Validate(clusterSize int) error {
+	if b.At < 0 || b.Spread < 0 {
+		return fmt.Errorf("resilience: burst at %v spread %v: negative time", b.At, b.Spread)
+	}
+	if b.FirstNode < 0 || b.Span <= 0 || b.FirstNode >= clusterSize {
+		return fmt.Errorf("resilience: burst range [%d, %d) outside cluster of %d nodes",
+			b.FirstNode, b.FirstNode+b.Span, clusterSize)
+	}
+	if b.FailProb <= 0 || b.FailProb > 1 {
+		return fmt.Errorf("resilience: burst fail probability %g outside (0, 1]", b.FailProb)
+	}
+	if b.RepairHours <= 0 {
+		return fmt.Errorf("resilience: burst repair %g hours must be positive", b.RepairHours)
+	}
+	return nil
+}
+
+// RepairInflation multiplies every repair duration that begins inside
+// [From, Until) by Factor — modeling the heavy upper tail of repair
+// times (Section 5.2's lognormal) or a staffing outage at the repair
+// depot.
+type RepairInflation struct {
+	From, Until time.Duration
+	Factor      float64
+}
+
+// Validate checks the inflation window.
+func (r RepairInflation) Validate() error {
+	if r.From < 0 || r.Until <= r.From {
+		return fmt.Errorf("resilience: inflation window [%v, %v)", r.From, r.Until)
+	}
+	if r.Factor <= 0 {
+		return fmt.Errorf("resilience: inflation factor %g must be positive", r.Factor)
+	}
+	return nil
+}
+
+// Cascade makes every observed failure spread to the failed node's
+// co-scheduled peers: each still-up node sharing a job with the victim
+// fails with probability Prob after Lag. This models failures that
+// propagate through shared software state — the correlated co-located
+// failures behind the paper's burst statistics.
+type Cascade struct {
+	// Prob is the per-peer propagation probability.
+	Prob float64
+	// Lag is the propagation delay.
+	Lag time.Duration
+	// RepairHours is the repair duration of cascade victims.
+	RepairHours float64
+}
+
+// Validate checks the cascade parameters.
+func (c Cascade) Validate() error {
+	if c.Prob <= 0 || c.Prob > 1 {
+		return fmt.Errorf("resilience: cascade probability %g outside (0, 1]", c.Prob)
+	}
+	if c.Lag < 0 {
+		return fmt.Errorf("resilience: negative cascade lag %v", c.Lag)
+	}
+	if c.RepairHours <= 0 {
+		return fmt.Errorf("resilience: cascade repair %g hours must be positive", c.RepairHours)
+	}
+	return nil
+}
+
+// Scenario bundles the adversarial injections layered on top of a
+// cluster's fitted failure distributions.
+type Scenario struct {
+	Bursts     []Burst
+	Inflations []RepairInflation
+	Cascade    *Cascade
+}
+
+// Empty reports whether the scenario injects nothing.
+func (s Scenario) Empty() bool {
+	return len(s.Bursts) == 0 && len(s.Inflations) == 0 && s.Cascade == nil
+}
+
+// Validate checks every component against a cluster of the given size.
+func (s Scenario) Validate(clusterSize int) error {
+	if clusterSize <= 0 {
+		return fmt.Errorf("resilience: scenario needs a non-empty cluster")
+	}
+	for i, b := range s.Bursts {
+		if err := b.Validate(clusterSize); err != nil {
+			return fmt.Errorf("burst %d: %w", i, err)
+		}
+	}
+	for i, r := range s.Inflations {
+		if err := r.Validate(); err != nil {
+			return fmt.Errorf("inflation %d: %w", i, err)
+		}
+	}
+	if s.Cascade != nil {
+		if err := s.Cascade.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RepairScale returns the combined inflation factor for a repair
+// beginning at time now: the product of every active window's Factor.
+func (s Scenario) RepairScale(now time.Duration) float64 {
+	f := 1.0
+	for _, iv := range s.Inflations {
+		if now >= iv.From && now < iv.Until {
+			f *= iv.Factor
+		}
+	}
+	return f
+}

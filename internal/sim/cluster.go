@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"hpcfail/internal/randx"
+	"hpcfail/internal/resilience"
 )
 
 // Scheduler chooses nodes for a job. Implementations see every node that is
@@ -101,6 +102,21 @@ type NodeSpec struct {
 	TBF, TTR Sampler
 }
 
+// ResilienceConfig selects the cluster's failure-response policies.
+// Every field is optional; a nil field keeps the corresponding naive
+// behavior (camp on the failed node, admit every node, observe failures
+// instantly).
+type ResilienceConfig struct {
+	// Retry re-queues interrupted jobs onto fresh nodes instead of
+	// making them wait for the failed node's repair.
+	Retry resilience.RetryPolicy
+	// Fencing withholds flaky nodes from the scheduler.
+	Fencing resilience.FencingPolicy
+	// Detection delays failure observation, so jobs burn wall-clock
+	// time on dead nodes before reacting.
+	Detection resilience.DetectionModel
+}
+
 // ClusterConfig describes a simulated cluster.
 type ClusterConfig struct {
 	Nodes     []NodeSpec
@@ -110,6 +126,17 @@ type ClusterConfig struct {
 	// enough idle nodes exist for them (EASY-style backfilling without
 	// reservations). Without it the queue is strictly FIFO.
 	Backfill bool
+	// Resilience, when non-nil, enables failure-response policies.
+	Resilience *ResilienceConfig
+}
+
+// queued is one queue entry: a fresh submission (job == nil) or a retry
+// of an interrupted job, eligible to start once notBefore has passed.
+type queued struct {
+	cfg       JobConfig
+	need      int
+	job       *Job
+	notBefore time.Duration
 }
 
 // Cluster owns a set of nodes and runs a FIFO queue of jobs over them.
@@ -118,11 +145,43 @@ type Cluster struct {
 	nodes     []*Node
 	scheduler Scheduler
 	backfill  bool
+	res       *ResilienceConfig
+	src       *randx.Source // retry jitter; nil without resilience
 
-	busy    map[int]bool
-	queue   []JobConfig
-	needs   []int // node counts, parallel to queue
-	started []*Job
+	busy     map[int]bool
+	queue    []queued
+	started  []*Job
+	jobNodes map[*Job][]*Node
+	coSched  map[int][]*Node // node ID -> the node set of its running job
+	injector *Injector
+	polling  bool
+}
+
+// monitor adapts the cluster to FailureListener for policy bookkeeping
+// without exposing listener methods on Cluster itself.
+type monitor struct{ c *Cluster }
+
+// NodeFailed implements FailureListener.
+func (m monitor) NodeFailed(n *Node, at time.Duration) {
+	if f := m.c.fencing(); f != nil {
+		f.RecordFailure(n.ID, at)
+	}
+}
+
+// NodeRepaired implements FailureListener.
+func (m monitor) NodeRepaired(n *Node, at time.Duration) {
+	if f := m.c.fencing(); f != nil {
+		f.RecordRepair(n.ID, at)
+	}
+	// A repaired node may unblock waiting (possibly retried) jobs.
+	m.c.dispatch()
+}
+
+func (c *Cluster) fencing() resilience.FencingPolicy {
+	if c.res == nil {
+		return nil
+	}
+	return c.res.Fencing
 }
 
 // NewCluster builds a cluster and starts its nodes' failure processes.
@@ -139,7 +198,10 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		engine:    engine,
 		scheduler: cfg.Scheduler,
 		backfill:  cfg.Backfill,
+		res:       cfg.Resilience,
 		busy:      make(map[int]bool),
+		jobNodes:  make(map[*Job][]*Node),
+		coSched:   make(map[int][]*Node),
 	}
 	for i, spec := range cfg.Nodes {
 		if spec.TBF == nil || spec.TTR == nil {
@@ -149,11 +211,24 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
+		if c.res != nil {
+			if c.res.Detection != nil {
+				if err := n.SetDetection(c.res.Detection); err != nil {
+					return nil, err
+				}
+			}
+			// Subscribe before any job so policies see each event first.
+			n.Subscribe(monitor{c})
+		}
 		if err := n.Start(); err != nil {
 			return nil, fmt.Errorf("sim: start node %d: %w", i, err)
 		}
 		c.nodes = append(c.nodes, n)
 	}
+	// The parent source survives for retry jitter; it is only drawn
+	// from after every node stream has been split off, so node streams
+	// match the resilience-free configuration.
+	c.src = src
 	return c, nil
 }
 
@@ -179,25 +254,38 @@ func (c *Cluster) Submit(cfg JobConfig, nodesNeeded int) error {
 		return fmt.Errorf("sim: job %d needs %d nodes, cluster has %d",
 			cfg.ID, nodesNeeded, len(c.nodes))
 	}
-	c.queue = append(c.queue, cfg)
-	c.needs = append(c.needs, nodesNeeded)
+	c.queue = append(c.queue, queued{cfg: cfg, need: nodesNeeded})
 	return nil
 }
 
-// dispatch tries to start queued jobs on idle up nodes. By default the
-// queue is strictly FIFO (a blocked head blocks everything, as in
+// dispatch tries to start queued jobs on idle, up, admissible nodes. By
+// default the queue is strictly FIFO (a blocked head — including a
+// retry still serving its backoff — blocks everything, as in
 // space-shared HPC scheduling); with Backfill enabled, jobs behind a
 // blocked head may start when they fit.
 func (c *Cluster) dispatch() {
+	now := c.engine.Now()
+	fencing := c.fencing()
 	for i := 0; i < len(c.queue); {
-		need := c.needs[i]
+		q := c.queue[i]
+		if q.notBefore > now {
+			if !c.backfill {
+				return
+			}
+			i++ // backoff not served yet: try the next queued job
+			continue
+		}
 		var idle []*Node
 		for _, n := range c.nodes {
-			if !c.busy[n.ID] && n.State() == StateUp {
-				idle = append(idle, n)
+			if c.busy[n.ID] || n.State() != StateUp {
+				continue
 			}
+			if fencing != nil && !fencing.Admit(n.ID, now) {
+				continue
+			}
+			idle = append(idle, n)
 		}
-		picked := c.scheduler.Pick(idle, need)
+		picked := c.scheduler.Pick(idle, q.need)
 		if picked == nil {
 			if !c.backfill {
 				return
@@ -211,25 +299,94 @@ func (c *Cluster) dispatch() {
 	}
 }
 
-// startQueued removes queue entry i and starts it on the picked nodes.
+// startQueued removes queue entry i and starts (or resumes) it on the
+// picked nodes.
 func (c *Cluster) startQueued(i int, picked []*Node) {
-	cfg := c.queue[i]
+	q := c.queue[i]
 	c.queue = append(c.queue[:i], c.queue[i+1:]...)
-	c.needs = append(c.needs[:i], c.needs[i+1:]...)
 	for _, n := range picked {
 		c.busy[n.ID] = true
+		c.coSched[n.ID] = picked
 	}
-	job, err := StartJob(c.engine, cfg, picked, func(j *Job) {
-		for _, n := range picked {
-			delete(c.busy, n.ID)
+	if q.job != nil {
+		c.jobNodes[q.job] = picked
+		if err := q.job.resume(picked); err != nil {
+			panic(fmt.Sprintf("sim: resume job %d: %v", q.cfg.ID, err))
 		}
-		// Try to place the next job as soon as nodes free up.
-		c.dispatch()
-	})
-	if err != nil {
-		panic(fmt.Sprintf("sim: dispatch job %d: %v", cfg.ID, err))
+		return
 	}
+	var onAbort func(*Job)
+	if c.res != nil && c.res.Retry != nil {
+		onAbort = c.handleAbort
+	}
+	job, err := startJob(c.engine, q.cfg, picked, c.handleDone, onAbort)
+	if err != nil {
+		panic(fmt.Sprintf("sim: dispatch job %d: %v", q.cfg.ID, err))
+	}
+	c.jobNodes[job] = picked
 	c.started = append(c.started, job)
+}
+
+// release frees the nodes held by j.
+func (c *Cluster) release(j *Job) {
+	for _, n := range c.jobNodes[j] {
+		delete(c.busy, n.ID)
+		delete(c.coSched, n.ID)
+	}
+	delete(c.jobNodes, j)
+}
+
+// handleDone releases a completed job's nodes and tries to place the
+// next job.
+func (c *Cluster) handleDone(j *Job) {
+	c.release(j)
+	c.dispatch()
+}
+
+// handleAbort re-queues an interrupted job under the retry policy, or
+// abandons it when the budget is exhausted.
+func (c *Cluster) handleAbort(j *Job) {
+	need := len(c.jobNodes[j])
+	c.release(j)
+	delay, ok := c.res.Retry.NextDelay(j.retries+1, c.src)
+	if !ok {
+		j.abandon()
+		c.dispatch()
+		return
+	}
+	c.queue = append(c.queue, queued{
+		cfg:       j.cfg,
+		need:      need,
+		job:       j,
+		notBefore: c.engine.Now() + delay,
+	})
+	if delay > 0 {
+		// Wake the dispatcher when the backoff has been served.
+		if err := c.engine.Schedule(delay, c.dispatch); err != nil {
+			panic(fmt.Sprintf("sim: schedule retry: %v", err))
+		}
+	}
+	c.dispatch()
+	c.ensurePoll()
+}
+
+// ensurePoll keeps a 1h-cadence dispatch poller alive while jobs wait:
+// it catches the cases no event announces, such as a fenced node's
+// probation expiring.
+func (c *Cluster) ensurePoll() {
+	if c.polling || len(c.queue) == 0 {
+		return
+	}
+	c.polling = true
+	if err := c.engine.Schedule(time.Hour, c.poll); err != nil {
+		panic(fmt.Sprintf("sim: schedule poll: %v", err))
+	}
+}
+
+func (c *Cluster) poll() {
+	c.polling = false
+	c.dispatch()
+	c.ensurePoll()
 }
 
 // Run dispatches queued jobs and processes events until the horizon.
@@ -238,20 +395,7 @@ func (c *Cluster) Run(horizon time.Duration) error {
 	// Re-attempt dispatch whenever a node is repaired: a waiting queue head
 	// may now fit. A small poller keeps the implementation simple and the
 	// cadence (1h) is far below node MTBF.
-	var poll func()
-	poll = func() {
-		c.dispatch()
-		if len(c.queue) > 0 {
-			if err := c.engine.Schedule(time.Hour, poll); err != nil {
-				panic(fmt.Sprintf("sim: schedule poll: %v", err))
-			}
-		}
-	}
-	if len(c.queue) > 0 {
-		if err := c.engine.Schedule(time.Hour, poll); err != nil {
-			return err
-		}
-	}
+	c.ensurePoll()
 	return c.engine.Run(horizon)
 }
 
@@ -269,6 +413,9 @@ func (c *Cluster) QueueLength() int { return len(c.queue) }
 type Metrics struct {
 	JobsCompleted  int
 	JobsUnfinished int
+	// JobsAbandoned counts jobs whose retry budget ran out (a subset of
+	// JobsUnfinished).
+	JobsAbandoned int
 	// MeanEfficiency averages useful-work fraction over completed jobs.
 	MeanEfficiency float64
 	// TotalInterruptions counts failures that hit running jobs.
@@ -277,6 +424,22 @@ type Metrics struct {
 	TotalLostWorkHours float64
 	// MeanAvailability averages node availability.
 	MeanAvailability float64
+	// TotalRetries counts re-runs of interrupted jobs.
+	TotalRetries int
+	// FencedNodeHours is capacity withheld by the fencing policy: hours
+	// nodes sat up but inadmissible.
+	FencedNodeHours float64
+	// LostToDetectionHours is the slice of lost work accrued between
+	// true failures and their observation.
+	LostToDetectionHours float64
+	// InjectedFailures and CascadeFailures count scenario-injected
+	// faults (cascades are a subset of injected).
+	InjectedFailures int
+	CascadeFailures  int
+	// GoodputHours is useful work delivered by completed jobs; Goodput
+	// normalizes it by total node capacity (nodes x elapsed hours).
+	GoodputHours float64
+	Goodput      float64
 }
 
 // Collect computes metrics at the current simulation time.
@@ -287,13 +450,23 @@ func (c *Cluster) Collect() Metrics {
 		if j.Done() {
 			m.JobsCompleted++
 			effSum += j.Efficiency()
+			m.GoodputHours += j.cfg.WorkHours
 		} else {
 			m.JobsUnfinished++
+			if j.Abandoned() {
+				m.JobsAbandoned++
+			}
 		}
 		m.TotalInterruptions += j.Interruptions()
 		m.TotalLostWorkHours += j.LostWorkHours()
+		m.TotalRetries += j.Retries()
+		m.LostToDetectionHours += j.LostToDetectionHours()
 	}
-	m.JobsUnfinished += len(c.queue)
+	for _, q := range c.queue {
+		if q.job == nil { // retries are already counted via started
+			m.JobsUnfinished++
+		}
+	}
 	if m.JobsCompleted > 0 {
 		m.MeanEfficiency = effSum / float64(m.JobsCompleted)
 	}
@@ -303,6 +476,16 @@ func (c *Cluster) Collect() Metrics {
 	}
 	if len(c.nodes) > 0 {
 		m.MeanAvailability = availSum / float64(len(c.nodes))
+	}
+	if f := c.fencing(); f != nil {
+		m.FencedNodeHours = f.FencedNodeHours(c.engine.Now())
+	}
+	if c.injector != nil {
+		m.InjectedFailures = c.injector.InjectedFailures()
+		m.CascadeFailures = c.injector.CascadeFailures()
+	}
+	if capacity := float64(len(c.nodes)) * c.engine.Now().Hours(); capacity > 0 {
+		m.Goodput = m.GoodputHours / capacity
 	}
 	return m
 }

@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"hpcfail/internal/randx"
+	"hpcfail/internal/resilience"
+)
+
+// Injector drives an adversarial resilience.Scenario against a cluster:
+// scripted correlated bursts, repair-time inflation windows and
+// failure cascades across co-scheduled nodes, layered on top of the
+// nodes' fitted failure distributions. Injection randomness comes from
+// its own seeded source, so the same scenario and seed reproduce the
+// same fault sequence regardless of the cluster's policies.
+type Injector struct {
+	c        *Cluster
+	src      *randx.Source
+	sc       resilience.Scenario
+	injected int
+	cascaded int
+}
+
+// Inject arms a scenario on the cluster. Burst times are delays from
+// the moment of arming. Call once, before Run.
+func (c *Cluster) Inject(sc resilience.Scenario, seed int64) (*Injector, error) {
+	if c.injector != nil {
+		return nil, fmt.Errorf("sim: cluster already has an injector")
+	}
+	if err := sc.Validate(len(c.nodes)); err != nil {
+		return nil, fmt.Errorf("sim: inject: %w", err)
+	}
+	inj := &Injector{c: c, src: randx.NewSource(seed), sc: sc}
+	for _, b := range sc.Bursts {
+		b := b
+		if err := c.engine.Schedule(b.At, func() { inj.burst(b) }); err != nil {
+			return nil, fmt.Errorf("sim: inject burst: %w", err)
+		}
+	}
+	if len(sc.Inflations) > 0 {
+		for _, n := range c.nodes {
+			n.ScaleRepairs(sc.RepairScale)
+		}
+	}
+	if sc.Cascade != nil {
+		for _, n := range c.nodes {
+			n.Subscribe(inj)
+		}
+	}
+	c.injector = inj
+	return inj, nil
+}
+
+// InjectedFailures returns how many faults the scenario forced so far
+// (including cascades).
+func (inj *Injector) InjectedFailures() int { return inj.injected }
+
+// CascadeFailures returns how many injected faults were cascade
+// propagations.
+func (inj *Injector) CascadeFailures() int { return inj.cascaded }
+
+// burst strikes each node in the burst's range with the configured
+// probability, staggered across the spread window.
+func (inj *Injector) burst(b resilience.Burst) {
+	last := b.FirstNode + b.Span
+	if last > len(inj.c.nodes) {
+		last = len(inj.c.nodes)
+	}
+	repair := hoursToDuration(b.RepairHours)
+	for id := b.FirstNode; id < last; id++ {
+		if inj.src.Float64() >= b.FailProb {
+			continue
+		}
+		var delay time.Duration
+		if b.Spread > 0 {
+			delay = time.Duration(inj.src.Float64() * float64(b.Spread))
+		}
+		victim := inj.c.nodes[id]
+		if err := inj.c.engine.Schedule(delay, func() {
+			if victim.InjectFailure(repair) {
+				inj.injected++
+			}
+		}); err != nil {
+			panic(fmt.Sprintf("sim: schedule burst strike: %v", err))
+		}
+	}
+}
+
+var _ FailureListener = (*Injector)(nil)
+
+// NodeFailed implements FailureListener: with a cascade configured,
+// every observed failure spreads to the victim's co-scheduled peers
+// with the cascade probability.
+func (inj *Injector) NodeFailed(n *Node, at time.Duration) {
+	cs := inj.sc.Cascade
+	if cs == nil {
+		return
+	}
+	repair := hoursToDuration(cs.RepairHours)
+	for _, peer := range inj.c.coSched[n.ID] {
+		if peer.ID == n.ID || peer.State() != StateUp {
+			continue
+		}
+		if inj.src.Float64() >= cs.Prob {
+			continue
+		}
+		victim := peer
+		if err := inj.c.engine.Schedule(cs.Lag, func() {
+			if victim.InjectFailure(repair) {
+				inj.injected++
+				inj.cascaded++
+			}
+		}); err != nil {
+			panic(fmt.Sprintf("sim: schedule cascade: %v", err))
+		}
+	}
+}
+
+// NodeRepaired implements FailureListener.
+func (inj *Injector) NodeRepaired(*Node, time.Duration) {}

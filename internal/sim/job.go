@@ -43,6 +43,9 @@ const (
 	jobRunning
 	jobWaitingRepair
 	jobDone
+	// jobAbandoned means the job was interrupted and its retry budget
+	// is exhausted; it will never run again.
+	jobAbandoned
 )
 
 // Job is a running simulation job with periodic checkpointing. When any of
@@ -62,13 +65,20 @@ type Job struct {
 	downNodes     map[int]bool
 
 	// Metrics.
-	startedAt     time.Duration
-	finishedAt    time.Duration
-	interruptions int
-	lostWork      float64
-	checkpoints   int
+	startedAt       time.Duration
+	finishedAt      time.Duration
+	interruptions   int
+	lostWork        float64
+	lostToDetection float64
+	checkpoints     int
+	retries         int
 
 	onDone func(*Job)
+	// onAbort, when set, switches the job to release-and-requeue failure
+	// handling: a node failure frees the surviving nodes and hands the
+	// job back to the cluster instead of camping on the failed node until
+	// it is repaired.
+	onAbort func(*Job)
 }
 
 var _ FailureListener = (*Job)(nil)
@@ -76,6 +86,10 @@ var _ FailureListener = (*Job)(nil)
 // StartJob begins executing a job on the given nodes at the current
 // simulation time. All nodes must currently be up.
 func StartJob(engine *Engine, cfg JobConfig, nodes []*Node, onDone func(*Job)) (*Job, error) {
+	return startJob(engine, cfg, nodes, onDone, nil)
+}
+
+func startJob(engine *Engine, cfg JobConfig, nodes []*Node, onDone, onAbort func(*Job)) (*Job, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -96,6 +110,7 @@ func StartJob(engine *Engine, cfg JobConfig, nodes []*Node, onDone func(*Job)) (
 		startedAt: engine.Now(),
 		runStart:  engine.Now(),
 		onDone:    onDone,
+		onAbort:   onAbort,
 	}
 	for _, n := range nodes {
 		n.Subscribe(j)
@@ -111,6 +126,17 @@ func (j *Job) Config() JobConfig { return j.cfg }
 
 // Done reports whether the job completed.
 func (j *Job) Done() bool { return j.state == jobDone }
+
+// Abandoned reports whether the job exhausted its retry budget.
+func (j *Job) Abandoned() bool { return j.state == jobAbandoned }
+
+// Retries returns how many times the job was re-queued after an
+// interruption.
+func (j *Job) Retries() int { return j.retries }
+
+// LostToDetectionHours returns the part of the lost work accrued while
+// a failure had happened but was not yet observed.
+func (j *Job) LostToDetectionHours() float64 { return j.lostToDetection }
 
 // Interruptions returns how many node failures hit the job.
 func (j *Job) Interruptions() int { return j.interruptions }
@@ -175,10 +201,24 @@ func (j *Job) scheduleNextEvents() error {
 	return j.engine.Schedule(completionDelay, func() { j.complete(epoch) })
 }
 
+// nodesTrulyUp reports whether every node is actually up — with
+// detection latency a node can be dead while the job still believes it
+// is running, and checkpoints or completions must not succeed on it.
+func (j *Job) nodesTrulyUp() bool {
+	for _, n := range j.nodes {
+		if n.State() != StateUp {
+			return false
+		}
+	}
+	return true
+}
+
 // checkpoint captures progress and pays the checkpoint cost by pushing
-// runStart forward, then arms the next event.
+// runStart forward, then arms the next event. On a truly-dead node the
+// write fails silently; the pending failure observation will roll the
+// job back and restart the event chain.
 func (j *Job) checkpoint(epoch uint64) {
-	if epoch != j.epoch || j.state != jobRunning {
+	if epoch != j.epoch || j.state != jobRunning || !j.nodesTrulyUp() {
 		return
 	}
 	j.savedProgress = j.progressNow()
@@ -190,9 +230,10 @@ func (j *Job) checkpoint(epoch uint64) {
 	}
 }
 
-// complete finishes the job and releases its nodes.
+// complete finishes the job and releases its nodes. Completion cannot
+// happen on a truly-dead node (see checkpoint).
 func (j *Job) complete(epoch uint64) {
-	if epoch != j.epoch || j.state != jobRunning {
+	if epoch != j.epoch || j.state != jobRunning || !j.nodesTrulyUp() {
 		return
 	}
 	j.state = jobDone
@@ -205,18 +246,50 @@ func (j *Job) complete(epoch uint64) {
 	}
 }
 
-// NodeFailed implements FailureListener: roll back to the last checkpoint
-// and wait for repair.
+// recordInterruption accounts the rollback: all work since the last
+// checkpoint is lost, and the slice of it accrued during the failed
+// node's detection lag is attributed to detection latency.
+func (j *Job) recordInterruption(n *Node) {
+	j.interruptions++
+	loss := j.progressNow() - j.savedProgress
+	j.lostWork += loss
+	if lag := n.DetectionLag(); lag > 0 {
+		d := lag.Hours()
+		if d > loss {
+			d = loss
+		}
+		j.lostToDetection += d
+	}
+}
+
+// NodeFailed implements FailureListener. Without an abort handler the
+// job rolls back to the last checkpoint and waits for repair; with one
+// (resilient clusters) it releases its nodes and is handed back to the
+// cluster for re-queueing.
 func (j *Job) NodeFailed(n *Node, at time.Duration) {
-	if j.state == jobDone {
+	if j.state == jobDone || j.state == jobAbandoned {
+		return
+	}
+	if j.onAbort != nil {
+		if j.state != jobRunning {
+			return
+		}
+		j.recordInterruption(n)
+		j.state = jobPending
+		j.epoch++ // cancel any armed checkpoint/completion event
+		for _, m := range j.nodes {
+			m.Unsubscribe(j)
+		}
+		j.nodes = nil
+		clear(j.downNodes)
+		j.onAbort(j)
 		return
 	}
 	j.downNodes[n.ID] = true
 	if j.state != jobRunning {
 		return
 	}
-	j.interruptions++
-	j.lostWork += j.progressNow() - j.savedProgress
+	j.recordInterruption(n)
 	j.state = jobWaitingRepair
 	j.epoch++ // cancel any armed checkpoint/completion event
 }
@@ -232,6 +305,12 @@ func (j *Job) NodeRepaired(n *Node, at time.Duration) {
 		return
 	}
 	j.state = jobRunning
+	j.resumeAfterRestart()
+}
+
+// resumeAfterRestart pays the restart cost and re-arms the job's
+// checkpoint/completion events. The job must already be jobRunning.
+func (j *Job) resumeAfterRestart() {
 	j.epoch++
 	epoch := j.epoch
 	restart := time.Duration(j.cfg.RestartCostHours * float64(time.Hour))
@@ -247,3 +326,30 @@ func (j *Job) NodeRepaired(n *Node, at time.Duration) {
 		panic(fmt.Sprintf("sim: job %d: %v", j.cfg.ID, err))
 	}
 }
+
+// resume restarts an aborted job on a fresh node set, continuing from
+// its last checkpoint. All nodes must be up.
+func (j *Job) resume(nodes []*Node) error {
+	if j.state != jobPending {
+		return fmt.Errorf("sim: job %d: resume while not pending", j.cfg.ID)
+	}
+	if len(nodes) == 0 {
+		return fmt.Errorf("sim: job %d: resume with no nodes", j.cfg.ID)
+	}
+	for _, n := range nodes {
+		if n.State() != StateUp {
+			return fmt.Errorf("sim: job %d: resume on down node %d", j.cfg.ID, n.ID)
+		}
+	}
+	j.nodes = append([]*Node(nil), nodes...)
+	for _, n := range nodes {
+		n.Subscribe(j)
+	}
+	j.retries++
+	j.state = jobRunning
+	j.resumeAfterRestart()
+	return nil
+}
+
+// abandon marks the job as permanently failed.
+func (j *Job) abandon() { j.state = jobAbandoned }

@@ -7,6 +7,7 @@ import (
 
 	"hpcfail/internal/dist"
 	"hpcfail/internal/randx"
+	"hpcfail/internal/resilience"
 )
 
 // NodeState is the availability state of a node.
@@ -51,6 +52,19 @@ type Node struct {
 	nextTTF func(now time.Duration) time.Duration
 	nextTTR func(now time.Duration) time.Duration
 	state   NodeState
+	// failEpoch invalidates armed failure events when a failure is
+	// injected out of band (see InjectFailure).
+	failEpoch uint64
+	src       *randx.Source
+
+	// detect, when set, delays failure observation (and hence repair
+	// start): listeners hear about a failure only after the drawn lag.
+	detect resilience.DetectionModel
+	// lastLag is the detection lag of the most recent failure.
+	lastLag time.Duration
+	// repairScale, when set, multiplies every repair duration — the
+	// injection hook for repair-time inflation scenarios.
+	repairScale func(now time.Duration) float64
 
 	listeners []FailureListener
 
@@ -83,8 +97,30 @@ func NewNode(id int, engine *Engine, tbf, ttr Sampler, src *randx.Source) (*Node
 		nextTTF: func(time.Duration) time.Duration { return hoursToDuration(tbf.Rand(src)) },
 		nextTTR: func(time.Duration) time.Duration { return hoursToDuration(ttr.Rand(src)) },
 		state:   StateUp,
+		src:     src,
 	}, nil
 }
+
+// SetDetection installs a detection model: listeners observe failures
+// only after the model's lag, and repair begins at observation (nobody
+// dispatches a technician for an unnoticed fault). A nil model restores
+// instant detection. Models that draw randomness need the node to own a
+// source, which trace-replay nodes do not.
+func (n *Node) SetDetection(m resilience.DetectionModel) error {
+	if m != nil && n.src == nil {
+		return fmt.Errorf("sim: node %d: detection model needs a random source", n.ID)
+	}
+	n.detect = m
+	return nil
+}
+
+// ScaleRepairs installs a multiplier applied to every repair duration,
+// evaluated at the time the repair begins. Used by injection scenarios.
+func (n *Node) ScaleRepairs(f func(now time.Duration) float64) { n.repairScale = f }
+
+// DetectionLag returns the detection lag of the node's most recent
+// failure — the window during which jobs kept computing on a dead node.
+func (n *Node) DetectionLag() time.Duration { return n.lastLag }
 
 // Subscribe registers a listener for this node's failure and repair events.
 func (n *Node) Subscribe(l FailureListener) {
@@ -137,26 +173,78 @@ func (n *Node) scheduleFailure() error {
 	if ttf == neverFail {
 		return nil
 	}
-	return n.engine.Schedule(ttf, n.fail)
+	epoch := n.failEpoch
+	return n.engine.Schedule(ttf, func() { n.fail(epoch) })
 }
 
-func (n *Node) fail() {
-	if n.state != StateUp {
+// snapshotListeners copies the listener list so notifications survive
+// listeners unsubscribing themselves mid-iteration (a job aborting on
+// failure does exactly that).
+func (n *Node) snapshotListeners() []FailureListener {
+	return append([]FailureListener(nil), n.listeners...)
+}
+
+func (n *Node) fail(epoch uint64) {
+	if epoch != n.failEpoch || n.state != StateUp {
 		return
 	}
+	n.goDown(n.nextTTR)
+}
+
+// InjectFailure forces the node down right now with the given repair
+// duration, bypassing its failure distribution — the entry point for
+// scripted bursts and cascades. The armed natural failure is cancelled
+// (the natural process resumes after repair). Returns false if the node
+// is already down.
+func (n *Node) InjectFailure(repair time.Duration) bool {
+	if n.state != StateUp {
+		return false
+	}
+	n.failEpoch++ // cancel the armed natural failure
+	n.goDown(func(time.Duration) time.Duration { return repair })
+	return true
+}
+
+// goDown transitions the node to StateDown, notifies listeners after
+// the detection lag (if any), and schedules the repair — which starts
+// at observation, not at the true failure instant.
+func (n *Node) goDown(repairOf func(now time.Duration) time.Duration) {
 	now := n.engine.Now()
 	n.state = StateDown
 	n.failures++
 	n.totalUp += now - n.upSince
 	n.downSince = now
-	for _, l := range n.listeners {
-		l.NodeFailed(n, now)
+	var lag time.Duration
+	if n.detect != nil {
+		if lag = n.detect.Latency(n.src); lag < 0 {
+			lag = 0
+		}
 	}
-	repair := n.nextTTR(now)
-	// Schedule can only fail on a negative delay, which the providers
-	// rule out.
-	if err := n.engine.Schedule(repair, n.repairDone); err != nil {
-		panic(fmt.Sprintf("sim: schedule repair: %v", err))
+	n.lastLag = lag
+	observe := func() {
+		at := n.engine.Now()
+		for _, l := range n.snapshotListeners() {
+			l.NodeFailed(n, at)
+		}
+		repair := repairOf(at)
+		if n.repairScale != nil {
+			repair = time.Duration(float64(repair) * n.repairScale(at))
+		}
+		if repair < time.Second {
+			repair = time.Second
+		}
+		// Schedule can only fail on a negative delay, which the clamp
+		// above rules out.
+		if err := n.engine.Schedule(repair, n.repairDone); err != nil {
+			panic(fmt.Sprintf("sim: schedule repair: %v", err))
+		}
+	}
+	if lag <= 0 {
+		observe()
+		return
+	}
+	if err := n.engine.Schedule(lag, observe); err != nil {
+		panic(fmt.Sprintf("sim: schedule detection: %v", err))
 	}
 }
 
@@ -165,7 +253,7 @@ func (n *Node) repairDone() {
 	n.state = StateUp
 	n.totalDown += now - n.downSince
 	n.upSince = now
-	for _, l := range n.listeners {
+	for _, l := range n.snapshotListeners() {
 		l.NodeRepaired(n, now)
 	}
 	if err := n.scheduleFailure(); err != nil {

@@ -96,6 +96,8 @@ func ReplayCluster(d *failures.Dataset, scheduler Scheduler) (*Cluster, error) {
 		engine:    engine,
 		scheduler: scheduler,
 		busy:      make(map[int]bool),
+		jobNodes:  make(map[*Job][]*Node),
+		coSched:   make(map[int][]*Node),
 	}
 	for i, nodeID := range d.Nodes() {
 		records := d.Filter(func(r failures.Record) bool { return r.Node == nodeID })
