@@ -1,9 +1,10 @@
 GO ?= go
 
-.PHONY: check vet build test race fuzz bench
+.PHONY: check vet build test race fuzz fuzz-smoke bench bench-engine golden
 
-# The full gate: what CI runs.
-check: vet build race
+# The full gate: what CI runs — static checks, build, the race detector
+# over every test, and a short fuzz smoke of the CSV reader.
+check: vet build race fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -20,5 +21,17 @@ race:
 fuzz:
 	$(GO) test -fuzz=FuzzReadCSV -fuzztime=30s ./internal/failures
 
+# A 10-second fuzz pass, cheap enough for every check run.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzReadCSV -fuzztime=10s -run=^$$ ./internal/failures
+
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# Sequential-vs-parallel engine wall clock; refreshes BENCH_engine.json.
+bench-engine:
+	$(GO) run ./cmd/enginebench
+
+# Rewrite the cmd/reproduce golden file after a reviewed output change.
+golden:
+	$(GO) test ./cmd/reproduce -run TestReproduceGolden -update

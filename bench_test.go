@@ -6,6 +6,7 @@
 package hpcfail_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -375,6 +376,45 @@ func BenchmarkTraceReplay(b *testing.B) {
 		}
 	}
 }
+
+// fleetSpec is the workload behind the engine benchmarks: every system of
+// the 22-system trace plus the fleet aggregate, four-family fits on both
+// samples and bootstrap CIs for the paper's two headline families.
+func fleetSpec() hpcfail.ShardSpec {
+	return hpcfail.ShardSpec{
+		IncludeFleet: true,
+		CIFamilies:   []hpcfail.Family{hpcfail.FamilyWeibull, hpcfail.FamilyLogNormal},
+	}
+}
+
+func benchFleet(b *testing.B, workers int) {
+	b.Helper()
+	d := benchDataset(b)
+	spec := fleetSpec()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// A fresh engine per iteration: the memo cache would otherwise turn
+		// every iteration after the first into pure cache hits.
+		eng := hpcfail.NewEngine(hpcfail.EngineOptions{Workers: workers, BootstrapReps: 32, Seed: 1})
+		res, err := eng.AnalyzeFleet(context.Background(), d, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Shards) != 23 {
+			b.Fatalf("%d shards", len(res.Shards))
+		}
+	}
+}
+
+// BenchmarkFitSequential is the 1-worker fleet analysis: the baseline the
+// parallel path is compared against (see BENCH_engine.json).
+func BenchmarkFitSequential(b *testing.B) { benchFleet(b, 1) }
+
+// BenchmarkFitParallel is the same workload on an 8-worker pool. On a
+// multi-core host it should approach min(8, cores)x the sequential rate;
+// results are only meaningful alongside the recorded GOMAXPROCS.
+func BenchmarkFitParallel(b *testing.B) { benchFleet(b, 8) }
 
 // BenchmarkHazardEstimation measures the nonparametric hazard pipeline on
 // the reference interarrival sample.

@@ -1,0 +1,159 @@
+// Command enginebench measures the analysis engine's sequential-vs-parallel
+// wall clock on the generated 22-system reference trace and writes the
+// result, with machine metadata, to BENCH_engine.json. The speedup numbers
+// are only meaningful alongside the recorded CPU count: on a single-core
+// host every worker count collapses to ~1x.
+//
+// Usage:
+//
+//	enginebench [-out BENCH_engine.json] [-bootstrap 32] [-reps 3] [-workers 1,2,4,8]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"hpcfail/internal/dist"
+	"hpcfail/internal/engine"
+	"hpcfail/internal/failures"
+	"hpcfail/internal/lanl"
+)
+
+type workerResult struct {
+	Workers   int     `json:"workers"`
+	BestMs    float64 `json:"best_ms"`
+	MeanMs    float64 `json:"mean_ms"`
+	SpeedupX  float64 `json:"speedup_vs_1_worker"`
+	CacheMiss uint64  `json:"fit_cache_misses"`
+}
+
+type benchReport struct {
+	Benchmark     string         `json:"benchmark"`
+	GOOS          string         `json:"goos"`
+	GOARCH        string         `json:"goarch"`
+	GoVersion     string         `json:"go_version"`
+	NumCPU        int            `json:"num_cpu"`
+	GOMAXPROCS    int            `json:"gomaxprocs"`
+	TraceRecords  int            `json:"trace_records"`
+	TraceSystems  int            `json:"trace_systems"`
+	Shards        int            `json:"shards"`
+	BootstrapReps int            `json:"bootstrap_reps"`
+	RepsPerPoint  int            `json:"timing_reps_per_point"`
+	Results       []workerResult `json:"results"`
+	Note          string         `json:"note"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "enginebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("enginebench", flag.ContinueOnError)
+	out := fs.String("out", "BENCH_engine.json", "output file")
+	bootstrap := fs.Int("bootstrap", 32, "bootstrap resamples per CI")
+	reps := fs.Int("reps", 3, "timing repetitions per worker count (best and mean recorded)")
+	workersFlag := fs.String("workers", "1,2,4,8", "comma-separated worker counts")
+	seed := fs.Int64("seed", 1, "trace and bootstrap seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var counts []int
+	for _, part := range strings.Split(*workersFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad worker count %q", part)
+		}
+		counts = append(counts, n)
+	}
+
+	dataset, err := lanl.NewGenerator(lanl.Config{Seed: *seed}).Generate()
+	if err != nil {
+		return fmt.Errorf("generate: %w", err)
+	}
+	spec := engine.ShardSpec{
+		IncludeFleet: true,
+		CIFamilies:   []dist.Family{dist.FamilyWeibull, dist.FamilyLogNormal},
+	}
+	ctx := context.Background()
+
+	report := benchReport{
+		Benchmark:     "engine.AnalyzeFleet: 4-family fits + bootstrap CIs per shard, 22-system trace",
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		GoVersion:     runtime.Version(),
+		NumCPU:        runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		TraceRecords:  dataset.Len(),
+		TraceSystems:  len(dataset.Systems()),
+		BootstrapReps: *bootstrap,
+		RepsPerPoint:  *reps,
+		Note: "deterministic pipeline: output is byte-identical at every worker count; " +
+			"speedup is bounded by min(workers, num_cpu)",
+	}
+
+	var baselineBest float64
+	for _, workers := range counts {
+		best, mean, misses, shards, err := timeFleet(ctx, dataset, spec, workers, *bootstrap, *seed, *reps)
+		if err != nil {
+			return err
+		}
+		report.Shards = shards
+		if workers == counts[0] {
+			baselineBest = best
+		}
+		report.Results = append(report.Results, workerResult{
+			Workers:   workers,
+			BestMs:    round2(best),
+			MeanMs:    round2(mean),
+			SpeedupX:  round2(baselineBest / best),
+			CacheMiss: misses,
+		})
+		fmt.Printf("workers=%d best=%.1fms mean=%.1fms speedup=%.2fx\n",
+			workers, best, mean, baselineBest/best)
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}
+
+func timeFleet(ctx context.Context, d *failures.Dataset, spec engine.ShardSpec,
+	workers, bootstrap int, seed int64, reps int) (best, mean float64, misses uint64, shards int, err error) {
+	best = -1
+	for r := 0; r < reps; r++ {
+		// Fresh engine per repetition so the memo cache never hides work.
+		eng := engine.New(engine.Options{Workers: workers, BootstrapReps: bootstrap, Seed: seed})
+		start := time.Now()
+		res, ferr := eng.AnalyzeFleet(ctx, d, spec)
+		if ferr != nil {
+			return 0, 0, 0, 0, ferr
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		mean += ms
+		if best < 0 || ms < best {
+			best = ms
+		}
+		shards = len(res.Shards)
+		_, misses = eng.Stats()
+	}
+	return best, mean / float64(reps), misses, shards, nil
+}
+
+func round2(v float64) float64 { return float64(int(v*100+0.5)) / 100 }

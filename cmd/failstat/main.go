@@ -6,13 +6,19 @@
 //	failstat -data trace.csv -analysis rootcause
 //	failstat -data trace.csv -analysis pernode -system 20
 //	failstat -data trace.csv -analysis interarrival -system 20 -node 22 -split 2000
+//	failstat -data trace.csv -analysis fleet -workers 4 -bootstrap 100
 //
 // Analyses: rootcause, downtime, rates, pernode, lifecycle, timeofday,
 // interarrival, repair, repair-systems, availability, details, trend,
-// hazard, batches, acf, kstest, changepoint.
+// hazard, batches, acf, kstest, changepoint, fleet.
+//
+// The fitting analyses (interarrival, repair, fleet) run through the
+// concurrent analysis engine: -workers bounds its pool and -bootstrap sets
+// the resample count behind the fleet analysis' confidence intervals.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -22,6 +28,7 @@ import (
 	"hpcfail/internal/analysis"
 	"hpcfail/internal/correlate"
 	"hpcfail/internal/dist"
+	"hpcfail/internal/engine"
 	"hpcfail/internal/failures"
 	"hpcfail/internal/hazard"
 	"hpcfail/internal/lanl"
@@ -48,12 +55,17 @@ func run(args []string, w io.Writer) error {
 	split := fs.Int("split", 2000, "boundary year for early/late interarrival windows")
 	months := fs.Int("months", 40, "months for the lifecycle curve")
 	cdf := fs.Bool("cdf", false, "also print the empirical-vs-fitted CDF series (interarrival, repair)")
+	workers := fs.Int("workers", 0, "analysis engine worker-pool size (0 = GOMAXPROCS)")
+	bootstrap := fs.Int("bootstrap", 100, "bootstrap resamples per fleet confidence interval (negative disables)")
+	seed := fs.Int64("seed", 1, "bootstrap base seed")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *dataPath == "" {
 		return fmt.Errorf("-data is required")
 	}
+	ctx := context.Background()
+	eng := engine.New(engine.Options{Workers: *workers, BootstrapReps: *bootstrap, Seed: *seed})
 	f, err := os.Open(*dataPath)
 	if err != nil {
 		return err
@@ -111,7 +123,7 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprint(w, report.Figure5(p))
 	case "interarrival":
 		boundary := time.Date(*split, 1, 1, 0, 0, 0, 0, time.UTC)
-		panels, err := analysis.Figure6(dataset, *system, *node, boundary)
+		panels, err := analysis.Figure6With(ctx, eng, dataset, *system, *node, boundary)
 		if err != nil {
 			return err
 		}
@@ -130,7 +142,7 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 		fmt.Fprint(w, report.Table2(rows))
-		study, err := analysis.RepairTimeFits(dataset)
+		study, err := analysis.RepairTimeFitsWith(ctx, eng, dataset)
 		if err != nil {
 			return err
 		}
@@ -249,6 +261,19 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "at %.0f h (%.1f months into production)\n", cp.At, cp.At/(24*30.44))
 		fmt.Fprintf(w, "rate: %.4f -> %.4f failures/h (log-likelihood ratio %.1f)\n",
 			cp.RateBefore, cp.RateAfter, cp.LogLikRatio)
+	case "fleet":
+		fleet, err := eng.AnalyzeFleet(ctx, dataset, engine.ShardSpec{
+			IncludeFleet: true,
+			CIFamilies:   []dist.Family{dist.FamilyWeibull, dist.FamilyLogNormal},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "Fleet sweep: per-system TBF and TTR fits with bootstrap CIs\n")
+		fmt.Fprint(w, report.FleetTable(fleet, eng.Level()))
+		hits, misses := eng.Stats()
+		fmt.Fprintf(w, "engine: %d workers, B=%d, fit cache %d hits / %d misses\n",
+			eng.Workers(), eng.BootstrapReps(), hits, misses)
 	case "batches":
 		sub := dataset.BySystem(*system)
 		stats, err := correlate.Summarize(sub, time.Minute)

@@ -6,12 +6,18 @@
 //
 // Usage:
 //
-//	fitdist [-families weibull,lognormal,...] [-quantiles 0.5,0.9,0.99] file
+//	fitdist [-families weibull,lognormal,...] [-quantiles 0.5,0.9,0.99]
+//	        [-workers N] [-bootstrap B] [-seed N] file
 //	... | fitdist -
+//
+// Fitting runs through the concurrent analysis engine; -bootstrap sets the
+// resample count behind the per-parameter confidence intervals of the best
+// fit (negative disables them) and -seed makes them reproducible.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -20,6 +26,7 @@ import (
 	"strings"
 
 	"hpcfail/internal/dist"
+	"hpcfail/internal/engine"
 	"hpcfail/internal/report"
 	"hpcfail/internal/stats"
 )
@@ -35,6 +42,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("fitdist", flag.ContinueOnError)
 	familiesFlag := fs.String("families", "", "comma-separated families (default: exponential,weibull,gamma,lognormal; add normal,pareto,hyperexp)")
 	quantilesFlag := fs.String("quantiles", "0.5,0.9,0.99", "quantiles to report for the best fit")
+	workers := fs.Int("workers", 0, "analysis engine worker-pool size (0 = GOMAXPROCS)")
+	bootstrap := fs.Int("bootstrap", 200, "bootstrap resamples for the best fit's parameter CIs (negative disables)")
+	seed := fs.Int64("seed", 1, "bootstrap base seed")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -74,7 +84,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "n=%d mean=%.6g median=%.6g stddev=%.6g C2=%.4g min=%.6g max=%.6g\n\n",
 		summary.N, summary.Mean, summary.Median, summary.StdDev, summary.C2, summary.Min, summary.Max)
 
-	cmp, err := dist.FitAll(xs, families...)
+	ctx := context.Background()
+	eng := engine.New(engine.Options{Workers: *workers, BootstrapReps: *bootstrap, Seed: *seed})
+	cmp, err := eng.FitAll(ctx, xs, families...)
 	if err != nil {
 		return fmt.Errorf("fit: %w", err)
 	}
@@ -90,6 +102,12 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(stdout, "\nbest: %s (%s), KS p-value <= %.4g\n", best.Family, best.Dist.Params(), pval)
+	if *bootstrap >= 0 {
+		if _, cis, err := eng.FitCI(ctx, xs, best.Family); err == nil {
+			fmt.Fprintf(stdout, "  %.0f%% bootstrap CI (B=%d): %s\n",
+				eng.Level()*100, eng.BootstrapReps(), report.ParamCIs(cis))
+		}
+	}
 	for _, q := range quantiles {
 		v, err := best.Dist.Quantile(q)
 		if err != nil {

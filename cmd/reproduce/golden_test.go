@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+const goldenFile = "testdata/reproduce_seed1.golden"
+
+// goldenArgs is the fixed invocation behind the golden file: fixed seed,
+// small bootstrap so the test stays fast, explicit worker count.
+func goldenArgs(workers string) []string {
+	return []string{"-seed", "1", "-bootstrap", "8", "-workers", workers}
+}
+
+// The full reproduce output on a fixed seed is a contract: any change to
+// the generator, the fitting stack, the engine or the report layer that
+// shifts a single byte must be reviewed (and blessed with -update).
+func TestReproduceGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full reproduction run")
+	}
+	var out bytes.Buffer
+	if err := run(goldenArgs("1"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenFile), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenFile, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", goldenFile, out.Len())
+		return
+	}
+	want, err := os.ReadFile(goldenFile)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Fatalf("output differs from %s (%d vs %d bytes); run with -update to bless\nfirst divergence near: %s",
+			goldenFile, out.Len(), len(want), firstDiff(out.Bytes(), want))
+	}
+}
+
+// The parallel fit path must be byte-identical to the sequential one on the
+// same seed — the engine's determinism contract, end to end through the CLI.
+func TestReproduceParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full reproduction run")
+	}
+	var seq, par bytes.Buffer
+	if err := run(goldenArgs("1"), &seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(goldenArgs("8"), &par); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seq.Bytes(), par.Bytes()) {
+		t.Fatalf("1-worker and 8-worker outputs differ\nfirst divergence near: %s",
+			firstDiff(seq.Bytes(), par.Bytes()))
+	}
+}
+
+// firstDiff returns a context snippet around the first differing byte.
+func firstDiff(a, b []byte) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	lo := i - 40
+	if lo < 0 {
+		lo = 0
+	}
+	hi := i + 40
+	if hi > n {
+		hi = n
+	}
+	return string(a[lo:hi])
+}

@@ -17,7 +17,7 @@ func TestReproduceFullRun(t *testing.T) {
 		t.Skip("full reproduction run")
 	}
 	var out bytes.Buffer
-	if err := run([]string{"-seed", "1"}, &out); err != nil {
+	if err := run([]string{"-seed", "1", "-bootstrap", "16"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()
@@ -77,7 +77,7 @@ func TestReproduceFromCSV(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if err := run([]string{"-data", path}, &out); err != nil {
+	if err := run([]string{"-data", path, "-bootstrap", "16"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	// The CSV path must produce the same record count as generation.

@@ -8,11 +8,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
 
 	"hpcfail/internal/analysis"
+	"hpcfail/internal/dist"
+	"hpcfail/internal/engine"
 	"hpcfail/internal/failures"
 	"hpcfail/internal/lanl"
 	"hpcfail/internal/report"
@@ -125,5 +128,17 @@ func run() error {
 	fmt.Printf("\nrepair tail risk: median %.0f min, p95 %.0f min, p99 %.0f min\n", med, p95, p99)
 	fmt.Println("the heavy lognormal tail (Figure 7a) means capacity planning must budget")
 	fmt.Println("for repairs an order of magnitude beyond the median.")
+
+	// How sure are we about the headline shape? The analysis engine fits
+	// the worst system's TBF with bootstrap confidence intervals.
+	eng := engine.New(engine.Options{BootstrapReps: 100, Seed: 1})
+	fleet, err := eng.AnalyzeFleet(context.Background(), dataset.BySystem(20), engine.ShardSpec{
+		CIFamilies: []dist.Family{dist.FamilyWeibull, dist.FamilyLogNormal},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nSystem 20 fit uncertainty (engine, B=100 bootstrap)")
+	fmt.Print(report.FleetTable(fleet, eng.Level()))
 	return nil
 }

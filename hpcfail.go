@@ -26,6 +26,7 @@ import (
 	"hpcfail/internal/checkpoint"
 	"hpcfail/internal/correlate"
 	"hpcfail/internal/dist"
+	"hpcfail/internal/engine"
 	"hpcfail/internal/failures"
 	"hpcfail/internal/hazard"
 	"hpcfail/internal/lanl"
@@ -147,6 +148,9 @@ type (
 	KSTestResult = dist.KSTestResult
 	// ParamCI is a bootstrap confidence interval for a fitted parameter.
 	ParamCI = dist.ParamCI
+	// Parameterized is implemented by distributions that expose their
+	// fitted parameters by name, which is what FitCI bootstraps over.
+	Parameterized = dist.Parameterized
 	// Family selects a distribution family for fitting.
 	Family = dist.Family
 	// FitResult is one fitted candidate; Comparison ranks them by NLL.
@@ -186,9 +190,12 @@ var (
 	NewHyperExp    = dist.NewHyperExp
 	FitHyperExp    = dist.FitHyperExp
 	// BootstrapKSTest gives a fit p-value that accounts for parameter
-	// estimation (the naive KS p-value does not); WeibullCI attaches
-	// bootstrap confidence intervals to the headline shape estimate.
+	// estimation (the naive KS p-value does not); FitCI attaches bootstrap
+	// confidence intervals to every parameter of any fitted family, and
+	// WeibullCI is its Weibull-typed convenience form for the headline
+	// shape estimate.
 	BootstrapKSTest = dist.BootstrapKSTest
+	FitCI           = dist.FitCI
 	WeibullCI       = dist.WeibullCI
 
 	// NewResampler builds a nonparametric sampler from an empirical
@@ -378,7 +385,46 @@ var (
 	MonthlySeries = analysis.MonthlySeries
 	MovingAverage = analysis.MovingAverage
 	PeakMonth     = analysis.PeakMonth
+	// StudyInterarrivalsWith, Figure6With and RepairTimeFitsWith are the
+	// Fitter-parameterized forms of the fitting analyses; pass a shared
+	// *Engine to memoize fits and bound concurrency.
+	StudyInterarrivalsWith = analysis.StudyInterarrivalsWith
+	Figure6With            = analysis.Figure6With
+	RepairTimeFitsWith     = analysis.RepairTimeFitsWith
 )
+
+// Fitter abstracts how analyses obtain distribution fits; *Engine satisfies
+// it, as does SequentialFitter.
+type Fitter = analysis.Fitter
+
+// SequentialFitter returns the inline, no-concurrency Fitter.
+var SequentialFitter = analysis.SequentialFitter
+
+// ---- Concurrent analysis engine (internal/engine) ----
+
+// Engine types.
+type (
+	// Engine is the concurrent, memoizing distribution-fitting pipeline:
+	// bounded worker pool, deterministic merge order, seeded bootstrap
+	// confidence intervals for every fitted parameter.
+	Engine = engine.Engine
+	// EngineOptions configures worker count, bootstrap replication count,
+	// confidence level and base seed.
+	EngineOptions = engine.Options
+	// ShardKey identifies one (system, workload, root cause) shard of a
+	// fleet analysis; ShardSpec controls sharding and fitted families.
+	ShardKey  = engine.ShardKey
+	ShardSpec = engine.ShardSpec
+	// Study is the fitted view of one sample; ShardResult and FleetResult
+	// assemble studies per shard and per fleet.
+	Study       = engine.Study
+	ShardResult = engine.ShardResult
+	FleetResult = engine.FleetResult
+)
+
+// NewEngine builds an analysis engine; the zero Options give GOMAXPROCS
+// workers, 200 bootstrap resamples at the 95% level and seed 0.
+var NewEngine = engine.New
 
 // ---- Cluster simulation and checkpointing (internal/sim, internal/checkpoint) ----
 

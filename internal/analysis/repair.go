@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 
 	"hpcfail/internal/dist"
@@ -74,6 +75,12 @@ type RepairFitStudy struct {
 
 // RepairTimeFits computes Figure 7(a) on all repair times in the dataset.
 func RepairTimeFits(d *failures.Dataset) (*RepairFitStudy, error) {
+	return RepairTimeFitsWith(context.Background(), seqFitter{}, d)
+}
+
+// RepairTimeFitsWith is RepairTimeFits with the fitting delegated to an
+// explicit Fitter (e.g. a shared *engine.Engine).
+func RepairTimeFitsWith(ctx context.Context, fitter Fitter, d *failures.Dataset) (*RepairFitStudy, error) {
 	minutes := d.RepairTimes()
 	if len(minutes) < 10 {
 		return nil, fmt.Errorf("repair time fits: %d repairs, need >= 10: %w",
@@ -83,7 +90,7 @@ func RepairTimeFits(d *failures.Dataset) (*RepairFitStudy, error) {
 	if err != nil {
 		return nil, fmt.Errorf("repair time fits: %w", err)
 	}
-	fits, err := dist.FitAll(minutes)
+	fits, err := fitter.FitAll(ctx, minutes)
 	if err != nil {
 		return nil, fmt.Errorf("repair time fits: %w", err)
 	}

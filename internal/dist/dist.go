@@ -49,6 +49,18 @@ type Continuous interface {
 	Params() string
 }
 
+// Parameterized is implemented by distributions that expose their fitted
+// parameters as an ordered numeric vector. It is what lets the generic
+// bootstrap (FitCI) attach a confidence interval to every parameter of any
+// family without knowing the family's accessors.
+type Parameterized interface {
+	// ParamNames returns the parameter names in a fixed order (e.g.
+	// ["shape", "scale"] for a Weibull).
+	ParamNames() []string
+	// ParamValues returns the parameter values in the same order.
+	ParamValues() []float64
+}
+
 // Hazarder is implemented by lifetime distributions that expose their hazard
 // rate h(t) = f(t) / (1 - F(t)). The paper uses the hazard rate's direction
 // (increasing vs decreasing) to interpret Weibull fits of time between

@@ -15,8 +15,9 @@ type Exponential struct {
 }
 
 var (
-	_ Continuous = Exponential{}
-	_ Hazarder   = Exponential{}
+	_ Continuous    = Exponential{}
+	_ Hazarder      = Exponential{}
+	_ Parameterized = Exponential{}
 )
 
 // NewExponential constructs an exponential distribution with rate > 0.
@@ -29,6 +30,12 @@ func NewExponential(rate float64) (Exponential, error) {
 
 // Rate returns λ.
 func (e Exponential) Rate() float64 { return e.rate }
+
+// ParamNames implements Parameterized.
+func (e Exponential) ParamNames() []string { return []string{"rate"} }
+
+// ParamValues implements Parameterized.
+func (e Exponential) ParamValues() []float64 { return []float64{e.rate} }
 
 // Name implements Continuous.
 func (e Exponential) Name() string { return "exponential" }

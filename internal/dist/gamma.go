@@ -34,6 +34,12 @@ func (g Gamma) Shape() float64 { return g.shape }
 // Scale returns θ.
 func (g Gamma) Scale() float64 { return g.scale }
 
+// ParamNames implements Parameterized.
+func (g Gamma) ParamNames() []string { return []string{"shape", "scale"} }
+
+// ParamValues implements Parameterized.
+func (g Gamma) ParamValues() []float64 { return []float64{g.shape, g.scale} }
+
 // Name implements Continuous.
 func (g Gamma) Name() string { return "gamma" }
 

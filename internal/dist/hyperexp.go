@@ -44,6 +44,12 @@ func (h HyperExp) Rate1() float64 { return h.rate1 }
 // Rate2 returns the second phase rate.
 func (h HyperExp) Rate2() float64 { return h.rate2 }
 
+// ParamNames implements Parameterized.
+func (h HyperExp) ParamNames() []string { return []string{"p", "rate1", "rate2"} }
+
+// ParamValues implements Parameterized.
+func (h HyperExp) ParamValues() []float64 { return []float64{h.p, h.rate1, h.rate2} }
+
 // Name implements Continuous.
 func (h HyperExp) Name() string { return "hyperexp" }
 

@@ -34,6 +34,12 @@ func (l LogNormal) Mu() float64 { return l.mu }
 // Sigma returns the log-domain standard deviation parameter.
 func (l LogNormal) Sigma() float64 { return l.sigma }
 
+// ParamNames implements Parameterized.
+func (l LogNormal) ParamNames() []string { return []string{"mu", "sigma"} }
+
+// ParamValues implements Parameterized.
+func (l LogNormal) ParamValues() []float64 { return []float64{l.mu, l.sigma} }
+
 // Name implements Continuous.
 func (l LogNormal) Name() string { return "lognormal" }
 

@@ -31,6 +31,12 @@ func (n Normal) Mu() float64 { return n.mu }
 // Sigma returns the standard deviation parameter.
 func (n Normal) Sigma() float64 { return n.sigma }
 
+// ParamNames implements Parameterized.
+func (n Normal) ParamNames() []string { return []string{"mu", "sigma"} }
+
+// ParamValues implements Parameterized.
+func (n Normal) ParamValues() []float64 { return []float64{n.mu, n.sigma} }
+
 // Name implements Continuous.
 func (n Normal) Name() string { return "normal" }
 

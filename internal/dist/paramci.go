@@ -18,63 +18,94 @@ type ParamCI struct {
 	Lo, Hi float64
 }
 
-// WeibullCI fits a Weibull and attaches percentile-bootstrap confidence
-// intervals to the shape and scale, at the given level (e.g. 0.95). The
-// paper reports "Weibull shape parameter of 0.7–0.8" across views and
-// windows; this quantifies how tight that statement is for a given sample.
-// reps <= 0 uses 200 resamples.
-func WeibullCI(xs []float64, reps int, level float64, seed int64) (Weibull, []ParamCI, error) {
+// Contains reports whether v lies inside [Lo, Hi].
+func (c ParamCI) Contains(v float64) bool { return v >= c.Lo && v <= c.Hi }
+
+// Overlaps reports whether [Lo, Hi] intersects [lo, hi].
+func (c ParamCI) Overlaps(lo, hi float64) bool { return c.Lo <= hi && lo <= c.Hi }
+
+// FitCI fits a family by maximum likelihood and attaches a seeded
+// nonparametric percentile-bootstrap confidence interval to every fitted
+// parameter: resample the data with replacement, refit, and take the
+// (alpha/2, 1-alpha/2) quantiles of each parameter's resampled estimates.
+// The paper reports point estimates only ("Weibull shape parameter of
+// 0.7-0.8"); the intervals quantify how tight such a statement is for a
+// given sample, which is what turns the band into an assertable test.
+// reps <= 0 uses 200 resamples; level is the confidence level (e.g. 0.95).
+// The result is deterministic in (xs, reps, level, seed).
+func FitCI(f Family, xs []float64, reps int, level float64, seed int64) (Continuous, []ParamCI, error) {
 	if level <= 0 || level >= 1 {
-		return Weibull{}, nil, fmt.Errorf("weibull CI: level %g outside (0, 1): %w", level, ErrBadParam)
+		return nil, nil, fmt.Errorf("fit CI %v: level %g outside (0, 1): %w", f, level, ErrBadParam)
 	}
 	if reps <= 0 {
 		reps = 200
 	}
-	fitted, err := FitWeibull(xs)
+	fitted, err := Fit(f, xs)
 	if err != nil {
-		return Weibull{}, nil, fmt.Errorf("weibull CI: %w", err)
+		return nil, nil, fmt.Errorf("fit CI %v: %w", f, err)
 	}
+	params, ok := fitted.(Parameterized)
+	if !ok {
+		return nil, nil, fmt.Errorf("fit CI %v: %T does not expose parameters: %w", f, fitted, ErrUnsupported)
+	}
+	names := params.ParamNames()
+	estimates := params.ParamValues()
+	if len(names) != len(estimates) {
+		return nil, nil, fmt.Errorf("fit CI %v: %d names vs %d values", f, len(names), len(estimates))
+	}
+
 	src := randx.NewSource(seed)
-	shapes := make([]float64, 0, reps)
-	scales := make([]float64, 0, reps)
+	resampled := make([][]float64, len(names))
 	resample := make([]float64, len(xs))
+	fitOK := 0
 	for r := 0; r < reps; r++ {
 		for i := range resample {
 			resample[i] = xs[src.Intn(len(xs))]
 		}
-		refit, err := FitWeibull(resample)
+		refit, err := Fit(f, resample)
 		if err != nil {
 			continue // degenerate resample
 		}
-		shapes = append(shapes, refit.Shape())
-		scales = append(scales, refit.Scale())
+		vals := refit.(Parameterized).ParamValues()
+		for i, v := range vals {
+			resampled[i] = append(resampled[i], v)
+		}
+		fitOK++
 	}
-	if len(shapes) < reps/2 {
-		return Weibull{}, nil, fmt.Errorf("weibull CI: only %d of %d resamples fitted: %w",
-			len(shapes), reps, ErrInsufficientData)
+	if fitOK < (reps+1)/2 {
+		return nil, nil, fmt.Errorf("fit CI %v: only %d of %d resamples fitted: %w",
+			f, fitOK, reps, ErrInsufficientData)
 	}
 	alpha := (1 - level) / 2
-	interval := func(name string, estimate float64, vals []float64) (ParamCI, error) {
-		lo, err := stats.Quantile(vals, alpha)
+	cis := make([]ParamCI, len(names))
+	for i, name := range names {
+		lo, err := stats.Quantile(resampled[i], alpha)
 		if err != nil {
-			return ParamCI{}, err
+			return nil, nil, fmt.Errorf("fit CI %v %s: %w", f, name, err)
 		}
-		hi, err := stats.Quantile(vals, 1-alpha)
+		hi, err := stats.Quantile(resampled[i], 1-alpha)
 		if err != nil {
-			return ParamCI{}, err
+			return nil, nil, fmt.Errorf("fit CI %v %s: %w", f, name, err)
 		}
 		if math.IsNaN(lo) || math.IsNaN(hi) {
-			return ParamCI{}, fmt.Errorf("weibull CI: NaN bound for %s", name)
+			return nil, nil, fmt.Errorf("fit CI %v: NaN bound for %s", f, name)
 		}
-		return ParamCI{Name: name, Estimate: estimate, Lo: lo, Hi: hi}, nil
+		cis[i] = ParamCI{Name: name, Estimate: estimates[i], Lo: lo, Hi: hi}
 	}
-	shapeCI, err := interval("shape", fitted.Shape(), shapes)
+	return fitted, cis, nil
+}
+
+// WeibullCI fits a Weibull and attaches percentile-bootstrap confidence
+// intervals to the shape and scale at the given level (e.g. 0.95). It is
+// the Weibull-typed convenience form of FitCI.
+func WeibullCI(xs []float64, reps int, level float64, seed int64) (Weibull, []ParamCI, error) {
+	fitted, cis, err := FitCI(FamilyWeibull, xs, reps, level, seed)
 	if err != nil {
 		return Weibull{}, nil, err
 	}
-	scaleCI, err := interval("scale", fitted.Scale(), scales)
-	if err != nil {
-		return Weibull{}, nil, err
+	wb, ok := fitted.(Weibull)
+	if !ok {
+		return Weibull{}, nil, fmt.Errorf("weibull CI: unexpected fit type %T", fitted)
 	}
-	return fitted, []ParamCI{shapeCI, scaleCI}, nil
+	return wb, cis, nil
 }

@@ -34,6 +34,12 @@ func (p Pareto) Xm() float64 { return p.xm }
 // Alpha returns the tail index.
 func (p Pareto) Alpha() float64 { return p.alpha }
 
+// ParamNames implements Parameterized.
+func (p Pareto) ParamNames() []string { return []string{"xm", "alpha"} }
+
+// ParamValues implements Parameterized.
+func (p Pareto) ParamValues() []float64 { return []float64{p.xm, p.alpha} }
+
 // Name implements Continuous.
 func (p Pareto) Name() string { return "pareto" }
 

@@ -1,0 +1,147 @@
+package dist
+
+import (
+	"fmt"
+	"testing"
+
+	"hpcfail/internal/randx"
+)
+
+// Property: for each standard family, the MLE on a large sample recovers
+// the generating parameters to within the bootstrap confidence interval of
+// the fit. Seeds are fixed, so this is deterministic, but it is checked
+// across several seeds and parameter settings rather than one golden case.
+func TestPropertyMLERecoversParameters(t *testing.T) {
+	cases := []struct {
+		family Family
+		truth  []float64 // in ParamValues order
+		make   func() (Continuous, error)
+	}{
+		{FamilyExponential, []float64{0.02}, func() (Continuous, error) { return NewExponential(0.02) }},
+		{FamilyWeibull, []float64{0.75, 600}, func() (Continuous, error) { return NewWeibull(0.75, 600) }},
+		{FamilyGamma, []float64{2.0, 50}, func() (Continuous, error) { return NewGamma(2.0, 50) }},
+		{FamilyLogNormal, []float64{3.5, 1.3}, func() (Continuous, error) { return NewLogNormal(3.5, 1.3) }},
+	}
+	const n = 5000
+	for _, tc := range cases {
+		for seed := int64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("%v/seed%d", tc.family, seed), func(t *testing.T) {
+				gen, err := tc.make()
+				if err != nil {
+					t.Fatal(err)
+				}
+				src := randx.NewSource(seed)
+				xs := make([]float64, n)
+				for i := range xs {
+					xs[i] = gen.Rand(src)
+				}
+				_, cis, err := FitCI(tc.family, xs, 80, 0.99, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(cis) != len(tc.truth) {
+					t.Fatalf("%d intervals for %d parameters", len(cis), len(tc.truth))
+				}
+				for i, ci := range cis {
+					if !ci.Contains(tc.truth[i]) {
+						t.Errorf("%s: true %g outside 99%% CI [%g, %g] (estimate %g)",
+							ci.Name, tc.truth[i], ci.Lo, ci.Hi, ci.Estimate)
+					}
+					if !(ci.Lo <= ci.Estimate && ci.Estimate <= ci.Hi) {
+						t.Errorf("%s: estimate %g outside its own CI [%g, %g]",
+							ci.Name, ci.Estimate, ci.Lo, ci.Hi)
+					}
+				}
+			})
+		}
+	}
+}
+
+// Property: on a large sample the NLL ranking identifies the generating
+// family. The exponential case uses AIC instead: Weibull and gamma nest the
+// exponential, so their NLL can only tie or beat it, and the information
+// criterion is what breaks the tie in the paper's methodology.
+func TestPropertyRankingPicksGeneratingFamily(t *testing.T) {
+	const n = 6000
+	cases := []struct {
+		family Family
+		make   func() (Continuous, error)
+		byAIC  bool
+	}{
+		{FamilyExponential, func() (Continuous, error) { return NewExponential(0.01) }, true},
+		{FamilyWeibull, func() (Continuous, error) { return NewWeibull(0.7, 500) }, false},
+		{FamilyGamma, func() (Continuous, error) { return NewGamma(3.0, 40) }, false},
+		{FamilyLogNormal, func() (Continuous, error) { return NewLogNormal(4.0, 1.5) }, false},
+	}
+	for _, tc := range cases {
+		for seed := int64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("%v/seed%d", tc.family, seed), func(t *testing.T) {
+				gen, err := tc.make()
+				if err != nil {
+					t.Fatal(err)
+				}
+				src := randx.NewSource(seed)
+				xs := make([]float64, n)
+				for i := range xs {
+					xs[i] = gen.Rand(src)
+				}
+				cmp, err := FitAll(xs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if tc.byAIC {
+					bestAIC := cmp.Results[0]
+					for _, r := range cmp.Results[1:] {
+						if r.Err == nil && r.AIC < bestAIC.AIC {
+							bestAIC = r
+						}
+					}
+					if bestAIC.Family != tc.family {
+						t.Errorf("AIC-best %v, want %v", bestAIC.Family, tc.family)
+					}
+					return
+				}
+				best, err := cmp.Best()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if best.Family != tc.family {
+					t.Errorf("NLL-best %v, want %v", best.Family, tc.family)
+				}
+			})
+		}
+	}
+}
+
+// Property: Parameterized names and values stay aligned for every family
+// the fitter can return, and round-trip through the fit.
+func TestPropertyParameterizedConsistency(t *testing.T) {
+	src := randx.NewSource(5)
+	wb, err := NewWeibull(0.8, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = wb.Rand(src)
+	}
+	for _, f := range []Family{FamilyExponential, FamilyWeibull, FamilyGamma,
+		FamilyLogNormal, FamilyNormal, FamilyPareto, FamilyHyperExp} {
+		fitted, err := Fit(f, xs)
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		p, ok := fitted.(Parameterized)
+		if !ok {
+			t.Errorf("%v: %T does not implement Parameterized", f, fitted)
+			continue
+		}
+		names, values := p.ParamNames(), p.ParamValues()
+		if len(names) != len(values) || len(names) == 0 {
+			t.Errorf("%v: %d names vs %d values", f, len(names), len(values))
+		}
+		if len(names) != fitted.NumParams() {
+			t.Errorf("%v: %d named parameters, NumParams says %d", f, len(names), fitted.NumParams())
+		}
+	}
+}

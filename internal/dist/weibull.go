@@ -16,8 +16,9 @@ type Weibull struct {
 }
 
 var (
-	_ Continuous = Weibull{}
-	_ Hazarder   = Weibull{}
+	_ Continuous    = Weibull{}
+	_ Hazarder      = Weibull{}
+	_ Parameterized = Weibull{}
 )
 
 // NewWeibull constructs a Weibull distribution with shape, scale > 0.
@@ -33,6 +34,12 @@ func (w Weibull) Shape() float64 { return w.shape }
 
 // Scale returns λ.
 func (w Weibull) Scale() float64 { return w.scale }
+
+// ParamNames implements Parameterized.
+func (w Weibull) ParamNames() []string { return []string{"shape", "scale"} }
+
+// ParamValues implements Parameterized.
+func (w Weibull) ParamValues() []float64 { return []float64{w.shape, w.scale} }
 
 // Name implements Continuous.
 func (w Weibull) Name() string { return "weibull" }

@@ -1,0 +1,261 @@
+// Package engine is the concurrent analysis pipeline behind every
+// distribution-fitting front-end in the repository. It fans maximum-
+// likelihood fits, negative-log-likelihood comparisons and nonparametric
+// bootstrap confidence intervals out across a bounded worker pool, memoizes
+// every fit by (sample hash, family, options) so repeated invocations reuse
+// results, and merges shard results in a deterministic order — the output
+// of a run is byte-for-byte independent of the worker count.
+//
+// Determinism is engineered in three places:
+//
+//   - every bootstrap task derives its random seed from (engine seed,
+//     sample hash, family), never from scheduling order;
+//   - shard results are written into a position-indexed slice, so the merge
+//     order is the shard enumeration order regardless of completion order;
+//   - memoized entries are computed exactly once (sync.Once) and the cached
+//     value is what every caller sees.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"hpcfail/internal/dist"
+	"hpcfail/internal/stats"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers bounds the concurrent fit workers; <= 0 uses GOMAXPROCS.
+	Workers int
+	// BootstrapReps is the number of bootstrap resamples (B) behind every
+	// confidence interval. 0 uses 200; negative disables interval
+	// computation in AnalyzeFleet (FitCI still accepts explicit calls).
+	BootstrapReps int
+	// Level is the confidence level for bootstrap intervals; 0 uses 0.95.
+	Level float64
+	// Seed is the base seed for bootstrap resampling. Each task reseeds
+	// deterministically from (Seed, sample hash, family), so results do not
+	// depend on worker scheduling.
+	Seed int64
+}
+
+// Engine is a concurrent, memoizing distribution-fitting pipeline. It is
+// safe for use from multiple goroutines. Construct with New.
+type Engine struct {
+	workers int
+	reps    int
+	level   float64
+	seed    int64
+
+	mu      sync.Mutex
+	fits    map[fitKey]*fitEntry
+	cis     map[fitKey]*ciEntry
+	samples map[uint64]*sampleEntry
+
+	hits, misses atomic.Uint64
+}
+
+type fitKey struct {
+	hash   uint64
+	family dist.Family
+}
+
+type fitEntry struct {
+	once sync.Once
+	res  dist.FitResult
+}
+
+type ciEntry struct {
+	once sync.Once
+	dist dist.Continuous
+	cis  []dist.ParamCI
+	err  error
+}
+
+type sampleEntry struct {
+	once sync.Once
+	ecdf *stats.ECDF
+	err  error
+}
+
+// New returns an Engine for the given options.
+func New(opts Options) *Engine {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.BootstrapReps == 0 {
+		opts.BootstrapReps = 200
+	}
+	if opts.Level == 0 {
+		opts.Level = 0.95
+	}
+	return &Engine{
+		workers: opts.Workers,
+		reps:    opts.BootstrapReps,
+		level:   opts.Level,
+		seed:    opts.Seed,
+		fits:    make(map[fitKey]*fitEntry),
+		cis:     make(map[fitKey]*ciEntry),
+		samples: make(map[uint64]*sampleEntry),
+	}
+}
+
+// Workers returns the worker-pool bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// BootstrapReps returns the configured bootstrap replication count;
+// negative means intervals are disabled.
+func (e *Engine) BootstrapReps() int { return e.reps }
+
+// Level returns the confidence level of the bootstrap intervals.
+func (e *Engine) Level() float64 { return e.level }
+
+// Stats reports memoization effectiveness: cache hits and misses across
+// fit, interval and sample-digest lookups.
+func (e *Engine) Stats() (hits, misses uint64) {
+	return e.hits.Load(), e.misses.Load()
+}
+
+// taskSeed derives the deterministic bootstrap seed of one (sample, family)
+// task. Mixing the sample hash and family into the engine seed makes the
+// seed a property of the task, not of when or where it runs.
+func (e *Engine) taskSeed(hash uint64, f dist.Family) int64 {
+	h := uint64(e.seed) ^ 0x9e3779b97f4a7c15
+	for _, v := range []uint64{hash, uint64(f)} {
+		h ^= v + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+	}
+	return int64(h)
+}
+
+func (e *Engine) sample(hash uint64, xs []float64) (*stats.ECDF, error) {
+	e.mu.Lock()
+	ent, ok := e.samples[hash]
+	if !ok {
+		ent = &sampleEntry{}
+		e.samples[hash] = ent
+	}
+	e.mu.Unlock()
+	ent.once.Do(func() {
+		ent.ecdf, ent.err = stats.NewECDF(xs)
+	})
+	return ent.ecdf, ent.err
+}
+
+// fitOne returns the memoized fit of one family to one sample, computing it
+// on first use. The returned FitResult mirrors dist.FitAll's per-family
+// bookkeeping (NLL, AIC, KS, or the fit error).
+func (e *Engine) fitOne(hash uint64, xs []float64, f dist.Family) dist.FitResult {
+	key := fitKey{hash: hash, family: f}
+	e.mu.Lock()
+	ent, ok := e.fits[key]
+	if !ok {
+		ent = &fitEntry{}
+		e.fits[key] = ent
+	}
+	e.mu.Unlock()
+	if ok {
+		e.hits.Add(1)
+	} else {
+		e.misses.Add(1)
+	}
+	ent.once.Do(func() {
+		ent.res = e.computeFit(hash, xs, f)
+	})
+	return ent.res
+}
+
+func (e *Engine) computeFit(hash uint64, xs []float64, f dist.Family) dist.FitResult {
+	res := dist.FitResult{Family: f}
+	d, err := dist.Fit(f, xs)
+	if err != nil {
+		res.Err = err
+		res.NLL = math.Inf(1)
+		res.AIC = math.Inf(1)
+		res.KS = math.NaN()
+		return res
+	}
+	res.Dist = d
+	nll, err := dist.NegLogLikelihood(d, xs)
+	if err != nil {
+		res.Err = err
+		res.NLL = math.Inf(1)
+		res.AIC = math.Inf(1)
+	} else {
+		res.NLL = nll
+		res.AIC = 2*float64(d.NumParams()) + 2*nll
+	}
+	ecdf, err := e.sample(hash, xs)
+	if err != nil {
+		res.KS = math.NaN()
+		return res
+	}
+	res.KS = ecdf.KolmogorovSmirnov(d.CDF)
+	return res
+}
+
+// FitAll fits each requested family to xs and ranks the results by NLL,
+// exactly as dist.FitAll does, but with every per-family fit memoized by
+// (sample hash, family). With no families it fits the paper's standard
+// four. The comparison is rebuilt per call so callers may not mutate shared
+// state; the underlying fits are shared.
+func (e *Engine) FitAll(ctx context.Context, xs []float64, families ...dist.Family) (*dist.Comparison, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("engine fit all: %w", dist.ErrInsufficientData)
+	}
+	if len(families) == 0 {
+		families = dist.StandardFamilies()
+	}
+	hash := stats.HashSample(xs)
+	if _, err := e.sample(hash, xs); err != nil {
+		return nil, fmt.Errorf("engine fit all: %w", err)
+	}
+	results := make([]dist.FitResult, 0, len(families))
+	for _, f := range families {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		results = append(results, e.fitOne(hash, xs, f))
+	}
+	sort.SliceStable(results, func(i, j int) bool {
+		return results[i].NLL < results[j].NLL
+	})
+	return &dist.Comparison{Results: results}, nil
+}
+
+// FitCI returns the memoized fit of one family together with seeded
+// percentile-bootstrap confidence intervals for every fitted parameter.
+// The bootstrap seed derives from (engine seed, sample hash, family), so
+// the intervals are identical at any worker count and across runs.
+func (e *Engine) FitCI(ctx context.Context, xs []float64, f dist.Family) (dist.Continuous, []dist.ParamCI, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	reps := e.reps
+	if reps < 0 {
+		return nil, nil, fmt.Errorf("engine fit CI %v: bootstrap disabled (reps %d)", f, reps)
+	}
+	hash := stats.HashSample(xs)
+	key := fitKey{hash: hash, family: f}
+	e.mu.Lock()
+	ent, ok := e.cis[key]
+	if !ok {
+		ent = &ciEntry{}
+		e.cis[key] = ent
+	}
+	e.mu.Unlock()
+	if ok {
+		e.hits.Add(1)
+	} else {
+		e.misses.Add(1)
+	}
+	ent.once.Do(func() {
+		ent.dist, ent.cis, ent.err = dist.FitCI(f, xs, reps, e.level, e.taskSeed(hash, f))
+	})
+	return ent.dist, ent.cis, ent.err
+}

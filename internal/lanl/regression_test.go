@@ -1,0 +1,151 @@
+package lanl_test
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+
+	"hpcfail/internal/dist"
+	"hpcfail/internal/engine"
+	"hpcfail/internal/failures"
+	"hpcfail/internal/lanl"
+)
+
+// Statistical regression tests: the calibrated generator must keep
+// reproducing the paper's headline numbers, asserted through the engine's
+// bootstrap confidence intervals rather than bare point estimates. Seeds
+// are fixed, so every run is deterministic and skip-free; the bands have
+// margin over the observed seed-to-seed spread, so a failure means the
+// generator or the fitting stack drifted, not that a die roll went bad.
+
+// Section 5.3: Weibull shape for time between failures is 0.7-0.8. The
+// system-wide interarrivals of system 20 (the paper's exemplar) must land
+// there — the whole 95% interval, not just the estimate.
+func TestRegressionInterarrivalWeibullShape(t *testing.T) {
+	const bandLo, bandHi = 0.70, 0.80
+	const ciLo, ciHi = 0.69, 0.81 // small margin for the interval endpoints
+	for seed := int64(1); seed <= 3; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			d, err := lanl.NewGenerator(lanl.Config{Seed: seed}).Generate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			xs := d.BySystem(20).PositiveInterarrivals()
+			if len(xs) < 4000 {
+				t.Fatalf("only %d positive interarrivals for system 20", len(xs))
+			}
+			eng := engine.New(engine.Options{BootstrapReps: 200, Seed: seed})
+			_, cis, err := eng.FitCI(context.Background(), xs, dist.FamilyWeibull)
+			if err != nil {
+				t.Fatal(err)
+			}
+			shape := cis[0]
+			if shape.Name != "shape" {
+				t.Fatalf("first weibull parameter is %q, want shape", shape.Name)
+			}
+			if shape.Estimate < bandLo || shape.Estimate > bandHi {
+				t.Errorf("shape %.3f outside the paper's %.2f-%.2f band", shape.Estimate, bandLo, bandHi)
+			}
+			if shape.Lo < ciLo || shape.Hi > ciHi {
+				t.Errorf("shape 95%% CI [%.3f, %.3f] escapes [%.2f, %.2f]",
+					shape.Lo, shape.Hi, ciLo, ciHi)
+			}
+			if !(shape.Lo <= shape.Estimate && shape.Estimate <= shape.Hi) {
+				t.Errorf("estimate %.3f outside its own CI [%.3f, %.3f]",
+					shape.Estimate, shape.Lo, shape.Hi)
+			}
+		})
+	}
+}
+
+// Table 2: median repair minutes by root cause. The generator's type-F
+// systems are calibrated directly against the table, so their fitted
+// lognormal medians must stay within 30% of the paper's values and the
+// bootstrap interval must overlap that tolerance band.
+func TestRegressionRepairMediansTable2(t *testing.T) {
+	table2Medians := map[failures.RootCause]float64{
+		failures.CauseUnknown:     32,
+		failures.CauseHuman:       44,
+		failures.CauseEnvironment: 269,
+		failures.CauseNetwork:     70,
+		failures.CauseSoftware:    33,
+		failures.CauseHardware:    64,
+	}
+	const tolerance = 0.30
+	d, err := lanl.NewGenerator(lanl.Config{Seed: 1}).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	typeF := d.Filter(func(r failures.Record) bool { return r.HW == "F" })
+	eng := engine.New(engine.Options{BootstrapReps: 200, Seed: 1})
+	for _, cause := range failures.Causes() {
+		t.Run(cause.String(), func(t *testing.T) {
+			want := table2Medians[cause]
+			minutes := typeF.ByCause(cause).RepairTimes()
+			if len(minutes) < 30 {
+				t.Fatalf("only %d type-F repairs for %v", len(minutes), cause)
+			}
+			_, cis, err := eng.FitCI(context.Background(), minutes, dist.FamilyLogNormal)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mu := cis[0]
+			if mu.Name != "mu" {
+				t.Fatalf("first lognormal parameter is %q, want mu", mu.Name)
+			}
+			median := math.Exp(mu.Estimate)
+			if ratio := median / want; ratio < 1-tolerance || ratio > 1+tolerance {
+				t.Errorf("%v: fitted median %.1f min vs Table 2's %.0f (ratio %.2f, tolerance ±%.0f%%)",
+					cause, median, want, ratio, tolerance*100)
+			}
+			medianCI := dist.ParamCI{Name: "median", Estimate: median,
+				Lo: math.Exp(mu.Lo), Hi: math.Exp(mu.Hi)}
+			if !medianCI.Overlaps(want*(1-tolerance), want*(1+tolerance)) {
+				t.Errorf("%v: median 95%% CI [%.1f, %.1f] misses the ±%.0f%% band around %.0f",
+					cause, medianCI.Lo, medianCI.Hi, tolerance*100, want)
+			}
+		})
+	}
+}
+
+// The fleet analysis view of the same facts: AnalyzeFleet's system-20 shard
+// must report the in-band Weibull shape through its Study helpers, and the
+// repair study must rank lognormal best (Section 6).
+func TestRegressionFleetShardSystem20(t *testing.T) {
+	d, err := lanl.NewGenerator(lanl.Config{Seed: 1}).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(engine.Options{Workers: 2, BootstrapReps: 100, Seed: 1})
+	fleet, err := eng.AnalyzeFleet(context.Background(), d.BySystem(20), engine.ShardSpec{
+		CIFamilies: []dist.Family{dist.FamilyWeibull, dist.FamilyLogNormal},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard, ok := fleet.Shard(engine.ShardKey{System: 20})
+	if !ok {
+		t.Fatal("no system 20 shard")
+	}
+	if shard.Err != nil {
+		t.Fatal(shard.Err)
+	}
+	shape, ok := shard.Interarrival.WeibullShapeCI()
+	if !ok {
+		t.Fatal("no weibull shape CI on the interarrival study")
+	}
+	if shape.Estimate < 0.70 || shape.Estimate > 0.80 {
+		t.Errorf("shape %.3f outside 0.70-0.80", shape.Estimate)
+	}
+	best, err := shard.Repair.Fits.Best()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Family != dist.FamilyLogNormal {
+		t.Errorf("repair best family %v, want lognormal", best.Family)
+	}
+	if _, ok := shard.Repair.LogNormalMedianCI(); !ok {
+		t.Error("no lognormal median CI on the repair study")
+	}
+}

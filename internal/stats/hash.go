@@ -1,0 +1,30 @@
+package stats
+
+import "math"
+
+// HashSample returns a 64-bit FNV-1a hash of a float sample, covering the
+// length and the exact bit pattern of every value in order. It is the
+// dataset-identity key the fit-memoization layer uses: two slices hash
+// equal iff they hold the same values in the same order (NaNs with
+// different payloads differ). Collisions between distinct samples are
+// possible in principle but negligible for the few dozen samples a process
+// analyzes.
+func HashSample(xs []float64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(len(xs)))
+	for _, x := range xs {
+		mix(math.Float64bits(x))
+	}
+	return h
+}
