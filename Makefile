@@ -1,13 +1,22 @@
 GO ?= go
 
-.PHONY: check vet build test race fuzz fuzz-smoke bench bench-engine golden
+.PHONY: check vet staticcheck build test race fuzz fuzz-smoke bench bench-engine bench-stream golden
 
 # The full gate: what CI runs — static checks, build, the race detector
 # over every test, and a short fuzz smoke of the CSV reader.
-check: vet build race fuzz-smoke
+check: vet staticcheck build race fuzz-smoke
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck when installed; go vet (above) plus the race gate is the
+# documented fallback, so a missing binary only prints a notice.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go vet + race cover the gate)"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -31,6 +40,10 @@ bench:
 # Sequential-vs-parallel engine wall clock; refreshes BENCH_engine.json.
 bench-engine:
 	$(GO) run ./cmd/enginebench
+
+# In-memory vs streaming fleet analysis; refreshes BENCH_stream.json.
+bench-stream:
+	$(GO) run ./cmd/streambench
 
 # Rewrite the cmd/reproduce golden file after a reviewed output change.
 golden:

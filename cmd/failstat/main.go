@@ -15,6 +15,14 @@
 // The fitting analyses (interarrival, repair, fleet) run through the
 // concurrent analysis engine: -workers bounds its pool and -bootstrap sets
 // the resample count behind the fleet analysis' confidence intervals.
+//
+// -stream runs the fleet analysis in one bounded-memory pass, never
+// materializing the trace: summaries come from one-pass accumulators
+// (exact moments, sketched medians within -epsilon relative error) and
+// fits from a seeded uniform subsample of at most -reservoir observations
+// per shard. It handles traces far larger than RAM:
+//
+//	failstat -data big-trace.csv -analysis fleet -stream
 package main
 
 import (
@@ -58,6 +66,9 @@ func run(args []string, w io.Writer) error {
 	workers := fs.Int("workers", 0, "analysis engine worker-pool size (0 = GOMAXPROCS)")
 	bootstrap := fs.Int("bootstrap", 100, "bootstrap resamples per fleet confidence interval (negative disables)")
 	seed := fs.Int64("seed", 1, "bootstrap base seed")
+	stream := fs.Bool("stream", false, "one-pass bounded-memory ingest (fleet analysis only)")
+	epsilon := fs.Float64("epsilon", 0, "streaming quantile-sketch relative error (0 = default)")
+	reservoir := fs.Int("reservoir", 0, "streaming per-shard fitting subsample cap (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -71,6 +82,12 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	defer f.Close()
+	if *stream {
+		if *which != "fleet" {
+			return fmt.Errorf("-stream supports only -analysis fleet, got %q", *which)
+		}
+		return streamFleet(ctx, eng, f, w, *epsilon, *reservoir)
+	}
 	dataset, err := failures.ReadCSV(f)
 	if err != nil {
 		return fmt.Errorf("read %s: %w", *dataPath, err)
@@ -287,6 +304,43 @@ func run(args []string, w io.Writer) error {
 	default:
 		return fmt.Errorf("unknown analysis %q", *which)
 	}
+	return nil
+}
+
+// streamFleet is the -stream path: one bounded-memory pass over the CSV
+// through the streaming engine, record by record, without ever building a
+// Dataset. The report is the same fleet table; summaries carry the
+// documented sketch/reservoir accuracy trade instead of being exact.
+func streamFleet(ctx context.Context, eng *engine.Engine, f io.Reader, w io.Writer, epsilon float64, reservoir int) error {
+	sc, err := failures.NewScanner(f, failures.ReadCSVOptions{SkipMalformed: true})
+	if err != nil {
+		return err
+	}
+	fleet, info, err := eng.AnalyzeStream(ctx, sc, engine.StreamOptions{
+		Spec: engine.ShardSpec{
+			IncludeFleet: true,
+			CIFamilies:   []dist.Family{dist.FamilyWeibull, dist.FamilyLogNormal},
+		},
+		SketchEpsilon: epsilon,
+		ReservoirSize: reservoir,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Fleet sweep (streaming): per-system TBF and TTR fits with bootstrap CIs\n")
+	fmt.Fprint(w, report.FleetTable(fleet, eng.Level()))
+	hits, misses := eng.Stats()
+	fmt.Fprintf(w, "engine: %d workers, B=%d, fit cache %d hits / %d misses\n",
+		eng.Workers(), eng.BootstrapReps(), hits, misses)
+	fmt.Fprintf(w, "stream: %d records in one pass, sketch eps %g, reservoir %d/shard",
+		info.RecordsScanned, info.SketchEpsilon, info.ReservoirSize)
+	if n := len(sc.RowErrors()); n > 0 {
+		fmt.Fprintf(w, ", %d malformed rows skipped", n)
+	}
+	if info.OutOfOrder > 0 {
+		fmt.Fprintf(w, ", %d out-of-order records (interarrivals unreliable)", info.OutOfOrder)
+	}
+	fmt.Fprintln(w)
 	return nil
 }
 

@@ -153,6 +153,28 @@ func TestStatisticalAnalyses(t *testing.T) {
 	}
 }
 
+func TestStreamFleet(t *testing.T) {
+	path := testTrace(t)
+	var out bytes.Buffer
+	if err := run([]string{"-data", path, "-analysis", "fleet", "-stream", "-bootstrap", "8"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Fleet sweep (streaming)",
+		"fleet / all / all", // the aggregate shard reached the table
+		"records in one pass",
+		"sketch eps",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	// -stream is fleet-only.
+	if err := run([]string{"-data", path, "-analysis", "repair", "-stream"}, &out); err == nil {
+		t.Fatal("-stream with non-fleet analysis: want error")
+	}
+}
+
 func TestCDFSeriesFlag(t *testing.T) {
 	path := testTrace(t)
 	var out bytes.Buffer

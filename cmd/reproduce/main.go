@@ -12,6 +12,10 @@
 // -workers bounds its worker pool (0 = GOMAXPROCS) and -bootstrap sets the
 // resample count behind every confidence interval (negative disables CIs).
 // The output is byte-identical at any worker count.
+//
+// With -stream (requires -data), only the fleet sweep is run, in a single
+// bounded-memory pass over the CSV — the mode for traces larger than RAM.
+// The per-figure experiments need the materialized trace and are skipped.
 package main
 
 import (
@@ -47,11 +51,19 @@ func run(args []string, w io.Writer) error {
 	dataPath := fs.String("data", "", "analyze an existing CSV trace instead of generating")
 	workers := fs.Int("workers", 0, "analysis engine worker-pool size (0 = GOMAXPROCS)")
 	bootstrap := fs.Int("bootstrap", 100, "bootstrap resamples per confidence interval (negative disables)")
+	stream := fs.Bool("stream", false, "bounded-memory fleet sweep only (requires -data)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	ctx := context.Background()
 	eng := engine.New(engine.Options{Workers: *workers, BootstrapReps: *bootstrap, Seed: *seed})
+
+	if *stream {
+		if *dataPath == "" {
+			return fmt.Errorf("-stream requires -data (it exists to avoid materializing a trace)")
+		}
+		return streamFleet(ctx, eng, *dataPath, w)
+	}
 
 	var dataset *failures.Dataset
 	var err error
@@ -343,6 +355,43 @@ func run(args []string, w io.Writer) error {
 	fmt.Fprintf(w, "engine: B=%d bootstrap resamples, fit cache %d hits / %d misses\n",
 		eng.BootstrapReps(), hits, misses)
 	paper("Weibull shape 0.7-0.8 for time between failures; lognormal repair medians track hardware type")
+	return nil
+}
+
+// streamFleet runs the engine's one-pass fleet sweep over a CSV trace
+// without building a Dataset: exact streaming moments, sketched medians,
+// fits on seeded reservoir subsamples.
+func streamFleet(ctx context.Context, eng *engine.Engine, path string, w io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc, err := failures.NewScanner(f, failures.ReadCSVOptions{SkipMalformed: true})
+	if err != nil {
+		return err
+	}
+	fleet, info, err := eng.AnalyzeStream(ctx, sc, engine.StreamOptions{
+		Spec: engine.ShardSpec{
+			IncludeFleet: true,
+			CIFamilies:   []dist.Family{dist.FamilyWeibull, dist.FamilyLogNormal},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	title := "Fleet sweep (streaming): per-system fits with bootstrap CIs"
+	fmt.Fprintf(w, "\n%s\n%s\n", title, line(len(title)))
+	fmt.Fprint(w, report.FleetTable(fleet, eng.Level()))
+	fmt.Fprintf(w, "stream: %d records in one pass, sketch eps %g, reservoir %d/shard",
+		info.RecordsScanned, info.SketchEpsilon, info.ReservoirSize)
+	if n := len(sc.RowErrors()); n > 0 {
+		fmt.Fprintf(w, ", %d malformed rows skipped", n)
+	}
+	if info.OutOfOrder > 0 {
+		fmt.Fprintf(w, ", %d out-of-order records (interarrivals unreliable)", info.OutOfOrder)
+	}
+	fmt.Fprintln(w)
 	return nil
 }
 

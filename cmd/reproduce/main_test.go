@@ -55,6 +55,43 @@ func TestReproduceBadFlags(t *testing.T) {
 	if err := run([]string{"-data", "/nonexistent.csv"}, &out); err == nil {
 		t.Fatal("missing data file: want error")
 	}
+	if err := run([]string{"-stream"}, &out); err == nil {
+		t.Fatal("-stream without -data: want error")
+	}
+}
+
+func TestReproduceStream(t *testing.T) {
+	dataset, err := lanl.NewGenerator(lanl.Config{Seed: 1, Systems: []int{5, 20}}).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := failures.WriteCSV(f, dataset); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-data", path, "-stream", "-bootstrap", "8"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "Fleet sweep (streaming)") {
+		t.Fatalf("missing streaming fleet sweep:\n%s", text)
+	}
+	want := fmt.Sprintf("stream: %d records in one pass", dataset.Len())
+	if !strings.Contains(text, want) {
+		t.Fatalf("missing %q:\n%s", want, text)
+	}
+	// The streaming mode must not run the materializing experiments.
+	if strings.Contains(text, "Figure 1(a)") {
+		t.Fatal("-stream ran the full reproduction suite")
+	}
 }
 
 func TestReproduceFromCSV(t *testing.T) {

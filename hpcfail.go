@@ -35,6 +35,7 @@ import (
 	"hpcfail/internal/resilience"
 	"hpcfail/internal/sim"
 	"hpcfail/internal/stats"
+	"hpcfail/internal/streamstats"
 	"hpcfail/internal/trend"
 )
 
@@ -92,7 +93,14 @@ var (
 type (
 	ReadCSVOptions = failures.ReadCSVOptions
 	RowError       = failures.RowError
+	// Scanner yields records one at a time from CSV without building a
+	// Dataset — the bounded-memory ingest path for traces larger than RAM.
+	Scanner = failures.Scanner
 )
+
+// NewScanner opens a streaming CSV reader sharing ReadCSV's parsing,
+// validation and lenient-mode semantics.
+var NewScanner = failures.NewScanner
 
 // ---- LANL environment and synthetic trace generation (internal/lanl) ----
 
@@ -226,6 +234,10 @@ var (
 	Summarize = stats.Summarize
 	Quantile  = stats.Quantile
 	NewECDF   = stats.NewECDF
+	// ErrNaN is returned by order-statistic routines given a sample
+	// containing NaN; ContainsNaN is the predicate behind it.
+	ErrNaN      = stats.ErrNaN
+	ContainsNaN = stats.ContainsNaN
 	// KolmogorovPValue bounds the p-value of a KS statistic;
 	// AndersonDarling is the tail-sensitive alternative.
 	KolmogorovPValue = stats.KolmogorovPValue
@@ -425,6 +437,38 @@ type (
 // NewEngine builds an analysis engine; the zero Options give GOMAXPROCS
 // workers, 200 bootstrap resamples at the 95% level and seed 0.
 var NewEngine = engine.New
+
+// ---- Streaming one-pass statistics (internal/streamstats, internal/engine) ----
+
+// Streaming accumulator types.
+type (
+	// StreamMoments is a mergeable one-pass (Welford) moment accumulator:
+	// mean, variance, C², extrema.
+	StreamMoments = streamstats.Moments
+	// QuantileSketch is a mergeable quantile sketch with a (1 ± ε)
+	// relative-error guarantee.
+	QuantileSketch = streamstats.QuantileSketch
+	// Reservoir keeps a seeded uniform subsample of a stream of unknown
+	// length (Vitter's Algorithm R).
+	Reservoir = streamstats.Reservoir
+	// StreamAccumulator bundles the three: the one-pass counterpart of
+	// Summarize plus a fitting subsample; StreamConfig sizes it.
+	StreamAccumulator = streamstats.Accumulator
+	StreamConfig      = streamstats.Config
+	// StreamOptions configures the engine's one-pass fleet analysis;
+	// StreamInfo reports what the pass saw. RecordSource is the record
+	// iterator it consumes — Scanner implements it.
+	StreamOptions = engine.StreamOptions
+	StreamInfo    = engine.StreamInfo
+	RecordSource  = engine.RecordSource
+)
+
+// Streaming constructors.
+var (
+	NewStreamAccumulator = streamstats.NewAccumulator
+	NewQuantileSketch    = streamstats.NewQuantileSketch
+	NewReservoir         = streamstats.NewReservoir
+)
 
 // ---- Cluster simulation and checkpointing (internal/sim, internal/checkpoint) ----
 

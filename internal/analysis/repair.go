@@ -19,7 +19,9 @@ type RepairStats struct {
 	// Mean, Median, StdDev are in minutes.
 	Mean, Median, StdDev float64
 	// C2 is the squared coefficient of variation, the paper's variability
-	// measure (Table 2 bottom row).
+	// measure (Table 2 bottom row). NaN when the category's mean repair
+	// time is zero (C² undefined); the report layer renders that as
+	// "undef".
 	C2 float64
 }
 

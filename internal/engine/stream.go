@@ -1,0 +1,326 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"hpcfail/internal/dist"
+	"hpcfail/internal/failures"
+	"hpcfail/internal/streamstats"
+)
+
+// RecordSource yields failure records one at a time. failures.Scanner
+// implements it; tests and benchmarks can substitute synthetic sources.
+type RecordSource interface {
+	Scan() bool
+	Record() failures.Record
+	Err() error
+}
+
+// StreamOptions configures AnalyzeStream.
+type StreamOptions struct {
+	// Spec controls sharding and fitting exactly as in AnalyzeFleet.
+	Spec ShardSpec
+	// SketchEpsilon is the quantile sketch's relative accuracy; <= 0 uses
+	// streamstats.DefaultSketchEpsilon.
+	SketchEpsilon float64
+	// ReservoirSize caps the per-shard fitting subsample; <= 0 uses
+	// streamstats.DefaultReservoirSize.
+	ReservoirSize int
+}
+
+// StreamInfo reports what one streaming pass saw.
+type StreamInfo struct {
+	// RecordsScanned is the number of records consumed from the source.
+	RecordsScanned int
+	// OutOfOrder counts records whose start time preceded the previous
+	// record's within the same shard. Streaming interarrivals assume a
+	// start-time-sorted trace (WriteCSV emits one); out-of-order records
+	// yield non-positive deltas, which are dropped exactly like the
+	// simultaneous failures the in-memory path drops, but a large count
+	// means the input was unsorted and the interarrival studies are not
+	// comparable to AnalyzeFleet's.
+	OutOfOrder int
+	// SketchEpsilon and ReservoirSize echo the effective configuration.
+	SketchEpsilon float64
+	ReservoirSize int
+}
+
+// shardAccum is the O(1)-memory state of one shard during a streaming
+// pass: counts, the previous start time for interarrival deltas, and one
+// streaming accumulator per sample kind.
+type shardAccum struct {
+	records    int
+	haveLast   bool
+	lastStart  time.Time
+	outOfOrder int
+	inter      *streamstats.Accumulator
+	repair     *streamstats.Accumulator
+}
+
+// shardSeed derives the deterministic reservoir seed of one (shard,
+// sample-kind) accumulator from the engine seed, so a streaming run's
+// subsamples — and therefore its fits — are reproducible regardless of
+// how the records arrive.
+func (e *Engine) shardSeed(key ShardKey, kind uint64) int64 {
+	h := uint64(e.seed) ^ 0x9e3779b97f4a7c15
+	for _, v := range []uint64{uint64(key.System), uint64(key.Workload), uint64(key.Cause), kind} {
+		h ^= v + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+	}
+	return int64(h)
+}
+
+func (e *Engine) newShardAccum(key ShardKey, opts StreamOptions) (*shardAccum, error) {
+	inter, err := streamstats.NewAccumulator(streamstats.Config{
+		SketchEpsilon: opts.SketchEpsilon,
+		ReservoirSize: opts.ReservoirSize,
+		Seed:          e.shardSeed(key, 1),
+	})
+	if err != nil {
+		return nil, err
+	}
+	repair, err := streamstats.NewAccumulator(streamstats.Config{
+		SketchEpsilon: opts.SketchEpsilon,
+		ReservoirSize: opts.ReservoirSize,
+		Seed:          e.shardSeed(key, 2),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &shardAccum{inter: inter, repair: repair}, nil
+}
+
+// add folds one record into the shard: repair minutes unconditionally
+// (positive only, like Dataset.RepairTimes), the start-time delta against
+// the shard's previous record as an interarrival (positive only, like
+// Dataset.PositiveInterarrivals).
+func (a *shardAccum) add(r failures.Record) {
+	a.records++
+	if m := r.Downtime().Minutes(); m > 0 {
+		a.repair.Add(m)
+	}
+	if a.haveLast {
+		if r.Start.Before(a.lastStart) {
+			a.outOfOrder++
+		} else if d := r.Start.Sub(a.lastStart).Seconds(); d > 0 {
+			a.inter.Add(d)
+		}
+		if r.Start.After(a.lastStart) {
+			a.lastStart = r.Start
+		}
+	} else {
+		a.haveLast = true
+		a.lastStart = r.Start
+	}
+}
+
+// AnalyzeStream is the bounded-memory counterpart of AnalyzeFleet: it
+// consumes records one at a time from src, sharding each into per-(system,
+// workload, cause) streaming accumulators, and never materializes the
+// trace. Memory is O(shards × reservoir size), independent of trace
+// length.
+//
+// The result mirrors AnalyzeFleet's — same shard enumeration order, same
+// ShardResult shape — with the documented accuracy trade:
+//
+//   - Summary moments (mean, variance, C², extrema) are exact up to
+//     floating-point reassociation;
+//   - Summary medians carry the sketch's (1 ± ε) relative-error
+//     guarantee;
+//   - distribution fits and their bootstrap intervals are computed on a
+//     seeded uniform reservoir subsample (exact whenever a shard's sample
+//     fits in the reservoir).
+//
+// Interarrival studies assume src yields records in start-time order; see
+// StreamInfo.OutOfOrder.
+func (e *Engine) AnalyzeStream(ctx context.Context, src RecordSource, opts StreamOptions) (*FleetResult, *StreamInfo, error) {
+	spec := opts.Spec
+	accums := make(map[ShardKey]*shardAccum)
+	info := &StreamInfo{
+		SketchEpsilon: opts.SketchEpsilon,
+		ReservoirSize: opts.ReservoirSize,
+	}
+	if info.SketchEpsilon <= 0 {
+		info.SketchEpsilon = streamstats.DefaultSketchEpsilon
+	}
+	if info.ReservoirSize <= 0 {
+		info.ReservoirSize = streamstats.DefaultReservoirSize
+	}
+
+	touch := func(key ShardKey, r failures.Record) error {
+		a, ok := accums[key]
+		if !ok {
+			var err error
+			if a, err = e.newShardAccum(key, opts); err != nil {
+				return err
+			}
+			accums[key] = a
+		}
+		a.add(r)
+		return nil
+	}
+
+	for src.Scan() {
+		if info.RecordsScanned%4096 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+		}
+		r := src.Record()
+		info.RecordsScanned++
+		keys := [4]ShardKey{{System: r.System}}
+		n := 1
+		if spec.IncludeFleet {
+			keys[n] = ShardKey{}
+			n++
+		}
+		if spec.ByWorkload {
+			keys[n] = ShardKey{System: r.System, Workload: r.Workload}
+			n++
+		}
+		if spec.ByCause {
+			keys[n] = ShardKey{System: r.System, Cause: r.Cause}
+			n++
+		}
+		for _, key := range keys[:n] {
+			if err := touch(key, r); err != nil {
+				return nil, nil, fmt.Errorf("engine analyze stream: %w", err)
+			}
+		}
+	}
+	if err := src.Err(); err != nil {
+		return nil, nil, fmt.Errorf("engine analyze stream: %w", err)
+	}
+	if info.RecordsScanned == 0 {
+		return nil, nil, fmt.Errorf("engine analyze stream: %w", failures.ErrNoRecords)
+	}
+	for _, a := range accums {
+		info.OutOfOrder += a.outOfOrder
+	}
+
+	// Enumerate shard keys exactly as buildShards does on a materialized
+	// dataset, so the merged output is ordered identically to
+	// AnalyzeFleet's at any worker count.
+	keys := streamShardKeys(accums, spec)
+	results := make([]ShardResult, len(keys))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < e.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if ctx.Err() != nil {
+					return
+				}
+				results[i] = e.streamShardResult(ctx, keys[i], accums[keys[i]], spec)
+			}
+		}()
+	}
+feed:
+	for i := range keys {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	return &FleetResult{Shards: results}, info, nil
+}
+
+// streamShardKeys orders the touched shards: fleet aggregate first, then
+// systems ascending, each followed by its workload shards (in Workloads()
+// order) and cause shards (in Causes() order) — the buildShards order.
+func streamShardKeys(accums map[ShardKey]*shardAccum, spec ShardSpec) []ShardKey {
+	var systems []int
+	for key := range accums {
+		if key.System != 0 && key.Workload == 0 && key.Cause == 0 {
+			systems = append(systems, key.System)
+		}
+	}
+	sort.Ints(systems)
+	var keys []ShardKey
+	if spec.IncludeFleet {
+		if _, ok := accums[ShardKey{}]; ok {
+			keys = append(keys, ShardKey{})
+		}
+	}
+	for _, id := range systems {
+		keys = append(keys, ShardKey{System: id})
+		if spec.ByWorkload {
+			for _, w := range failures.Workloads() {
+				if _, ok := accums[ShardKey{System: id, Workload: w}]; ok {
+					keys = append(keys, ShardKey{System: id, Workload: w})
+				}
+			}
+		}
+		if spec.ByCause {
+			for _, c := range failures.Causes() {
+				if _, ok := accums[ShardKey{System: id, Cause: c}]; ok {
+					keys = append(keys, ShardKey{System: id, Cause: c})
+				}
+			}
+		}
+	}
+	return keys
+}
+
+func (e *Engine) streamShardResult(ctx context.Context, key ShardKey, a *shardAccum, spec ShardSpec) ShardResult {
+	res := ShardResult{Key: key, Records: a.records}
+	var err error
+	res.Interarrival, err = e.streamStudy(ctx, a.inter, spec)
+	if err != nil {
+		res.Err = fmt.Errorf("shard %s interarrival: %w", key, err)
+		return res
+	}
+	res.Repair, err = e.streamStudy(ctx, a.repair, spec)
+	if err != nil {
+		res.Err = fmt.Errorf("shard %s repair: %w", key, err)
+		return res
+	}
+	return res
+}
+
+// streamStudy is the streaming analogue of study: the summary comes from
+// the one-pass accumulator (exact moments, sketched median) and the fits
+// from its reservoir subsample. A sample below the spec's minimum size
+// yields (nil, nil), matching the in-memory path.
+func (e *Engine) streamStudy(ctx context.Context, acc *streamstats.Accumulator, spec ShardSpec) (*Study, error) {
+	if acc.N() < spec.minN() {
+		return nil, nil
+	}
+	summary, err := acc.Summary()
+	if err != nil {
+		return nil, err
+	}
+	sample := acc.Sample()
+	fits, err := e.FitAll(ctx, sample, spec.families()...)
+	if err != nil {
+		return nil, err
+	}
+	st := &Study{N: acc.N(), Summary: summary, Fits: fits}
+	if e.reps < 0 {
+		return st, nil
+	}
+	st.CIs = make(map[dist.Family][]dist.ParamCI)
+	for _, f := range spec.ciFamilies() {
+		r, ok := fits.ByFamily(f)
+		if !ok || r.Err != nil {
+			continue
+		}
+		if _, cis, err := e.FitCI(ctx, sample, f); err == nil {
+			st.CIs[f] = cis
+		} else if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+	}
+	return st, nil
+}

@@ -2,7 +2,6 @@ package failures
 
 import (
 	"encoding/csv"
-	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -16,7 +15,10 @@ var csvHeader = []string{
 }
 
 // WriteCSV encodes the dataset in the repository's CSV format: one header
-// row followed by one row per record, timestamps in RFC 3339.
+// row followed by one row per record, timestamps in RFC 3339 with
+// nanosecond precision where present (RFC3339Nano omits trailing zeros,
+// so whole-second timestamps are written exactly as before). The reader
+// accepts both, making Write → Read an identity on any dataset.
 func WriteCSV(w io.Writer, d *Dataset) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(csvHeader); err != nil {
@@ -31,8 +33,8 @@ func WriteCSV(w io.Writer, d *Dataset) error {
 			r.Workload.String(),
 			r.Cause.String(),
 			r.Detail,
-			r.Start.UTC().Format(time.RFC3339),
-			r.End.UTC().Format(time.RFC3339),
+			r.Start.UTC().Format(time.RFC3339Nano),
+			r.End.UTC().Format(time.RFC3339Nano),
 		}
 		if err := cw.Write(row); err != nil {
 			return fmt.Errorf("write csv row %d: %w", i, err)
@@ -78,62 +80,26 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 // strict mode (the default) the first malformed row aborts the load. In
 // lenient mode malformed rows — bad CSV framing, unparseable fields, or
 // records failing validation — are skipped and reported as RowErrors
-// with their line numbers, and every well-formed row is kept.
+// with their true input line numbers, and every well-formed row is kept.
+// It is the materializing counterpart of Scanner, which shares all the
+// parsing and error handling but yields records one at a time.
 func ReadCSVWith(r io.Reader, opts ReadCSVOptions) (*Dataset, []RowError, error) {
-	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = len(csvHeader)
-	header, err := cr.Read()
+	sc, err := NewScanner(r, opts)
 	if err != nil {
-		return nil, nil, fmt.Errorf("read csv header: %w", err)
-	}
-	for i, want := range csvHeader {
-		if header[i] != want {
-			return nil, nil, fmt.Errorf("read csv: column %d is %q, want %q", i, header[i], want)
-		}
+		return nil, nil, err
 	}
 	var records []Record
-	var rowErrs []RowError
-	skip := func(line int, err error) ([]RowError, bool) {
-		if !opts.SkipMalformed {
-			return nil, false
-		}
-		rowErrs = append(rowErrs, RowError{Line: line, Err: err})
-		return rowErrs, true
+	for sc.Scan() {
+		records = append(records, sc.Record())
 	}
-	for line := 2; ; line++ {
-		row, err := cr.Read()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			var perr *csv.ParseError
-			if errors.As(err, &perr) {
-				// Framing errors report their own line; the reader can
-				// resume on the next row.
-				if _, ok := skip(perr.Line, err); ok {
-					line = perr.Line
-					continue
-				}
-			}
-			return nil, rowErrs, fmt.Errorf("read csv line %d: %w", line, err)
-		}
-		rec, err := parseRow(row)
-		if err == nil {
-			err = rec.Validate()
-		}
-		if err != nil {
-			if _, ok := skip(line, err); ok {
-				continue
-			}
-			return nil, rowErrs, fmt.Errorf("read csv line %d: %w", line, err)
-		}
-		records = append(records, rec)
+	if err := sc.Err(); err != nil {
+		return nil, sc.RowErrors(), err
 	}
 	d, err := NewDataset(records)
 	if err != nil {
-		return nil, rowErrs, err
+		return nil, sc.RowErrors(), err
 	}
-	return d, rowErrs, nil
+	return d, sc.RowErrors(), nil
 }
 
 func parseRow(row []string) (Record, error) {

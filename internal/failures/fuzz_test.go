@@ -40,6 +40,11 @@ func FuzzReadCSV(f *testing.F) {
 		header + "1,0,E\n",
 		header + "1,0,E,compute,Hardware,\"unterminated,2000-01-01T00:00:00Z,2000-01-01T01:00:00Z\n",
 		header + "1,0,E,compute,Hardware,,2000-01-01T01:00:00Z,2000-01-01T00:00:00Z\n", // end before start
+		// A quoted field spanning input lines followed by a bad row: line
+		// numbers must track true input lines, not record counts.
+		header + "1,0,E,compute,Hardware,\"a\nb\",2000-01-01T00:00:00Z,2000-01-01T01:00:00Z\n" +
+			"1,1,E,compute,Bogus,,2000-01-01T02:00:00Z,2000-01-01T03:00:00Z\n",
+		header + "1,0,E,compute,Hardware,,2000-01-01T00:00:00.25Z,2000-01-01T01:00:00.5Z\n", // sub-second
 		lenientInput,
 	} {
 		f.Add(s)
@@ -48,6 +53,41 @@ func FuzzReadCSV(f *testing.F) {
 	f.Fuzz(func(t *testing.T, input string) {
 		strictD, strictErr := ReadCSV(strings.NewReader(input))
 		lenientD, rowErrs, lenientErr := ReadCSVWith(strings.NewReader(input), ReadCSVOptions{SkipMalformed: true})
+
+		// The streaming scanner must agree with the lenient reader on
+		// accepted rows, and its reported lines — for records and row
+		// errors alike — must be strictly increasing true input lines.
+		if sc, err := NewScanner(strings.NewReader(input), ReadCSVOptions{SkipMalformed: true}); err == nil {
+			if lenientErr != nil {
+				t.Fatalf("scanner constructed but lenient reader failed header: %v", lenientErr)
+			}
+			prevLine := 1 // the header
+			n := 0
+			for sc.Scan() {
+				if sc.Line() <= prevLine {
+					t.Fatalf("record line %d not after previous line %d", sc.Line(), prevLine)
+				}
+				prevLine = sc.Line()
+				n++
+			}
+			if sc.Err() != nil {
+				t.Fatalf("lenient scanner hit fatal error: %v", sc.Err())
+			}
+			if n != lenientD.Len() {
+				t.Fatalf("scanner yielded %d rows, lenient reader kept %d", n, lenientD.Len())
+			}
+			if len(sc.RowErrors()) != len(rowErrs) {
+				t.Fatalf("scanner row errors %v, reader %v", sc.RowErrors(), rowErrs)
+			}
+			for _, re := range sc.RowErrors() {
+				if re.Line < 2 {
+					t.Fatalf("row error on line %d, before any data row: %v", re.Line, re)
+				}
+			}
+		} else if lenientErr == nil {
+			t.Fatalf("lenient reader accepted header the scanner rejected: %v", err)
+		}
+
 		if strictErr != nil {
 			return
 		}

@@ -82,8 +82,8 @@ func Figure3(study *analysis.NodeCountStudy) string {
 		values[i] = float64(study.CountsByNode[n])
 	}
 	b.WriteString(BarChart(labels, values, 40))
-	fmt.Fprintf(&b, "\ncompute-only counts: mean=%.1f var=%.1f C2=%.2f overdispersion=%.1f\n",
-		study.Summary.Mean, study.Summary.Variance, study.Summary.C2, study.Overdispersion())
+	fmt.Fprintf(&b, "\ncompute-only counts: mean=%.1f var=%.1f C2=%s overdispersion=%.1f\n",
+		study.Summary.Mean, study.Summary.Variance, FormatStat("%.2f", study.Summary.C2), study.Overdispersion())
 	t := NewTable("Model", "NLL", "Verdict")
 	verdict := func(err error, nll float64, best float64) string {
 		if err != nil {
@@ -169,8 +169,8 @@ func FitComparison(c *dist.Comparison) string {
 func Figure6Panel(label string, s *analysis.InterarrivalStudy) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figure 6 %s (%s view, %s)\n", label, s.View, s.Window)
-	fmt.Fprintf(&b, "n=%d  mean=%.0fs  median=%.0fs  C2=%.2f  zero-interarrival fraction=%.3f\n",
-		s.Summary.N, s.Summary.Mean, s.Summary.Median, s.Summary.C2, s.ZeroFraction)
+	fmt.Fprintf(&b, "n=%d  mean=%.0fs  median=%.0fs  C2=%s  zero-interarrival fraction=%.3f\n",
+		s.Summary.N, s.Summary.Mean, s.Summary.Median, FormatStat("%.2f", s.Summary.C2), s.ZeroFraction)
 	b.WriteString(FitComparison(s.Fits))
 	fmt.Fprintf(&b, "weibull shape=%.3f (hazard %s)\n", s.WeibullShape, hazardWord(s.HazardDecreasing))
 	return b.String()
@@ -195,7 +195,7 @@ func Table2(rows []analysis.RepairStats) string {
 			fmt.Sprintf("%.0f", r.Mean),
 			fmt.Sprintf("%.0f", r.Median),
 			fmt.Sprintf("%.0f", r.StdDev),
-			fmt.Sprintf("%.0f", r.C2),
+			FormatStat("%.0f", r.C2),
 		)
 	}
 	return "Table 2: time to repair by root cause\n" + t.String()
@@ -204,8 +204,8 @@ func Table2(rows []analysis.RepairStats) string {
 // Figure7a renders the repair-time distribution fits.
 func Figure7a(study *analysis.RepairFitStudy) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Figure 7(a): repair-time distribution, n=%d mean=%.0fmin median=%.0fmin C2=%.0f\n",
-		study.Summary.N, study.Summary.Mean, study.Summary.Median, study.Summary.C2)
+	fmt.Fprintf(&b, "Figure 7(a): repair-time distribution, n=%d mean=%.0fmin median=%.0fmin C2=%s\n",
+		study.Summary.N, study.Summary.Mean, study.Summary.Median, FormatStat("%.0f", study.Summary.C2))
 	b.WriteString(FitComparison(study.Fits))
 	return b.String()
 }

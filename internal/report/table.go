@@ -5,6 +5,7 @@ package report
 
 import (
 	"fmt"
+	"math"
 	"strings"
 )
 
@@ -118,6 +119,16 @@ func FormatCount(n int) string {
 		b.WriteString(s[i : i+3])
 	}
 	return b.String()
+}
+
+// FormatStat formats one statistic with the given fmt verb, rendering the
+// undefined case (NaN, e.g. C² of a zero-mean sample) as "undef" instead
+// of a misleading numeric cell.
+func FormatStat(format string, v float64) string {
+	if math.IsNaN(v) {
+		return "undef"
+	}
+	return fmt.Sprintf(format, v)
 }
 
 // Markdown renders the table as a GitHub-flavored markdown table.

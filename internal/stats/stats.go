@@ -15,6 +15,22 @@ import (
 // ErrEmpty is returned by routines that need at least one observation.
 var ErrEmpty = errors.New("stats: empty sample")
 
+// ErrNaN is returned by order-statistic routines given a sample containing
+// NaN: sorting NaNs has no defined order, so any quantile of such a sample
+// is meaningless and is rejected rather than silently arbitrary.
+var ErrNaN = errors.New("stats: sample contains NaN")
+
+// ContainsNaN reports whether xs contains a NaN observation — the
+// condition under which Quantile rejects and Summarize propagates NaN.
+func ContainsNaN(xs []float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			return true
+		}
+	}
+	return false
+}
+
 // Summary holds the descriptive statistics the paper reports for a sample
 // (Section 3: mean, median and squared coefficient of variation C²).
 type Summary struct {
@@ -30,20 +46,29 @@ type Summary struct {
 	Max float64
 }
 
-// Summarize computes a Summary of xs.
+// Summarize computes a Summary of xs. A sample containing NaN yields NaN
+// for every statistic — propagated explicitly rather than left to sort
+// order. A zero mean leaves C² (Var/Mean²) undefined, so it is NaN; a
+// genuinely zero-variance sample with nonzero mean has C² = 0.
 func Summarize(xs []float64) (Summary, error) {
 	if len(xs) == 0 {
 		return Summary{}, ErrEmpty
 	}
-	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	if ContainsNaN(xs) {
+		nan := math.NaN()
+		return Summary{
+			N: len(xs), Mean: nan, Median: nan, StdDev: nan,
+			Variance: nan, C2: nan, Min: nan, Max: nan,
+		}, nil
+	}
+	// One sorted copy serves the median and both extrema; the previous
+	// implementation paid a second O(n log n) sort inside Quantile.
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	s := Summary{N: len(xs), Min: sorted[0], Max: sorted[len(sorted)-1]}
 	for _, x := range xs {
 		s.Mean += x
-		if x < s.Min {
-			s.Min = x
-		}
-		if x > s.Max {
-			s.Max = x
-		}
 	}
 	s.Mean /= float64(len(xs))
 	if len(xs) > 1 {
@@ -56,12 +81,10 @@ func Summarize(xs []float64) (Summary, error) {
 	s.StdDev = math.Sqrt(s.Variance)
 	if s.Mean != 0 {
 		s.C2 = s.Variance / (s.Mean * s.Mean)
+	} else {
+		s.C2 = math.NaN()
 	}
-	med, err := Quantile(xs, 0.5)
-	if err != nil {
-		return Summary{}, err
-	}
-	s.Median = med
+	s.Median = quantileSorted(sorted, 0.5)
 	return s, nil
 }
 
@@ -92,7 +115,9 @@ func Variance(xs []float64) float64 {
 }
 
 // Quantile returns the q-th sample quantile (0 <= q <= 1) using linear
-// interpolation between order statistics (type-7, the R default).
+// interpolation between order statistics (type-7, the R default). A sample
+// containing NaN is rejected with ErrNaN: sort.Float64s places NaNs
+// arbitrarily, which previously made the result silently undefined.
 func Quantile(xs []float64, q float64) (float64, error) {
 	if len(xs) == 0 {
 		return math.NaN(), ErrEmpty
@@ -100,20 +125,29 @@ func Quantile(xs []float64, q float64) (float64, error) {
 	if q < 0 || q > 1 || math.IsNaN(q) {
 		return math.NaN(), fmt.Errorf("stats: quantile %g outside [0, 1]", q)
 	}
+	if ContainsNaN(xs) {
+		return math.NaN(), ErrNaN
+	}
 	sorted := make([]float64, len(xs))
 	copy(sorted, xs)
 	sort.Float64s(sorted)
+	return quantileSorted(sorted, q), nil
+}
+
+// quantileSorted computes the type-7 quantile of an already-sorted,
+// NaN-free, non-empty sample.
+func quantileSorted(sorted []float64, q float64) float64 {
 	if len(sorted) == 1 {
-		return sorted[0], nil
+		return sorted[0]
 	}
 	h := q * float64(len(sorted)-1)
 	lo := int(math.Floor(h))
 	hi := lo + 1
 	if hi >= len(sorted) {
-		return sorted[len(sorted)-1], nil
+		return sorted[len(sorted)-1]
 	}
 	frac := h - float64(lo)
-	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
 // Median returns the sample median.

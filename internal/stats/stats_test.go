@@ -45,13 +45,87 @@ func TestSummarizeEdge(t *testing.T) {
 	if s.Mean != 3 || s.Median != 3 || s.Variance != 0 || s.C2 != 0 {
 		t.Fatalf("single-element summary: %+v", s)
 	}
-	// Zero mean: C2 left at 0 rather than Inf.
-	s, err = Summarize([]float64{-1, 1})
+}
+
+// Regression: a zero-mean sample used to report C2 = 0, indistinguishable
+// from a genuinely zero-variance sample. The undefined case is now NaN.
+func TestSummarizeZeroMeanC2Undefined(t *testing.T) {
+	s, err := Summarize([]float64{-1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(s.C2) {
+		t.Fatalf("zero-mean C2 = %g, want NaN", s.C2)
+	}
+	// A constant nonzero sample genuinely has zero variability: C2 = 0.
+	s, err = Summarize([]float64{4, 4, 4})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if s.C2 != 0 {
-		t.Fatalf("zero-mean C2 = %g", s.C2)
+		t.Fatalf("constant-sample C2 = %g, want 0", s.C2)
+	}
+	// All-zero sample: variance and mean both zero, still undefined.
+	s, err = Summarize([]float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(s.C2) {
+		t.Fatalf("all-zero C2 = %g, want NaN", s.C2)
+	}
+}
+
+// Regression: NaN observations used to be sorted arbitrarily, making
+// Quantile silently undefined; they are now rejected with ErrNaN, and
+// Summarize propagates NaN to every statistic instead of depending on
+// sort placement.
+func TestNaNHandling(t *testing.T) {
+	xs := []float64{1, math.NaN(), 3}
+	if _, err := Quantile(xs, 0.5); err != ErrNaN {
+		t.Fatalf("Quantile with NaN: err = %v, want ErrNaN", err)
+	}
+	if _, err := Median(xs); err != ErrNaN {
+		t.Fatalf("Median with NaN: err = %v, want ErrNaN", err)
+	}
+	s, err := Summarize(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 3 {
+		t.Fatalf("N = %d, want 3", s.N)
+	}
+	for name, v := range map[string]float64{
+		"mean": s.Mean, "median": s.Median, "variance": s.Variance,
+		"stddev": s.StdDev, "c2": s.C2, "min": s.Min, "max": s.Max,
+	} {
+		if !math.IsNaN(v) {
+			t.Errorf("%s = %g, want NaN", name, v)
+		}
+	}
+}
+
+// Summarize must agree with standalone Quantile on the median while only
+// sorting once internally.
+func TestSummarizeMedianMatchesQuantile(t *testing.T) {
+	seed := uint64(77)
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + int(seed%97)
+		xs := make([]float64, n)
+		for i := range xs {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			xs[i] = float64(int64(seed>>33)%2000-1000) / 7
+		}
+		s, err := Summarize(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		med, err := Quantile(xs, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Median != med {
+			t.Fatalf("trial %d: Summarize median %g != Quantile %g", trial, s.Median, med)
+		}
 	}
 }
 

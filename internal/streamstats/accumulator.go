@@ -1,0 +1,102 @@
+package streamstats
+
+import (
+	"fmt"
+	"math"
+
+	"hpcfail/internal/stats"
+)
+
+// Accumulator is the one-pass counterpart of stats.Summarize plus a
+// fitting subsample: Welford moments for mean/variance/C²/extrema, a
+// quantile sketch for the median and percentiles, and a seeded reservoir
+// to feed distribution fitters. Construct with NewAccumulator.
+type Accumulator struct {
+	moments Moments
+	sketch  *QuantileSketch
+	res     *Reservoir
+}
+
+// Config sizes an Accumulator. The zero value uses
+// DefaultSketchEpsilon, DefaultReservoirSize and seed 0.
+type Config struct {
+	// SketchEpsilon is the quantile sketch's relative accuracy; <= 0 uses
+	// DefaultSketchEpsilon.
+	SketchEpsilon float64
+	// ReservoirSize caps the fitting subsample; <= 0 uses
+	// DefaultReservoirSize.
+	ReservoirSize int
+	// Seed drives the reservoir's replacement decisions.
+	Seed int64
+}
+
+// NewAccumulator builds an accumulator for the given configuration.
+func NewAccumulator(cfg Config) (*Accumulator, error) {
+	sketch, err := NewQuantileSketch(cfg.SketchEpsilon)
+	if err != nil {
+		return nil, err
+	}
+	return &Accumulator{
+		sketch: sketch,
+		res:    NewReservoir(cfg.ReservoirSize, cfg.Seed),
+	}, nil
+}
+
+// Add folds one observation into all three structures.
+func (a *Accumulator) Add(x float64) {
+	a.moments.Add(x)
+	a.sketch.Add(x)
+	a.res.Add(x)
+}
+
+// Merge folds another accumulator into a. Sketch epsilons and reservoir
+// capacities must match.
+func (a *Accumulator) Merge(o *Accumulator) error {
+	if err := a.sketch.Merge(o.sketch); err != nil {
+		return err
+	}
+	if err := a.res.Merge(o.res); err != nil {
+		return err
+	}
+	a.moments.Merge(&o.moments)
+	return nil
+}
+
+// N returns the observation count.
+func (a *Accumulator) N() int { return a.moments.N() }
+
+// Moments exposes the running moments.
+func (a *Accumulator) Moments() *Moments { return &a.moments }
+
+// Quantile returns the sketched q-th quantile.
+func (a *Accumulator) Quantile(q float64) (float64, error) { return a.sketch.Quantile(q) }
+
+// Sample returns the reservoir subsample for fitting.
+func (a *Accumulator) Sample() []float64 { return a.res.Sample() }
+
+// Summary assembles a stats.Summary from the streaming state: moments are
+// exact (up to floating-point reassociation), the median comes from the
+// sketch within its relative-accuracy guarantee. A sample that contained
+// NaN yields NaN fields, mirroring stats.Summarize.
+func (a *Accumulator) Summary() (stats.Summary, error) {
+	if a.N() == 0 {
+		return stats.Summary{}, stats.ErrEmpty
+	}
+	med, err := a.sketch.Median()
+	if err != nil && err != ErrNaNSketch {
+		return stats.Summary{}, fmt.Errorf("streamstats: summary median: %w", err)
+	}
+	if err == ErrNaNSketch {
+		med = math.NaN()
+	}
+	return stats.Summary{
+		N:        a.N(),
+		Mean:     a.moments.Mean(),
+		Median:   med,
+		StdDev:   a.moments.StdDev(),
+		Variance: a.moments.Variance(),
+		C2:       a.moments.C2(),
+		Min:      a.moments.Min(),
+		Max:      a.moments.Max(),
+	}, nil
+}

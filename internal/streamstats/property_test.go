@@ -1,0 +1,192 @@
+package streamstats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"hpcfail/internal/stats"
+)
+
+// bothNaNOrClose accepts two values that are both NaN, or both finite and
+// within tol relative error — the agreement contract between the streaming
+// accumulators and the in-memory stats package.
+func bothNaNOrClose(got, want, tol float64) bool {
+	if math.IsNaN(got) || math.IsNaN(want) {
+		return math.IsNaN(got) && math.IsNaN(want)
+	}
+	return math.Abs(got-want) <= tol*math.Max(1, math.Abs(want))
+}
+
+// TestAccumulatorAgreesWithSummarize is the streaming layer's accuracy
+// contract as a property: on any sample — NaN, ±Inf and single-observation
+// edges included — the one-pass Accumulator reproduces stats.Summarize's
+// moments within floating-point reassociation error and its median within
+// the sketch's relative-error guarantee.
+func TestAccumulatorAgreesWithSummarize(t *testing.T) {
+	const eps = 0.01
+	f := func(seedVals []float64, extreme bool) bool {
+		if len(seedVals) == 0 {
+			return true
+		}
+		// quick generates magnitudes up to MaxFloat64, where the two-pass
+		// sum overflows while Welford (correctly) does not; scale into a
+		// range where both definitions are exact so the comparison tests
+		// the streaming layer, not float overflow.
+		raw := make([]float64, len(seedVals))
+		for i, v := range seedVals {
+			raw[i] = v / 1e300
+		}
+		if extreme {
+			// Exercise the special-value paths quick never generates.
+			raw = append(raw, math.NaN(), math.Inf(1), math.Inf(-1), 0)
+		}
+		acc, err := NewAccumulator(Config{SketchEpsilon: eps, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, x := range raw {
+			acc.Add(x)
+		}
+		got, err := acc.Summary()
+		if err != nil {
+			t.Fatalf("accumulator summary: %v", err)
+		}
+		want, err := stats.Summarize(raw)
+		if err != nil {
+			t.Fatalf("summarize: %v", err)
+		}
+		if got.N != want.N {
+			t.Fatalf("N = %d, want %d", got.N, want.N)
+		}
+		for _, c := range []struct {
+			name      string
+			got, want float64
+		}{
+			{"mean", got.Mean, want.Mean},
+			{"variance", got.Variance, want.Variance},
+			{"stddev", got.StdDev, want.StdDev},
+			{"c2", got.C2, want.C2},
+		} {
+			// ±Inf arithmetic must land on the same infinity or NaN.
+			if math.IsInf(c.want, 0) {
+				if c.got != c.want && !(math.IsNaN(c.got) && math.IsNaN(c.want)) {
+					t.Fatalf("%s = %g, want %g (sample %v)", c.name, c.got, c.want, raw)
+				}
+				continue
+			}
+			if !bothNaNOrClose(c.got, c.want, 1e-6) {
+				t.Fatalf("%s = %g, want %g (sample %v)", c.name, c.got, c.want, raw)
+			}
+		}
+		if !bothNaNOrClose(got.Min, want.Min, 0) || !bothNaNOrClose(got.Max, want.Max, 0) {
+			t.Fatalf("min/max = %g/%g, want %g/%g", got.Min, got.Max, want.Min, want.Max)
+		}
+		return checkMedian(t, got.Median, raw, eps)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// checkMedian verifies the sketched median against the exact order
+// statistic at the sketch's anchor rank: equal for NaN/Inf/zero, within
+// eps relative error for finite nonzero values.
+func checkMedian(t *testing.T, got float64, raw []float64, eps float64) bool {
+	t.Helper()
+	if stats.ContainsNaN(raw) {
+		if !math.IsNaN(got) {
+			t.Fatalf("median of NaN sample = %g, want NaN", got)
+		}
+		return true
+	}
+	sorted := append([]float64(nil), raw...)
+	sort.Float64s(sorted)
+	want := sorted[int(math.Round(0.5*float64(len(sorted)-1)))]
+	if want == 0 || math.IsInf(want, 0) {
+		if got != want {
+			t.Fatalf("median = %g, want exactly %g (sample %v)", got, want, raw)
+		}
+		return true
+	}
+	if math.Abs(got-want) > eps*math.Abs(want)+1e-12 {
+		t.Fatalf("median = %g, want within %g%% of %g (sample %v)", got, 100*eps, want, raw)
+	}
+	return true
+}
+
+// TestAccumulatorSingleObservation pins the single-observation edge: all
+// three structures agree with Summarize on a one-element sample.
+func TestAccumulatorSingleObservation(t *testing.T) {
+	acc, err := NewAccumulator(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc.Add(42)
+	got, err := acc.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := stats.Summarize([]float64{42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != 1 || got.Mean != want.Mean || got.Variance != want.Variance ||
+		got.C2 != want.C2 || got.Min != 42 || got.Max != 42 {
+		t.Fatalf("single-observation summary %+v, want %+v", got, want)
+	}
+	if math.Abs(got.Median-42) > DefaultSketchEpsilon*42 {
+		t.Fatalf("median = %g, want within eps of 42", got.Median)
+	}
+	if n := len(acc.Sample()); n != 1 {
+		t.Fatalf("reservoir holds %d, want 1", n)
+	}
+	// Empty accumulator mirrors stats.ErrEmpty.
+	empty, err := NewAccumulator(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := empty.Summary(); err != stats.ErrEmpty {
+		t.Fatalf("empty summary err = %v, want stats.ErrEmpty", err)
+	}
+}
+
+// TestAccumulatorMerge checks that chunked accumulation plus Merge matches
+// one-pass accumulation on the same stream.
+func TestAccumulatorMerge(t *testing.T) {
+	rng := lcg(13)
+	whole, _ := NewAccumulator(Config{Seed: 1})
+	a, _ := NewAccumulator(Config{Seed: 1})
+	b, _ := NewAccumulator(Config{Seed: 2})
+	for i := 0; i < 4000; i++ {
+		x := math.Exp(6 * rng.float())
+		whole.Add(x)
+		if i < 1500 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	sw, err := whole.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := a.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.N != sw.N {
+		t.Fatalf("merged N = %d, want %d", sm.N, sw.N)
+	}
+	if !bothNaNOrClose(sm.Mean, sw.Mean, 1e-9) || !bothNaNOrClose(sm.Variance, sw.Variance, 1e-9) {
+		t.Fatalf("merged moments %+v, sequential %+v", sm, sw)
+	}
+	// The sketch merge is exact, so the medians are identical.
+	if sm.Median != sw.Median {
+		t.Fatalf("merged median %g != sequential %g", sm.Median, sw.Median)
+	}
+}

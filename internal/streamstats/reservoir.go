@@ -1,0 +1,102 @@
+package streamstats
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Reservoir keeps a uniform random subsample of fixed capacity from a
+// stream of unknown length (Vitter's Algorithm R), driven by a seeded
+// generator so the subsample is deterministic for a given (seed, stream)
+// pair. It bounds the input to the existing MLE fitters when the full
+// sample cannot be held. Construct with NewReservoir.
+type Reservoir struct {
+	capacity int
+	seen     uint64
+	sample   []float64
+	rng      *rand.Rand
+}
+
+// DefaultReservoirSize is the capacity used when NewReservoir is given a
+// non-positive one. 10k observations keep every fitter in the repository
+// well past its asymptotic regime while bounding memory.
+const DefaultReservoirSize = 10000
+
+// NewReservoir builds a seeded reservoir; capacity <= 0 uses
+// DefaultReservoirSize.
+func NewReservoir(capacity int, seed int64) *Reservoir {
+	if capacity <= 0 {
+		capacity = DefaultReservoirSize
+	}
+	// The sample grows on demand rather than preallocating capacity:
+	// analyses shard a stream into many reservoirs, most of which see far
+	// fewer observations than the cap.
+	return &Reservoir{
+		capacity: capacity,
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Add folds one observation into the reservoir.
+func (r *Reservoir) Add(x float64) {
+	r.seen++
+	if len(r.sample) < r.capacity {
+		r.sample = append(r.sample, x)
+		return
+	}
+	if j := r.rng.Int63n(int64(r.seen)); j < int64(r.capacity) {
+		r.sample[j] = x
+	}
+}
+
+// Merge folds another reservoir into r, keeping the combined sample
+// approximately uniform over both streams: when the union exceeds
+// capacity, each slot is drawn from r or o with probability proportional
+// to their stream lengths. Capacities must match.
+func (r *Reservoir) Merge(o *Reservoir) error {
+	if r.capacity != o.capacity {
+		return fmt.Errorf("streamstats: merge reservoirs with capacity %d and %d", r.capacity, o.capacity)
+	}
+	if o.seen == 0 {
+		return nil
+	}
+	if uint64(len(r.sample))+uint64(len(o.sample)) <= uint64(r.capacity) {
+		r.sample = append(r.sample, o.sample...)
+		r.seen += o.seen
+		return nil
+	}
+	mine, theirs := r.sample, append([]float64(nil), o.sample...)
+	merged := make([]float64, 0, r.capacity)
+	total := r.seen + o.seen
+	wMine := r.seen
+	for len(merged) < r.capacity && (len(mine) > 0 || len(theirs) > 0) {
+		takeMine := len(theirs) == 0
+		if !takeMine && len(mine) > 0 {
+			takeMine = uint64(r.rng.Int63n(int64(total))) < wMine
+		}
+		if takeMine {
+			i := r.rng.Intn(len(mine))
+			merged = append(merged, mine[i])
+			mine[i] = mine[len(mine)-1]
+			mine = mine[:len(mine)-1]
+		} else {
+			i := r.rng.Intn(len(theirs))
+			merged = append(merged, theirs[i])
+			theirs[i] = theirs[len(theirs)-1]
+			theirs = theirs[:len(theirs)-1]
+		}
+	}
+	r.sample = merged
+	r.seen = total
+	return nil
+}
+
+// Seen returns how many observations have been offered.
+func (r *Reservoir) Seen() int { return int(r.seen) }
+
+// Sample returns a copy of the current subsample, in insertion order.
+func (r *Reservoir) Sample() []float64 {
+	out := make([]float64, len(r.sample))
+	copy(out, r.sample)
+	return out
+}
