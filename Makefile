@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet staticcheck build test race fuzz fuzz-smoke bench bench-engine bench-stream golden
+.PHONY: check vet staticcheck build test race fuzz fuzz-smoke bench bench-engine bench-stream bench-fit golden
 
 # The full gate: what CI runs — static checks, build, the race detector
 # over every test, and a short fuzz smoke of the CSV reader.
@@ -44,6 +44,10 @@ bench-engine:
 # In-memory vs streaming fleet analysis; refreshes BENCH_stream.json.
 bench-stream:
 	$(GO) run ./cmd/streambench
+
+# Fit kernels vs the frozen slice-path fitters; refreshes BENCH_fit.json.
+bench-fit:
+	$(GO) run ./cmd/fitbench
 
 # Rewrite the cmd/reproduce golden file after a reviewed output change.
 golden:

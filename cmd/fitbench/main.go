@@ -1,0 +1,439 @@
+// Command fitbench prices the precomputed-transform fit kernels against the
+// frozen slice-path fitters they replaced, and writes the result, with
+// machine metadata, to BENCH_fit.json.
+//
+// It measures three layers on the generated 22-system reference trace:
+//
+//   - per-family fit ns/op and allocs/op (frozen reference vs kernel) on
+//     the fleet interarrival sample;
+//   - the Weibull bootstrap-CI wall time and allocation profile, including
+//     the marginal allocations per bootstrap rep (zero for the kernel);
+//   - the full engine workload — every shard's 4-family comparison plus
+//     Weibull/lognormal intervals, 276 fits — replayed on the slice path
+//     versus engine.AnalyzeFleet at one worker.
+//
+// Every comparison is preceded by an agreement pass asserting the kernel
+// results are bit-identical to the reference on every shard sample.
+//
+// Usage:
+//
+//	fitbench [-out BENCH_fit.json] [-bootstrap 32] [-reps 3]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"hpcfail/internal/dist"
+	"hpcfail/internal/engine"
+	"hpcfail/internal/failures"
+	"hpcfail/internal/lanl"
+	"hpcfail/internal/stats"
+)
+
+type familyResult struct {
+	Family       string  `json:"family"`
+	N            int     `json:"sample_n"`
+	RefNsOp      int64   `json:"ref_ns_op"`
+	KernelNsOp   int64   `json:"kernel_ns_op"`
+	SpeedupX     float64 `json:"speedup_x"`
+	RefAllocsOp  int64   `json:"ref_allocs_op"`
+	KernAllocsOp int64   `json:"kernel_allocs_op"`
+}
+
+type ciResult struct {
+	Family           string  `json:"family"`
+	N                int     `json:"sample_n"`
+	Reps             int     `json:"bootstrap_reps"`
+	RefNsOp          int64   `json:"ref_ns_op"`
+	KernelNsOp       int64   `json:"kernel_ns_op"`
+	SpeedupX         float64 `json:"speedup_x"`
+	RefAllocsOp      int64   `json:"ref_allocs_op"`
+	KernAllocsOp     int64   `json:"kernel_allocs_op"`
+	KernAllocsPerRep int64   `json:"kernel_allocs_per_extra_rep"`
+	RefAllocsPerRep  int64   `json:"ref_allocs_per_extra_rep"`
+}
+
+type workloadResult struct {
+	Workers      int     `json:"workers"`
+	Fits         uint64  `json:"fit_cache_misses"`
+	BeforeBestMs float64 `json:"slice_path_best_ms"`
+	BeforeMeanMs float64 `json:"slice_path_mean_ms"`
+	AfterBestMs  float64 `json:"kernel_best_ms"`
+	AfterMeanMs  float64 `json:"kernel_mean_ms"`
+	SpeedupX     float64 `json:"speedup_x"`
+}
+
+type agreement struct {
+	Samples         int  `json:"samples"`
+	FitAllIdentical bool `json:"fit_all_bit_identical"`
+	FitCIIdentical  bool `json:"fit_ci_bit_identical"`
+}
+
+type benchReport struct {
+	Benchmark     string         `json:"benchmark"`
+	GOOS          string         `json:"goos"`
+	GOARCH        string         `json:"goarch"`
+	GoVersion     string         `json:"go_version"`
+	NumCPU        int            `json:"num_cpu"`
+	GOMAXPROCS    int            `json:"gomaxprocs"`
+	TraceRecords  int            `json:"trace_records"`
+	Shards        int            `json:"shards"`
+	BootstrapReps int            `json:"bootstrap_reps"`
+	RepsPerPoint  int            `json:"timing_reps_per_point"`
+	Agreement     agreement      `json:"agreement"`
+	Families      []familyResult `json:"families"`
+	FitCI         []ciResult     `json:"fit_ci"`
+	Workload      workloadResult `json:"engine_workload"`
+	Note          string         `json:"note"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fitbench:", err)
+		os.Exit(1)
+	}
+}
+
+// shardSamples reproduces the engine workload's sample inventory: the fleet
+// aggregate plus every system, each contributing its positive interarrival
+// and repair-time samples when they meet the default minimum size.
+func shardSamples(d *failures.Dataset, minN int) [][]float64 {
+	subs := []*failures.Dataset{d}
+	for _, id := range d.Systems() {
+		subs = append(subs, d.BySystem(id))
+	}
+	var out [][]float64
+	for _, sub := range subs {
+		for _, xs := range [][]float64{sub.PositiveInterarrivals(), sub.RepairTimes()} {
+			if len(xs) >= minN {
+				out = append(out, xs)
+			}
+		}
+	}
+	return out
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fitbench", flag.ContinueOnError)
+	out := fs.String("out", "BENCH_fit.json", "output file")
+	bootstrap := fs.Int("bootstrap", 32, "bootstrap resamples per CI")
+	reps := fs.Int("reps", 3, "timing repetitions per point (best and mean recorded)")
+	seed := fs.Int64("seed", 1, "trace seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	dataset, err := lanl.NewGenerator(lanl.Config{Seed: *seed}).Generate()
+	if err != nil {
+		return fmt.Errorf("generate: %w", err)
+	}
+	samples := shardSamples(dataset, 10)
+	ciFamilies := []dist.Family{dist.FamilyWeibull, dist.FamilyLogNormal}
+
+	report := benchReport{
+		Benchmark:     "dist fit kernels: precomputed sample transforms vs frozen slice path",
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		GoVersion:     runtime.Version(),
+		NumCPU:        runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		TraceRecords:  dataset.Len(),
+		Shards:        len(dataset.Systems()) + 1,
+		BootstrapReps: *bootstrap,
+		RepsPerPoint:  *reps,
+		Note: "slice path = frozen pre-kernel fitters (dist.RefFit*); " +
+			"kernel = Sample-transform fitters; results verified bit-identical before timing",
+	}
+
+	// Agreement pass: the kernels must reproduce the reference bits on
+	// every shard sample before any timing is trusted.
+	report.Agreement, err = checkAgreement(samples, ciFamilies, *bootstrap)
+	if err != nil {
+		return err
+	}
+
+	// Per-family microbenchmarks on the fleet interarrival sample.
+	fleet := samples[0]
+	for _, f := range dist.StandardFamilies() {
+		fam := f
+		ref := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := dist.RefFit(fam, fleet); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		s := dist.NewSample(fleet)
+		ker := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := dist.FitSample(fam, s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		report.Families = append(report.Families, familyResult{
+			Family:       fam.String(),
+			N:            len(fleet),
+			RefNsOp:      ref.NsPerOp(),
+			KernelNsOp:   ker.NsPerOp(),
+			SpeedupX:     round2(float64(ref.NsPerOp()) / float64(ker.NsPerOp())),
+			RefAllocsOp:  ref.AllocsPerOp(),
+			KernAllocsOp: ker.AllocsPerOp(),
+		})
+		fmt.Printf("fit %-12s ref=%s kernel=%s (%.2fx, allocs %d -> %d)\n",
+			fam, ref.T/time.Duration(ref.N), ker.T/time.Duration(ker.N),
+			float64(ref.NsPerOp())/float64(ker.NsPerOp()),
+			ref.AllocsPerOp(), ker.AllocsPerOp())
+	}
+
+	// Bootstrap-CI benchmark: whole-call cost plus the marginal allocations
+	// of one extra rep (zero for the kernel's gather loop).
+	for _, f := range ciFamilies {
+		res, err := benchCI(f, fleet, *bootstrap)
+		if err != nil {
+			return err
+		}
+		report.FitCI = append(report.FitCI, res)
+		fmt.Printf("fitCI %-10s ref=%dns kernel=%dns (%.2fx, allocs/extra-rep %d -> %d)\n",
+			f, res.RefNsOp, res.KernelNsOp, res.SpeedupX, res.RefAllocsPerRep, res.KernAllocsPerRep)
+	}
+
+	// The engine workload: slice-path replay vs AnalyzeFleet at 1 worker.
+	report.Workload, err = timeWorkload(dataset, ciFamilies, *bootstrap, *seed, *reps)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("engine workload (%d fits): slice=%.1fms kernel=%.1fms speedup=%.2fx\n",
+		report.Workload.Fits, report.Workload.BeforeBestMs, report.Workload.AfterBestMs,
+		report.Workload.SpeedupX)
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}
+
+func checkAgreement(samples [][]float64, ciFamilies []dist.Family, bootstrap int) (agreement, error) {
+	ag := agreement{Samples: len(samples), FitAllIdentical: true, FitCIIdentical: true}
+	for i, xs := range samples {
+		s := dist.NewSample(xs)
+		ref, refErr := dist.RefFitAll(xs, dist.StandardFamilies()...)
+		ker, kerErr := dist.FitAllSample(s, dist.StandardFamilies()...)
+		if (refErr == nil) != (kerErr == nil) {
+			return ag, fmt.Errorf("sample %d: fit-all error mismatch: %v vs %v", i, refErr, kerErr)
+		}
+		if refErr == nil && !comparisonsEqual(ref, ker) {
+			ag.FitAllIdentical = false
+		}
+		for j, f := range ciFamilies {
+			seed := int64(1000*i + j)
+			refD, refCIs, refErr := dist.RefFitCI(f, xs, bootstrap, 0.95, seed)
+			kerD, kerCIs, kerErr := dist.FitCISample(f, s, bootstrap, 0.95, seed)
+			if (refErr == nil) != (kerErr == nil) {
+				return ag, fmt.Errorf("sample %d %v: fit-CI error mismatch: %v vs %v", i, f, refErr, kerErr)
+			}
+			if refErr != nil {
+				continue
+			}
+			if !paramsEqual(refD, kerD) || len(refCIs) != len(kerCIs) {
+				ag.FitCIIdentical = false
+				continue
+			}
+			for k := range refCIs {
+				if refCIs[k] != kerCIs[k] {
+					ag.FitCIIdentical = false
+				}
+			}
+		}
+	}
+	if !ag.FitAllIdentical || !ag.FitCIIdentical {
+		return ag, fmt.Errorf("kernel results are not bit-identical to the reference")
+	}
+	return ag, nil
+}
+
+func comparisonsEqual(a, b *dist.Comparison) bool {
+	if len(a.Results) != len(b.Results) {
+		return false
+	}
+	for i := range a.Results {
+		x, y := a.Results[i], b.Results[i]
+		if x.Family != y.Family || (x.Err == nil) != (y.Err == nil) {
+			return false
+		}
+		if x.Err != nil {
+			continue
+		}
+		if x.NLL != y.NLL || x.AIC != y.AIC || x.KS != y.KS || !paramsEqual(x.Dist, y.Dist) {
+			return false
+		}
+	}
+	return true
+}
+
+func paramsEqual(a, b dist.Continuous) bool {
+	pa, ok := a.(dist.Parameterized)
+	if !ok {
+		return false
+	}
+	pb, ok := b.(dist.Parameterized)
+	if !ok {
+		return false
+	}
+	va, vb := pa.ParamValues(), pb.ParamValues()
+	if len(va) != len(vb) {
+		return false
+	}
+	for i := range va {
+		if va[i] != vb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func benchCI(f dist.Family, xs []float64, reps int) (ciResult, error) {
+	const level = 0.95
+	if _, _, err := dist.RefFitCI(f, xs, reps, level, 1); err != nil {
+		return ciResult{}, err
+	}
+	ref := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := dist.RefFitCI(f, xs, reps, level, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	s := dist.NewSample(xs)
+	ker := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := dist.FitCISample(f, s, reps, level, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// Marginal allocations per extra rep: difference between a double-rep
+	// and single-rep call, divided by the extra reps. The kernel's gather
+	// loop reuses its scratch buffers, so this must come out 0.
+	refPerRep := allocsPerExtraRep(func(r int) {
+		_, _, _ = dist.RefFitCI(f, xs, r, level, 1)
+	}, reps)
+	kerPerRep := allocsPerExtraRep(func(r int) {
+		_, _, _ = dist.FitCISample(f, s, r, level, 1)
+	}, reps)
+	return ciResult{
+		Family:           f.String(),
+		N:                len(xs),
+		Reps:             reps,
+		RefNsOp:          ref.NsPerOp(),
+		KernelNsOp:       ker.NsPerOp(),
+		SpeedupX:         round2(float64(ref.NsPerOp()) / float64(ker.NsPerOp())),
+		RefAllocsOp:      ref.AllocsPerOp(),
+		KernAllocsOp:     ker.AllocsPerOp(),
+		RefAllocsPerRep:  refPerRep,
+		KernAllocsPerRep: kerPerRep,
+	}, nil
+}
+
+// allocsPerExtraRep measures the marginal heap allocations of one
+// additional bootstrap rep by differencing calls at reps and 2*reps.
+func allocsPerExtraRep(call func(reps int), reps int) int64 {
+	single := int64(testing.AllocsPerRun(5, func() { call(reps) }))
+	double := int64(testing.AllocsPerRun(5, func() { call(2 * reps) }))
+	per := (double - single) / int64(reps)
+	if per < 0 {
+		per = 0
+	}
+	return per
+}
+
+// timeWorkload times the full engine workload both ways: a sequential
+// slice-path replay of every fit the engine performs (the pre-kernel cost),
+// and engine.AnalyzeFleet at one worker (the kernel cost, including sample
+// interning and result merging).
+func timeWorkload(d *failures.Dataset, ciFamilies []dist.Family,
+	bootstrap int, seed int64, reps int) (workloadResult, error) {
+	res := workloadResult{Workers: 1}
+	spec := engine.ShardSpec{IncludeFleet: true, CIFamilies: ciFamilies}
+	ctx := context.Background()
+
+	beforeBest, beforeMean := -1.0, 0.0
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		// Mirror the pre-kernel AnalyzeFleet shard by shard: it sliced the
+		// dataset and extracted both samples inside the run, so the replay
+		// pays for that too.
+		subs := make([]*failures.Dataset, 0, len(d.Systems())+1)
+		subs = append(subs, d.Filter(func(failures.Record) bool { return true }))
+		for _, id := range d.Systems() {
+			subs = append(subs, d.Filter(func(rec failures.Record) bool { return rec.System == id }))
+		}
+		i := 0
+		for _, sub := range subs {
+			for _, xs := range [][]float64{sub.PositiveInterarrivals(), sub.RepairTimes()} {
+				if len(xs) < 10 {
+					continue
+				}
+				if _, err := stats.Summarize(xs); err != nil {
+					return res, err
+				}
+				cmp, err := dist.RefFitAll(xs, dist.StandardFamilies()...)
+				if err != nil {
+					return res, err
+				}
+				for j, f := range ciFamilies {
+					if fr, ok := cmp.ByFamily(f); !ok || fr.Err != nil {
+						continue
+					}
+					if _, _, err := dist.RefFitCI(f, xs, bootstrap, 0.95, int64(1000*i+j)); err != nil {
+						return res, err
+					}
+				}
+				i++
+			}
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		beforeMean += ms
+		if beforeBest < 0 || ms < beforeBest {
+			beforeBest = ms
+		}
+	}
+
+	afterBest, afterMean := -1.0, 0.0
+	for r := 0; r < reps; r++ {
+		// Fresh engine per repetition so the memo cache never hides work.
+		eng := engine.New(engine.Options{Workers: 1, BootstrapReps: bootstrap, Seed: seed})
+		start := time.Now()
+		if _, err := eng.AnalyzeFleet(ctx, d, spec); err != nil {
+			return res, err
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		afterMean += ms
+		if afterBest < 0 || ms < afterBest {
+			afterBest = ms
+		}
+		_, res.Fits = eng.Stats()
+	}
+
+	res.BeforeBestMs = round2(beforeBest)
+	res.BeforeMeanMs = round2(beforeMean / float64(reps))
+	res.AfterBestMs = round2(afterBest)
+	res.AfterMeanMs = round2(afterMean / float64(reps))
+	res.SpeedupX = round2(beforeBest / afterBest)
+	return res, nil
+}
+
+func round2(v float64) float64 { return float64(int(v*100+0.5)) / 100 }

@@ -165,6 +165,11 @@ type (
 	FitResult = dist.FitResult
 	// Comparison holds ranked fits of several families.
 	Comparison = dist.Comparison
+	// Sample is a precomputed view of one observation vector (log cache,
+	// sums, sorted order, ECDF, identity hash) that the fit kernels and
+	// bootstrap loops consume; build one with NewSample and pass it to the
+	// *Sample fitter variants to pay for the transforms exactly once.
+	Sample = dist.Sample
 )
 
 // Fitting families.
@@ -217,6 +222,16 @@ var (
 	StandardFamilies = dist.StandardFamilies
 	// NegLogLikelihood scores a fitted distribution on data.
 	NegLogLikelihood = dist.NegLogLikelihood
+
+	// NewSample precomputes a sample's fit transforms once; FitSample,
+	// FitAllSample, FitCISample and BootstrapKSTestSample consume them, and
+	// are bit-identical to their slice counterparts on the same data.
+	NewSample              = dist.NewSample
+	FitSample              = dist.FitSample
+	FitAllSample           = dist.FitAllSample
+	FitCISample            = dist.FitCISample
+	BootstrapKSTestSample  = dist.BootstrapKSTestSample
+	NegLogLikelihoodSample = dist.NegLogLikelihoodSample
 )
 
 // ---- Descriptive statistics (internal/stats) ----

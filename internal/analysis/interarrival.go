@@ -81,7 +81,7 @@ func StudyInterarrivalsWith(ctx context.Context, fitter Fitter, d *failures.Data
 	if err != nil {
 		return nil, fmt.Errorf("interarrival study: %w", err)
 	}
-	fits, err := fitter.FitAll(ctx, xs)
+	fits, err := fitAllVia(ctx, fitter, xs)
 	if err != nil {
 		return nil, fmt.Errorf("interarrival study: %w", err)
 	}

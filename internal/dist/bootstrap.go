@@ -3,9 +3,9 @@ package dist
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"hpcfail/internal/randx"
-	"hpcfail/internal/stats"
 )
 
 // KSTestResult is the outcome of a parametric-bootstrap Kolmogorov–Smirnov
@@ -28,43 +28,59 @@ type KSTestResult struct {
 
 // BootstrapKSTest runs a parametric-bootstrap KS test: fit the family,
 // measure KS, then repeatedly simulate same-size samples from the fit,
-// refit, and compare statistics. reps <= 0 uses 200 replications.
+// refit, and compare statistics. reps <= 0 uses 200 replications. It builds
+// a Sample per call; use BootstrapKSTestSample to amortize the transforms.
 func BootstrapKSTest(f Family, xs []float64, reps int, seed int64) (KSTestResult, error) {
-	if len(xs) < 5 {
+	return BootstrapKSTestSample(f, NewSample(xs), reps, seed)
+}
+
+// BootstrapKSTestSample is BootstrapKSTest over a precomputed sample. Each
+// replication generates into a scratch transform buffer, refits with the
+// family kernel, and evaluates the KS statistic with a direct
+// (devirtualized) CDF call over a reused sort buffer — no per-rep slice,
+// ECDF or interface allocation. The variate draw sequence, refit math and
+// KS loop match the historical slice path operation for operation, so the
+// p-value is bit-identical for the same (data, reps, seed).
+func BootstrapKSTestSample(f Family, s *Sample, reps int, seed int64) (KSTestResult, error) {
+	if s.N() < 5 {
 		return KSTestResult{}, fmt.Errorf("bootstrap KS: need >= 5 observations: %w", ErrInsufficientData)
 	}
 	if reps <= 0 {
 		reps = 200
 	}
-	fitted, err := Fit(f, xs)
+	fitted, err := FitSample(f, s)
 	if err != nil {
 		return KSTestResult{}, fmt.Errorf("bootstrap KS: %w", err)
 	}
-	ecdf, err := stats.NewECDF(xs)
+	ecdf, err := s.ECDF()
 	if err != nil {
 		return KSTestResult{}, fmt.Errorf("bootstrap KS: %w", err)
 	}
 	observed := ecdf.KolmogorovSmirnov(fitted.CDF)
 
 	src := randx.NewSource(seed)
-	exceed, ok := 0, 0
-	sample := make([]float64, len(xs))
-	for r := 0; r < reps; r++ {
-		for i := range sample {
-			sample[i] = fitted.Rand(src)
-		}
-		refit, err := Fit(f, sample)
-		if err != nil {
-			continue // a degenerate resample; skip it
-		}
-		e, err := stats.NewECDF(sample)
-		if err != nil {
-			continue
-		}
-		ok++
-		if e.KolmogorovSmirnov(refit.CDF) >= observed {
-			exceed++
-		}
+	var exceed, ok int
+	switch f {
+	case FamilyExponential:
+		exceed, ok = ksBootstrap(fitted.(Exponential), fitExponentialKernel, s.N(), reps, src, observed)
+	case FamilyWeibull:
+		sv := newWeibullSolver()
+		exceed, ok = ksBootstrap(fitted.(Weibull), sv.fit, s.N(), reps, src, observed)
+	case FamilyGamma:
+		sv := newGammaSolver()
+		exceed, ok = ksBootstrap(fitted.(Gamma), sv.fit, s.N(), reps, src, observed)
+	case FamilyLogNormal:
+		exceed, ok = ksBootstrap(fitted.(LogNormal), fitLogNormalKernel, s.N(), reps, src, observed)
+	case FamilyNormal:
+		exceed, ok = ksBootstrap(fitted.(Normal), fitNormalKernel, s.N(), reps, src, observed)
+	case FamilyPareto:
+		exceed, ok = ksBootstrap(fitted.(Pareto), fitParetoKernel, s.N(), reps, src, observed)
+	case FamilyHyperExp:
+		sv := &hyperExpSolver{}
+		refit := func(t *xform) (HyperExp, error) { return sv.fit(t, 0) }
+		exceed, ok = ksBootstrap(fitted.(HyperExp), refit, s.N(), reps, src, observed)
+	default:
+		return KSTestResult{}, fmt.Errorf("bootstrap KS: unknown family %v: %w", f, ErrBadParam)
 	}
 	if ok == 0 {
 		return KSTestResult{}, fmt.Errorf("bootstrap KS: every replication failed: %w", ErrInsufficientData)
@@ -80,4 +96,51 @@ func BootstrapKSTest(f Family, xs []float64, reps int, seed int64) (KSTestResult
 		P:            p,
 		Replications: ok,
 	}, nil
+}
+
+// ksBootstrap runs the replication loop for one concrete family. The
+// generic instantiation lets Rand and CDF dispatch directly instead of
+// through the Continuous interface, and all buffers are allocated once.
+func ksBootstrap[D Continuous](fitted D, refit func(*xform) (D, error), n, reps int, src *randx.Source, observed float64) (exceed, ok int) {
+	var scratch xform
+	scratch.xs = growFloats(scratch.xs, n)
+	sorted := make([]float64, n)
+	for r := 0; r < reps; r++ {
+		for i := range scratch.xs {
+			scratch.xs[i] = fitted.Rand(src)
+		}
+		scratch.scan()
+		d, err := refit(&scratch)
+		if err != nil {
+			continue // a degenerate resample; skip it
+		}
+		copy(sorted, scratch.xs)
+		sort.Float64s(sorted)
+		ok++
+		if ksStat(d, sorted) >= observed {
+			exceed++
+		}
+	}
+	return exceed, ok
+}
+
+// ksStat replicates stats.ECDF.KolmogorovSmirnov over an already-sorted
+// slice with a direct CDF call. The loop body and accumulation order match
+// the ECDF method exactly, so the statistic carries the same bits.
+func ksStat[D Continuous](d D, sorted []float64) float64 {
+	n := float64(len(sorted))
+	maxDiff := 0.0
+	for i, x := range sorted {
+		f := d.CDF(x)
+		// Compare against both the pre- and post-step value of the ECDF.
+		dPlus := math.Abs(float64(i+1)/n - f)
+		dMinus := math.Abs(f - float64(i)/n)
+		if dPlus > maxDiff {
+			maxDiff = dPlus
+		}
+		if dMinus > maxDiff {
+			maxDiff = dMinus
+		}
+	}
+	return maxDiff
 }

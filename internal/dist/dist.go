@@ -97,6 +97,43 @@ func NegLogLikelihood(d Continuous, xs []float64) (float64, error) {
 	return total, nil
 }
 
+// NegLogLikelihoodSample is NegLogLikelihood over a precomputed sample. The
+// sum runs over the same values in the same order with the same per-point
+// LogPDF, so the result is bit-identical to the slice form; the four
+// standard families are dispatched to concrete types so the per-point call
+// devirtualizes.
+func NegLogLikelihoodSample(d Continuous, s *Sample) (float64, error) {
+	switch t := d.(type) {
+	case Exponential:
+		return nllOf(t, s.t.xs)
+	case Weibull:
+		return nllOf(t, s.t.xs)
+	case Gamma:
+		return nllOf(t, s.t.xs)
+	case LogNormal:
+		return nllOf(t, s.t.xs)
+	default:
+		return NegLogLikelihood(d, s.t.xs)
+	}
+}
+
+// nllOf is the shared NLL loop instantiated per concrete family so the
+// LogPDF call inlines. The loop body matches NegLogLikelihood exactly.
+func nllOf[D Continuous](d D, xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return math.NaN(), ErrInsufficientData
+	}
+	total := 0.0
+	for _, x := range xs {
+		lp := d.LogPDF(x)
+		if math.IsInf(lp, -1) {
+			return math.Inf(1), nil
+		}
+		total -= lp
+	}
+	return total, nil
+}
+
 // AIC computes the Akaike information criterion 2k + 2*NLL for a fitted
 // distribution, a tie-breaker that penalizes extra parameters.
 func AIC(d Continuous, xs []float64) (float64, error) {

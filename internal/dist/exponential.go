@@ -101,17 +101,15 @@ func (e Exponential) Rand(src *randx.Source) float64 {
 }
 
 // FitExponential computes the maximum-likelihood exponential fit
-// (rate = 1/mean) for strictly positive data.
+// (rate = 1/mean) for strictly positive data. It builds a Sample per call;
+// use FitExponentialSample to amortize the transforms.
 func FitExponential(xs []float64) (Exponential, error) {
-	if len(xs) == 0 {
-		return Exponential{}, fmt.Errorf("fit exponential: %w", ErrInsufficientData)
-	}
-	if err := checkPositive("exponential", xs); err != nil {
-		return Exponential{}, err
-	}
-	sum := 0.0
-	for _, x := range xs {
-		sum += x
-	}
-	return NewExponential(float64(len(xs)) / sum)
+	return FitExponentialSample(NewSample(xs))
+}
+
+// FitExponentialSample is FitExponential over precomputed transforms (the
+// cached Σx). The result is bit-identical to FitExponential on the same
+// data.
+func FitExponentialSample(s *Sample) (Exponential, error) {
+	return fitExponentialKernel(&s.t)
 }

@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"math"
 	"sort"
-
-	"hpcfail/internal/stats"
 )
 
 // Family selects a distribution family for fitting.
@@ -52,23 +50,32 @@ func StandardFamilies() []Family {
 	return []Family{FamilyExponential, FamilyWeibull, FamilyGamma, FamilyLogNormal}
 }
 
-// Fit dispatches to the maximum-likelihood fitter for the family.
+// Fit dispatches to the maximum-likelihood fitter for the family. It builds
+// a Sample per call; use FitSample to amortize the transforms across
+// several families.
 func Fit(f Family, xs []float64) (Continuous, error) {
+	return FitSample(f, NewSample(xs))
+}
+
+// FitSample dispatches to the kernel maximum-likelihood fitter for the
+// family, reusing the sample's precomputed transforms. Results are
+// bit-identical to Fit on the same data.
+func FitSample(f Family, s *Sample) (Continuous, error) {
 	switch f {
 	case FamilyExponential:
-		return FitExponential(xs)
+		return FitExponentialSample(s)
 	case FamilyWeibull:
-		return FitWeibull(xs)
+		return FitWeibullSample(s)
 	case FamilyGamma:
-		return FitGamma(xs)
+		return FitGammaSample(s)
 	case FamilyLogNormal:
-		return FitLogNormal(xs)
+		return FitLogNormalSample(s)
 	case FamilyNormal:
-		return FitNormal(xs)
+		return FitNormalSample(s)
 	case FamilyPareto:
-		return FitPareto(xs)
+		return FitParetoSample(s)
 	case FamilyHyperExp:
-		return FitHyperExp(xs, 0)
+		return FitHyperExpSample(s, 0)
 	default:
 		return nil, fmt.Errorf("fit: unknown family %v: %w", f, ErrBadParam)
 	}
@@ -100,22 +107,35 @@ type Comparison struct {
 
 // FitAll fits each requested family to xs and ranks the results by NLL.
 // Families that cannot be fitted (e.g. Pareto on zero-containing data) are
-// recorded with their error rather than aborting the comparison.
+// recorded with their error rather than aborting the comparison. It builds
+// one Sample for all families; use FitAllSample when the caller already has
+// one.
 func FitAll(xs []float64, families ...Family) (*Comparison, error) {
 	if len(xs) == 0 {
+		return nil, fmt.Errorf("fit all: %w", ErrInsufficientData)
+	}
+	return FitAllSample(NewSample(xs), families...)
+}
+
+// FitAllSample fits each requested family to the precomputed sample and
+// ranks the results by NLL. The data is validated and transformed exactly
+// once for all families (the slice path re-walked it per family), and
+// results are bit-identical to FitAll on the same data.
+func FitAllSample(s *Sample, families ...Family) (*Comparison, error) {
+	if s.N() == 0 {
 		return nil, fmt.Errorf("fit all: %w", ErrInsufficientData)
 	}
 	if len(families) == 0 {
 		families = StandardFamilies()
 	}
-	ecdf, err := stats.NewECDF(xs)
+	ecdf, err := s.ECDF()
 	if err != nil {
 		return nil, fmt.Errorf("fit all: %w", err)
 	}
 	results := make([]FitResult, 0, len(families))
 	for _, fam := range families {
 		res := FitResult{Family: fam}
-		d, err := Fit(fam, xs)
+		d, err := FitSample(fam, s)
 		if err != nil {
 			res.Err = err
 			res.NLL = math.Inf(1)
@@ -123,7 +143,7 @@ func FitAll(xs []float64, families ...Family) (*Comparison, error) {
 			res.KS = math.NaN()
 		} else {
 			res.Dist = d
-			nll, err := NegLogLikelihood(d, xs)
+			nll, err := NegLogLikelihoodSample(d, s)
 			if err != nil {
 				res.Err = err
 				res.NLL = math.Inf(1)

@@ -117,59 +117,15 @@ func (g Gamma) Rand(src *randx.Source) float64 {
 
 // FitGamma computes the maximum-likelihood gamma fit for strictly positive
 // data, solving the shape equation ln k - ψ(k) = ln(mean) - mean(ln x) by
-// Newton iteration from the standard closed-form starting point.
+// Newton iteration from the standard closed-form starting point. It builds a
+// Sample per call; use FitGammaSample to amortize the transforms.
 func FitGamma(xs []float64) (Gamma, error) {
-	if len(xs) < 2 {
-		return Gamma{}, fmt.Errorf("fit gamma: need >= 2 observations: %w", ErrInsufficientData)
-	}
-	if err := checkPositive("gamma", xs); err != nil {
-		return Gamma{}, err
-	}
-	n := float64(len(xs))
-	var sum, sumLog float64
-	allEqual := true
-	for _, x := range xs {
-		sum += x
-		sumLog += math.Log(x)
-		if x != xs[0] {
-			allEqual = false
-		}
-	}
-	if allEqual {
-		return Gamma{}, fmt.Errorf("fit gamma: all observations identical: %w", ErrInsufficientData)
-	}
-	mean := sum / n
-	s := math.Log(mean) - sumLog/n // strictly positive by Jensen unless degenerate
-	if s <= 0 {
-		return Gamma{}, fmt.Errorf("fit gamma: degenerate log-moment gap %g: %w", s, ErrInsufficientData)
-	}
-	// Minka's starting approximation.
-	k := (3 - s + math.Sqrt((s-3)*(s-3)+24*s)) / (12 * s)
-	f := func(k float64) float64 {
-		dg, err := mathx.Digamma(k)
-		if err != nil {
-			return math.NaN()
-		}
-		return math.Log(k) - dg - s
-	}
-	df := func(k float64) float64 {
-		tg, err := mathx.Trigamma(k)
-		if err != nil {
-			return math.NaN()
-		}
-		return 1/k - tg
-	}
-	shape, err := mathx.NewtonBounded(f, df, k, 1e-12, 1e9, 1e-12)
-	if err != nil {
-		// Fall back to a bracketed solve.
-		lo, hi, berr := mathx.FindBracket(f, k/10, k*10)
-		if berr != nil {
-			return Gamma{}, fmt.Errorf("fit gamma: solve shape: %w", err)
-		}
-		shape, err = mathx.Brent(f, lo, hi, 1e-12)
-		if err != nil {
-			return Gamma{}, fmt.Errorf("fit gamma: solve shape: %w", err)
-		}
-	}
-	return NewGamma(shape, mean/shape)
+	return FitGammaSample(NewSample(xs))
+}
+
+// FitGammaSample is FitGamma over precomputed transforms: Σx and Σ log x
+// come from the sample's caches instead of a fresh pass over the data. The
+// result is bit-identical to FitGamma on the same data.
+func FitGammaSample(s *Sample) (Gamma, error) {
+	return newGammaSolver().fit(&s.t)
 }

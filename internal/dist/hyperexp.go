@@ -153,73 +153,16 @@ func (h HyperExp) Rand(src *randx.Source) float64 {
 
 // FitHyperExp fits a two-phase hyperexponential by expectation-maximization
 // from a moment-matched starting point. maxIter <= 0 uses 200 iterations.
+// It builds a Sample per call; use FitHyperExpSample to amortize the
+// transforms.
 func FitHyperExp(xs []float64, maxIter int) (HyperExp, error) {
-	if len(xs) < 4 {
-		return HyperExp{}, fmt.Errorf("fit hyperexp: need >= 4 observations: %w", ErrInsufficientData)
-	}
-	if err := checkPositive("hyperexp", xs); err != nil {
-		return HyperExp{}, err
-	}
-	if maxIter <= 0 {
-		maxIter = 200
-	}
-	var sum float64
-	allEqual := true
-	for _, x := range xs {
-		sum += x
-		if x != xs[0] {
-			allEqual = false
-		}
-	}
-	if allEqual {
-		return HyperExp{}, fmt.Errorf("fit hyperexp: all observations identical: %w", ErrInsufficientData)
-	}
-	mean := sum / float64(len(xs))
-	// Initialization: split rates around the mean.
-	p := 0.5
-	rate1 := 2 / mean
-	rate2 := 0.5 / mean
-	resp := make([]float64, len(xs))
-	for iter := 0; iter < maxIter; iter++ {
-		// E-step: responsibility of phase 1 for each observation.
-		for i, x := range xs {
-			d1 := p * rate1 * math.Exp(-rate1*x)
-			d2 := (1 - p) * rate2 * math.Exp(-rate2*x)
-			if d1+d2 <= 0 {
-				resp[i] = 0.5
-				continue
-			}
-			resp[i] = d1 / (d1 + d2)
-		}
-		// M-step.
-		var w1, w1x, w2, w2x float64
-		for i, x := range xs {
-			w1 += resp[i]
-			w1x += resp[i] * x
-			w2 += 1 - resp[i]
-			w2x += (1 - resp[i]) * x
-		}
-		if w1x <= 0 || w2x <= 0 || w1 <= 0 || w2 <= 0 {
-			break // degenerate: one phase vanished
-		}
-		newP := w1 / float64(len(xs))
-		newRate1 := w1 / w1x
-		newRate2 := w2 / w2x
-		converged := math.Abs(newP-p) < 1e-10 &&
-			math.Abs(newRate1-rate1) < 1e-10*rate1 &&
-			math.Abs(newRate2-rate2) < 1e-10*rate2
-		p, rate1, rate2 = newP, newRate1, newRate2
-		if converged {
-			break
-		}
-	}
-	// Clamp away from the degenerate boundary.
-	const eps = 1e-9
-	if p <= 0 {
-		p = eps
-	}
-	if p >= 1 {
-		p = 1 - eps
-	}
-	return NewHyperExp(p, rate1, rate2)
+	return FitHyperExpSample(NewSample(xs), maxIter)
+}
+
+// FitHyperExpSample is FitHyperExp over precomputed transforms (the cached
+// Σx and positivity scan). The result is bit-identical to FitHyperExp on
+// the same data.
+func FitHyperExpSample(s *Sample, maxIter int) (HyperExp, error) {
+	var solver hyperExpSolver
+	return solver.fit(&s.t, maxIter)
 }

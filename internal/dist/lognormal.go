@@ -118,28 +118,15 @@ func (l LogNormal) Rand(src *randx.Source) float64 {
 }
 
 // FitLogNormal computes the maximum-likelihood lognormal fit: the sample
-// mean and (MLE, 1/n) standard deviation of the log data.
+// mean and (MLE, 1/n) standard deviation of the log data. It builds a
+// Sample per call; use FitLogNormalSample to amortize the transforms.
 func FitLogNormal(xs []float64) (LogNormal, error) {
-	if len(xs) < 2 {
-		return LogNormal{}, fmt.Errorf("fit lognormal: need >= 2 observations: %w", ErrInsufficientData)
-	}
-	if err := checkPositive("lognormal", xs); err != nil {
-		return LogNormal{}, err
-	}
-	n := float64(len(xs))
-	var sum float64
-	for _, x := range xs {
-		sum += math.Log(x)
-	}
-	mu := sum / n
-	var ss float64
-	for _, x := range xs {
-		d := math.Log(x) - mu
-		ss += d * d
-	}
-	sigma := math.Sqrt(ss / n)
-	if sigma == 0 {
-		return LogNormal{}, fmt.Errorf("fit lognormal: all observations identical: %w", ErrInsufficientData)
-	}
-	return NewLogNormal(mu, sigma)
+	return FitLogNormalSample(NewSample(xs))
+}
+
+// FitLogNormalSample is FitLogNormal over precomputed transforms: both
+// passes read the sample's log cache, so no logarithm is evaluated at fit
+// time. The result is bit-identical to FitLogNormal on the same data.
+func FitLogNormalSample(s *Sample) (LogNormal, error) {
+	return fitLogNormalKernel(&s.t)
 }

@@ -88,28 +88,15 @@ func (n Normal) Rand(src *randx.Source) float64 {
 }
 
 // FitNormal computes the maximum-likelihood normal fit (sample mean and
-// 1/n standard deviation).
+// 1/n standard deviation). It builds a Sample per call; use FitNormalSample
+// to amortize the transforms.
 func FitNormal(xs []float64) (Normal, error) {
-	if len(xs) < 2 {
-		return Normal{}, fmt.Errorf("fit normal: need >= 2 observations: %w", ErrInsufficientData)
-	}
-	n := float64(len(xs))
-	var sum float64
-	for i, x := range xs {
-		if math.IsNaN(x) || math.IsInf(x, 0) {
-			return Normal{}, fmt.Errorf("fit normal: observation %d is %g: %w", i, x, ErrUnsupported)
-		}
-		sum += x
-	}
-	mu := sum / n
-	var ss float64
-	for _, x := range xs {
-		d := x - mu
-		ss += d * d
-	}
-	sigma := math.Sqrt(ss / n)
-	if sigma == 0 {
-		return Normal{}, fmt.Errorf("fit normal: all observations identical: %w", ErrInsufficientData)
-	}
-	return NewNormal(mu, sigma)
+	return FitNormalSample(NewSample(xs))
+}
+
+// FitNormalSample is FitNormal over precomputed transforms (the cached Σx
+// and finiteness scan). The result is bit-identical to FitNormal on the
+// same data.
+func FitNormalSample(s *Sample) (Normal, error) {
+	return fitNormalKernel(&s.t)
 }

@@ -32,15 +32,103 @@ func (c ParamCI) Overlaps(lo, hi float64) bool { return c.Lo <= hi && lo <= c.Hi
 // 0.7-0.8"); the intervals quantify how tight such a statement is for a
 // given sample, which is what turns the band into an assertable test.
 // reps <= 0 uses 200 resamples; level is the confidence level (e.g. 0.95).
-// The result is deterministic in (xs, reps, level, seed).
+// The result is deterministic in (xs, reps, level, seed). It builds a
+// Sample per call; use FitCISample to amortize the transforms.
 func FitCI(f Family, xs []float64, reps int, level float64, seed int64) (Continuous, []ParamCI, error) {
+	return FitCISample(f, NewSample(xs), reps, level, seed)
+}
+
+// refitFn refits one family to a gathered resample, appending the fitted
+// parameter values (in ParamNames order) to out. ok is false for a
+// degenerate resample the bootstrap skips, exactly where the slice path's
+// Fit would have errored.
+type refitFn func(t *xform, out []float64) ([]float64, bool)
+
+// newRefitFn builds the family's bootstrap refitter, hoisting solver state
+// (score closures, EM buffers) out of the rep loop so each rep is
+// allocation-free.
+func newRefitFn(f Family) refitFn {
+	switch f {
+	case FamilyExponential:
+		return func(t *xform, out []float64) ([]float64, bool) {
+			e, err := fitExponentialKernel(t)
+			if err != nil {
+				return out, false
+			}
+			return append(out, e.rate), true
+		}
+	case FamilyWeibull:
+		sv := newWeibullSolver()
+		return func(t *xform, out []float64) ([]float64, bool) {
+			w, err := sv.fit(t)
+			if err != nil {
+				return out, false
+			}
+			return append(out, w.shape, w.scale), true
+		}
+	case FamilyGamma:
+		sv := newGammaSolver()
+		return func(t *xform, out []float64) ([]float64, bool) {
+			g, err := sv.fit(t)
+			if err != nil {
+				return out, false
+			}
+			return append(out, g.shape, g.scale), true
+		}
+	case FamilyLogNormal:
+		return func(t *xform, out []float64) ([]float64, bool) {
+			l, err := fitLogNormalKernel(t)
+			if err != nil {
+				return out, false
+			}
+			return append(out, l.mu, l.sigma), true
+		}
+	case FamilyNormal:
+		return func(t *xform, out []float64) ([]float64, bool) {
+			n, err := fitNormalKernel(t)
+			if err != nil {
+				return out, false
+			}
+			return append(out, n.mu, n.sigma), true
+		}
+	case FamilyPareto:
+		return func(t *xform, out []float64) ([]float64, bool) {
+			p, err := fitParetoKernel(t)
+			if err != nil {
+				return out, false
+			}
+			return append(out, p.xm, p.alpha), true
+		}
+	case FamilyHyperExp:
+		sv := &hyperExpSolver{}
+		return func(t *xform, out []float64) ([]float64, bool) {
+			h, err := sv.fit(t, 0)
+			if err != nil {
+				return out, false
+			}
+			return append(out, h.p, h.rate1, h.rate2), true
+		}
+	default:
+		return nil
+	}
+}
+
+// FitCISample is FitCI over a precomputed sample. Every bootstrap rep is an
+// index-resample that gathers values and cached logarithms from the
+// sample's transforms into scratch buffers owned by the loop — no
+// re-walking, no per-rep slice allocation, no interface boxing — and the
+// family kernels refit from the gathered transforms. Because the gathered
+// log of a value carries the same bits a fresh math.Log would produce, and
+// the randx draw sequence is unchanged, the intervals are bit-identical to
+// the historical slice path for the same (data, reps, level, seed).
+func FitCISample(f Family, s *Sample, reps int, level float64, seed int64) (Continuous, []ParamCI, error) {
 	if level <= 0 || level >= 1 {
 		return nil, nil, fmt.Errorf("fit CI %v: level %g outside (0, 1): %w", f, level, ErrBadParam)
 	}
 	if reps <= 0 {
 		reps = 200
 	}
-	fitted, err := Fit(f, xs)
+	fitted, err := FitSample(f, s)
 	if err != nil {
 		return nil, nil, fmt.Errorf("fit CI %v: %w", f, err)
 	}
@@ -53,20 +141,26 @@ func FitCI(f Family, xs []float64, reps int, level float64, seed int64) (Continu
 	if len(names) != len(estimates) {
 		return nil, nil, fmt.Errorf("fit CI %v: %d names vs %d values", f, len(names), len(estimates))
 	}
+	refit := newRefitFn(f)
+	if refit == nil {
+		return nil, nil, fmt.Errorf("fit CI %v: no bootstrap kernel: %w", f, ErrUnsupported)
+	}
 
 	src := randx.NewSource(seed)
 	resampled := make([][]float64, len(names))
-	resample := make([]float64, len(xs))
+	for i := range resampled {
+		resampled[i] = make([]float64, 0, reps)
+	}
+	var scratch xform
+	vals := make([]float64, 0, len(names))
 	fitOK := 0
 	for r := 0; r < reps; r++ {
-		for i := range resample {
-			resample[i] = xs[src.Intn(len(xs))]
-		}
-		refit, err := Fit(f, resample)
-		if err != nil {
+		scratch.gather(&s.t, src)
+		var ok bool
+		vals, ok = refit(&scratch, vals[:0])
+		if !ok {
 			continue // degenerate resample
 		}
-		vals := refit.(Parameterized).ParamValues()
 		for i, v := range vals {
 			resampled[i] = append(resampled[i], v)
 		}

@@ -117,26 +117,15 @@ func (p Pareto) Rand(src *randx.Source) float64 {
 }
 
 // FitPareto computes the maximum-likelihood Pareto fit: xm is the sample
-// minimum and alpha = n / Σ ln(x_i / xm).
+// minimum and alpha = n / Σ ln(x_i / xm). It builds a Sample per call; use
+// FitParetoSample to amortize the transforms.
 func FitPareto(xs []float64) (Pareto, error) {
-	if len(xs) < 2 {
-		return Pareto{}, fmt.Errorf("fit pareto: need >= 2 observations: %w", ErrInsufficientData)
-	}
-	if err := checkPositive("pareto", xs); err != nil {
-		return Pareto{}, err
-	}
-	xm := xs[0]
-	for _, x := range xs {
-		if x < xm {
-			xm = x
-		}
-	}
-	var sum float64
-	for _, x := range xs {
-		sum += math.Log(x / xm)
-	}
-	if sum == 0 {
-		return Pareto{}, fmt.Errorf("fit pareto: all observations identical: %w", ErrInsufficientData)
-	}
-	return NewPareto(xm, float64(len(xs))/sum)
+	return FitParetoSample(NewSample(xs))
+}
+
+// FitParetoSample is FitPareto over precomputed transforms (the cached
+// minimum and positivity scan). The result is bit-identical to FitPareto on
+// the same data.
+func FitParetoSample(s *Sample) (Pareto, error) {
+	return fitParetoKernel(&s.t)
 }

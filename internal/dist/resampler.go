@@ -32,6 +32,20 @@ func NewResampler(xs []float64) (*Resampler, error) {
 	return &Resampler{sorted: sorted}, nil
 }
 
+// NewResamplerFromSample builds a Resampler over a precomputed sample,
+// sharing the sample's sorted view instead of copying and re-sorting. The
+// same validation as NewResampler applies.
+func NewResamplerFromSample(s *Sample) (*Resampler, error) {
+	if s.N() == 0 {
+		return nil, fmt.Errorf("resampler: %w", ErrInsufficientData)
+	}
+	sorted := s.Sorted()
+	if sorted[0] <= 0 {
+		return nil, fmt.Errorf("resampler: non-positive value %g: %w", sorted[0], ErrUnsupported)
+	}
+	return &Resampler{sorted: sorted}, nil
+}
+
 // Rand draws one value from the empirical sample, uniformly with
 // replacement.
 func (r *Resampler) Rand(src *randx.Source) float64 {
@@ -49,13 +63,11 @@ func (r *Resampler) Quantile(q float64) (float64, error) {
 	return stats.Quantile(r.sorted, q)
 }
 
-// CDF evaluates the empirical CDF at x.
+// CDF evaluates the empirical CDF at x: the fraction of values <= x. The
+// upper-bound binary search stays O(log n) even when the sample is a long
+// run of tied values, where scanning past the first index >= x would
+// degrade to O(n) per call.
 func (r *Resampler) CDF(x float64) float64 {
-	idx := sort.SearchFloat64s(r.sorted, x)
-	// SearchFloat64s finds the first index >= x; advance over equal values
-	// so CDF(x) counts values <= x.
-	for idx < len(r.sorted) && r.sorted[idx] == x {
-		idx++
-	}
+	idx := sort.Search(len(r.sorted), func(i int) bool { return r.sorted[i] > x })
 	return float64(idx) / float64(len(r.sorted))
 }

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 
-	"hpcfail/internal/mathx"
 	"hpcfail/internal/randx"
 )
 
@@ -133,64 +132,16 @@ func (w Weibull) Rand(src *randx.Source) float64 {
 
 // FitWeibull computes the maximum-likelihood Weibull fit for strictly
 // positive data. The profile likelihood reduces the problem to a 1-D root
-// find in the shape parameter, solved with Brent's method.
+// find in the shape parameter, solved with Brent's method. It builds a
+// Sample per call; use FitWeibullSample to amortize the transforms.
 func FitWeibull(xs []float64) (Weibull, error) {
-	if len(xs) < 2 {
-		return Weibull{}, fmt.Errorf("fit weibull: need >= 2 observations: %w", ErrInsufficientData)
-	}
-	if err := checkPositive("weibull", xs); err != nil {
-		return Weibull{}, err
-	}
-	n := float64(len(xs))
-	sumLog := 0.0
-	allEqual := true
-	for _, x := range xs {
-		sumLog += math.Log(x)
-		if x != xs[0] {
-			allEqual = false
-		}
-	}
-	if allEqual {
-		return Weibull{}, fmt.Errorf("fit weibull: all observations identical: %w", ErrInsufficientData)
-	}
-	meanLog := sumLog / n
+	return FitWeibullSample(NewSample(xs))
+}
 
-	// MLE shape k solves: Σ x^k ln x / Σ x^k - 1/k - meanLog = 0.
-	// The sums are computed in a numerically stable way by factoring out the
-	// largest x^k term.
-	maxX := xs[0]
-	for _, x := range xs {
-		if x > maxX {
-			maxX = x
-		}
-	}
-	logMax := math.Log(maxX)
-	score := func(k float64) float64 {
-		var sw, swl float64 // Σ (x/max)^k and Σ (x/max)^k ln x
-		for _, x := range xs {
-			w := math.Exp(k * (math.Log(x) - logMax))
-			sw += w
-			swl += w * math.Log(x)
-		}
-		return swl/sw - 1/k - meanLog
-	}
-
-	lo, hi, err := mathx.FindBracket(score, 1e-3, 5)
-	if err != nil {
-		return Weibull{}, fmt.Errorf("fit weibull: bracket shape: %w", err)
-	}
-	if lo <= 0 {
-		lo = 1e-6
-	}
-	k, err := mathx.Brent(score, lo, hi, 1e-11)
-	if err != nil {
-		return Weibull{}, fmt.Errorf("fit weibull: solve shape: %w", err)
-	}
-	// Scale from the profile MLE: λ = (Σ x^k / n)^(1/k).
-	var sw float64
-	for _, x := range xs {
-		sw += math.Exp(k * (math.Log(x) - logMax))
-	}
-	scale := maxX * math.Pow(sw/n, 1/k)
-	return NewWeibull(k, scale)
+// FitWeibullSample is FitWeibull over precomputed transforms: the score
+// function reads the sample's log cache instead of recomputing two
+// logarithms per observation per solver iteration, leaving one math.Exp per
+// observation. The result is bit-identical to FitWeibull on the same data.
+func FitWeibullSample(s *Sample) (Weibull, error) {
+	return newWeibullSolver().fit(&s.t)
 }

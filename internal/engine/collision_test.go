@@ -1,0 +1,145 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"hpcfail/internal/dist"
+	"hpcfail/internal/stats"
+)
+
+// Crafting two float64 slices that genuinely collide on 64-bit FNV-1a is
+// infeasible at test time, so these tests forge the collision: they plant a
+// poisoned cache entry under the victim sample's hash with a different
+// fingerprint, exactly the state a real collision would leave behind. The
+// engine must detect the fingerprint mismatch, chain a fresh entry, and
+// never serve the poisoned result.
+
+var errPoisoned = errors.New("poisoned cache entry served")
+
+func TestFitMemoDetectsHashCollision(t *testing.T) {
+	e := New(Options{Workers: 1, BootstrapReps: -1})
+	xs := sample(t, 200)
+	hash := stats.HashSample(xs)
+
+	// A same-hash entry whose sample was 3 observations long with other
+	// endpoint bits: fingerprints cannot match.
+	forged := &fitEntry{fp: fingerprint{n: 3, first: 1, last: 2}}
+	forged.once.Do(func() { forged.res = dist.FitResult{Family: dist.FamilyWeibull, Err: errPoisoned} })
+	key := fitKey{hash: hash, family: dist.FamilyWeibull}
+	e.mu.Lock()
+	e.fits[key] = []*fitEntry{forged}
+	e.mu.Unlock()
+
+	cmp, err := e.FitAll(context.Background(), xs, dist.FamilyWeibull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, ok := cmp.ByFamily(dist.FamilyWeibull)
+	if !ok {
+		t.Fatal("no weibull result")
+	}
+	if errors.Is(res.Err, errPoisoned) {
+		t.Fatal("engine served the colliding entry's result")
+	}
+	if res.Err != nil {
+		t.Fatalf("fresh fit failed: %v", res.Err)
+	}
+	if got := e.Collisions(); got < 1 {
+		t.Fatalf("Collisions = %d, want >= 1", got)
+	}
+
+	// Both entries now chain under the same key.
+	e.mu.Lock()
+	chained := len(e.fits[key])
+	e.mu.Unlock()
+	if chained != 2 {
+		t.Fatalf("chain length = %d, want 2", chained)
+	}
+
+	// A repeat lookup must hit the correct chained entry, not recompute or
+	// grow the chain.
+	if _, err := e.FitAll(context.Background(), xs, dist.FamilyWeibull); err != nil {
+		t.Fatal(err)
+	}
+	e.mu.Lock()
+	chained = len(e.fits[key])
+	e.mu.Unlock()
+	if chained != 2 {
+		t.Fatalf("chain length after repeat = %d, want 2", chained)
+	}
+}
+
+func TestCIMemoDetectsHashCollision(t *testing.T) {
+	e := New(Options{Workers: 1, BootstrapReps: 16})
+	xs := sample(t, 200)
+	hash := stats.HashSample(xs)
+
+	forged := &ciEntry{fp: fingerprint{n: 1, first: 42, last: 42}}
+	forged.once.Do(func() { forged.err = errPoisoned })
+	key := fitKey{hash: hash, family: dist.FamilyWeibull}
+	e.mu.Lock()
+	e.cis[key] = []*ciEntry{forged}
+	e.mu.Unlock()
+
+	_, cis, err := e.FitCI(context.Background(), xs, dist.FamilyWeibull)
+	if errors.Is(err, errPoisoned) {
+		t.Fatal("engine served the colliding entry's error")
+	}
+	if err != nil {
+		t.Fatalf("fresh CI failed: %v", err)
+	}
+	if len(cis) == 0 {
+		t.Fatal("no intervals returned")
+	}
+	if got := e.Collisions(); got < 1 {
+		t.Fatalf("Collisions = %d, want >= 1", got)
+	}
+}
+
+func TestSampleInternDetectsHashCollision(t *testing.T) {
+	e := New(Options{Workers: 1})
+	xs := sample(t, 50)
+	hash := stats.HashSample(xs)
+
+	// Plant a different sample under the victim's hash bucket.
+	other := dist.NewSamplePrehashed([]float64{1, 2, 3}, hash)
+	e.mu.Lock()
+	e.samples[hash] = []*sampleEntry{{fp: fingerprint{n: 3, first: 7, last: 9}, s: other}}
+	e.mu.Unlock()
+
+	s := e.Intern(xs)
+	if s == other {
+		t.Fatal("Intern returned the colliding sample")
+	}
+	if s.N() != len(xs) {
+		t.Fatalf("interned N = %d, want %d", s.N(), len(xs))
+	}
+	if e.Collisions() < 1 {
+		t.Fatalf("Collisions = %d, want >= 1", e.Collisions())
+	}
+	// Re-interning must return the chained entry, not build a third.
+	if again := e.Intern(xs); again != s {
+		t.Fatal("re-intern did not return the chained sample")
+	}
+}
+
+// TestInternSharesSample pins the interning contract itself: equal content
+// yields the same *dist.Sample, different content does not.
+func TestInternSharesSample(t *testing.T) {
+	e := New(Options{})
+	xs := sample(t, 100)
+	ys := make([]float64, len(xs))
+	copy(ys, xs)
+	a, b := e.Intern(xs), e.Intern(ys)
+	if a != b {
+		t.Fatal("equal-content slices interned to different Samples")
+	}
+	if c := e.Intern(xs[:50]); c == a {
+		t.Fatal("different content interned to the same Sample")
+	}
+	if e.Collisions() != 0 {
+		t.Fatalf("Collisions = %d, want 0", e.Collisions())
+	}
+}

@@ -54,11 +54,12 @@ type Engine struct {
 	seed    int64
 
 	mu      sync.Mutex
-	fits    map[fitKey]*fitEntry
-	cis     map[fitKey]*ciEntry
-	samples map[uint64]*sampleEntry
+	fits    map[fitKey][]*fitEntry
+	cis     map[fitKey][]*ciEntry
+	samples map[uint64][]*sampleEntry
 
 	hits, misses atomic.Uint64
+	collisions   atomic.Uint64
 }
 
 type fitKey struct {
@@ -66,12 +67,36 @@ type fitKey struct {
 	family dist.Family
 }
 
+// fingerprint is the cheap identity check layered over the FNV-1a hash:
+// sample length plus the raw bits of the first and last observations. Two
+// samples that collide on the 64-bit hash are overwhelmingly unlikely to
+// also agree on all three, so a hash hit is only trusted when the
+// fingerprint matches; mismatches chain instead of silently reusing a
+// wrong fit.
+type fingerprint struct {
+	n           int
+	first, last uint64
+}
+
+func fingerprintOf(xs []float64) fingerprint {
+	if len(xs) == 0 {
+		return fingerprint{}
+	}
+	return fingerprint{
+		n:     len(xs),
+		first: math.Float64bits(xs[0]),
+		last:  math.Float64bits(xs[len(xs)-1]),
+	}
+}
+
 type fitEntry struct {
+	fp   fingerprint
 	once sync.Once
 	res  dist.FitResult
 }
 
 type ciEntry struct {
+	fp   fingerprint
 	once sync.Once
 	dist dist.Continuous
 	cis  []dist.ParamCI
@@ -79,9 +104,8 @@ type ciEntry struct {
 }
 
 type sampleEntry struct {
-	once sync.Once
-	ecdf *stats.ECDF
-	err  error
+	fp fingerprint
+	s  *dist.Sample
 }
 
 // New returns an Engine for the given options.
@@ -100,9 +124,9 @@ func New(opts Options) *Engine {
 		reps:    opts.BootstrapReps,
 		level:   opts.Level,
 		seed:    opts.Seed,
-		fits:    make(map[fitKey]*fitEntry),
-		cis:     make(map[fitKey]*ciEntry),
-		samples: make(map[uint64]*sampleEntry),
+		fits:    make(map[fitKey][]*fitEntry),
+		cis:     make(map[fitKey][]*ciEntry),
+		samples: make(map[uint64][]*sampleEntry),
 	}
 }
 
@@ -117,10 +141,15 @@ func (e *Engine) BootstrapReps() int { return e.reps }
 func (e *Engine) Level() float64 { return e.level }
 
 // Stats reports memoization effectiveness: cache hits and misses across
-// fit, interval and sample-digest lookups.
+// fit and interval lookups.
 func (e *Engine) Stats() (hits, misses uint64) {
 	return e.hits.Load(), e.misses.Load()
 }
+
+// Collisions reports how many cache lookups found a same-hash entry whose
+// sample fingerprint differed — FNV-1a collisions that were detected and
+// chained rather than silently reusing another sample's result.
+func (e *Engine) Collisions() uint64 { return e.collisions.Load() }
 
 // taskSeed derives the deterministic bootstrap seed of one (sample, family)
 // task. Mixing the sample hash and family into the engine seed makes the
@@ -133,46 +162,77 @@ func (e *Engine) taskSeed(hash uint64, f dist.Family) int64 {
 	return int64(h)
 }
 
-func (e *Engine) sample(hash uint64, xs []float64) (*stats.ECDF, error) {
+// Intern returns the engine's shared precomputed Sample for xs, building it
+// on first use. Samples are keyed by FNV-1a hash with a fingerprint check
+// (length, first and last bits) so that fleet analyses fitting the same
+// shard sample through several families and bootstrap passes pay for the
+// transforms — log cache, sums, sorted order, ECDF — exactly once.
+func (e *Engine) Intern(xs []float64) *dist.Sample {
+	hash := stats.HashSample(xs)
+	fp := fingerprintOf(xs)
 	e.mu.Lock()
-	ent, ok := e.samples[hash]
-	if !ok {
-		ent = &sampleEntry{}
-		e.samples[hash] = ent
+	for _, ent := range e.samples[hash] {
+		if ent.fp == fp {
+			e.mu.Unlock()
+			return ent.s
+		}
 	}
 	e.mu.Unlock()
-	ent.once.Do(func() {
-		ent.ecdf, ent.err = stats.NewECDF(xs)
-	})
-	return ent.ecdf, ent.err
+	// Build outside the lock; the transforms are O(n).
+	s := dist.NewSamplePrehashed(xs, hash)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, ent := range e.samples[hash] {
+		if ent.fp == fp {
+			return ent.s
+		}
+	}
+	if len(e.samples[hash]) > 0 {
+		e.collisions.Add(1)
+	}
+	e.samples[hash] = append(e.samples[hash], &sampleEntry{fp: fp, s: s})
+	return s
 }
 
 // fitOne returns the memoized fit of one family to one sample, computing it
 // on first use. The returned FitResult mirrors dist.FitAll's per-family
-// bookkeeping (NLL, AIC, KS, or the fit error).
-func (e *Engine) fitOne(hash uint64, xs []float64, f dist.Family) dist.FitResult {
-	key := fitKey{hash: hash, family: f}
+// bookkeeping (NLL, AIC, KS, or the fit error). A hash hit is only reused
+// after the sample fingerprint matches; colliding samples chain.
+func (e *Engine) fitOne(s *dist.Sample, f dist.Family) dist.FitResult {
+	key := fitKey{hash: s.Hash(), family: f}
+	fp := fingerprintOf(s.Values())
 	e.mu.Lock()
-	ent, ok := e.fits[key]
-	if !ok {
-		ent = &fitEntry{}
-		e.fits[key] = ent
+	var ent *fitEntry
+	bucket := e.fits[key]
+	for _, c := range bucket {
+		if c.fp == fp {
+			ent = c
+			break
+		}
+	}
+	hit := ent != nil
+	if !hit {
+		if len(bucket) > 0 {
+			e.collisions.Add(1)
+		}
+		ent = &fitEntry{fp: fp}
+		e.fits[key] = append(bucket, ent)
 	}
 	e.mu.Unlock()
-	if ok {
+	if hit {
 		e.hits.Add(1)
 	} else {
 		e.misses.Add(1)
 	}
 	ent.once.Do(func() {
-		ent.res = e.computeFit(hash, xs, f)
+		ent.res = e.computeFit(s, f)
 	})
 	return ent.res
 }
 
-func (e *Engine) computeFit(hash uint64, xs []float64, f dist.Family) dist.FitResult {
+func (e *Engine) computeFit(s *dist.Sample, f dist.Family) dist.FitResult {
 	res := dist.FitResult{Family: f}
-	d, err := dist.Fit(f, xs)
+	d, err := dist.FitSample(f, s)
 	if err != nil {
 		res.Err = err
 		res.NLL = math.Inf(1)
@@ -181,7 +241,7 @@ func (e *Engine) computeFit(hash uint64, xs []float64, f dist.Family) dist.FitRe
 		return res
 	}
 	res.Dist = d
-	nll, err := dist.NegLogLikelihood(d, xs)
+	nll, err := dist.NegLogLikelihoodSample(d, s)
 	if err != nil {
 		res.Err = err
 		res.NLL = math.Inf(1)
@@ -190,7 +250,7 @@ func (e *Engine) computeFit(hash uint64, xs []float64, f dist.Family) dist.FitRe
 		res.NLL = nll
 		res.AIC = 2*float64(d.NumParams()) + 2*nll
 	}
-	ecdf, err := e.sample(hash, xs)
+	ecdf, err := s.ECDF()
 	if err != nil {
 		res.KS = math.NaN()
 		return res
@@ -202,17 +262,26 @@ func (e *Engine) computeFit(hash uint64, xs []float64, f dist.Family) dist.FitRe
 // FitAll fits each requested family to xs and ranks the results by NLL,
 // exactly as dist.FitAll does, but with every per-family fit memoized by
 // (sample hash, family). With no families it fits the paper's standard
-// four. The comparison is rebuilt per call so callers may not mutate shared
-// state; the underlying fits are shared.
+// four. It interns xs; use FitAllSample when the caller already holds a
+// Sample.
 func (e *Engine) FitAll(ctx context.Context, xs []float64, families ...dist.Family) (*dist.Comparison, error) {
 	if len(xs) == 0 {
+		return nil, fmt.Errorf("engine fit all: %w", dist.ErrInsufficientData)
+	}
+	return e.FitAllSample(ctx, e.Intern(xs), families...)
+}
+
+// FitAllSample is FitAll over a shared precomputed sample. The comparison
+// is rebuilt per call so callers may mutate their copy; the underlying fits
+// are shared.
+func (e *Engine) FitAllSample(ctx context.Context, s *dist.Sample, families ...dist.Family) (*dist.Comparison, error) {
+	if s.N() == 0 {
 		return nil, fmt.Errorf("engine fit all: %w", dist.ErrInsufficientData)
 	}
 	if len(families) == 0 {
 		families = dist.StandardFamilies()
 	}
-	hash := stats.HashSample(xs)
-	if _, err := e.sample(hash, xs); err != nil {
+	if _, err := s.ECDF(); err != nil {
 		return nil, fmt.Errorf("engine fit all: %w", err)
 	}
 	results := make([]dist.FitResult, 0, len(families))
@@ -220,7 +289,7 @@ func (e *Engine) FitAll(ctx context.Context, xs []float64, families ...dist.Fami
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		results = append(results, e.fitOne(hash, xs, f))
+		results = append(results, e.fitOne(s, f))
 	}
 	sort.SliceStable(results, func(i, j int) bool {
 		return results[i].NLL < results[j].NLL
@@ -231,8 +300,16 @@ func (e *Engine) FitAll(ctx context.Context, xs []float64, families ...dist.Fami
 // FitCI returns the memoized fit of one family together with seeded
 // percentile-bootstrap confidence intervals for every fitted parameter.
 // The bootstrap seed derives from (engine seed, sample hash, family), so
-// the intervals are identical at any worker count and across runs.
+// the intervals are identical at any worker count and across runs. It
+// interns xs; use FitCISample when the caller already holds a Sample.
 func (e *Engine) FitCI(ctx context.Context, xs []float64, f dist.Family) (dist.Continuous, []dist.ParamCI, error) {
+	return e.FitCISample(ctx, e.Intern(xs), f)
+}
+
+// FitCISample is FitCI over a shared precomputed sample, feeding the
+// zero-allocation bootstrap kernel directly from the sample's cached
+// transforms.
+func (e *Engine) FitCISample(ctx context.Context, s *dist.Sample, f dist.Family) (dist.Continuous, []dist.ParamCI, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
@@ -240,22 +317,34 @@ func (e *Engine) FitCI(ctx context.Context, xs []float64, f dist.Family) (dist.C
 	if reps < 0 {
 		return nil, nil, fmt.Errorf("engine fit CI %v: bootstrap disabled (reps %d)", f, reps)
 	}
-	hash := stats.HashSample(xs)
+	hash := s.Hash()
 	key := fitKey{hash: hash, family: f}
+	fp := fingerprintOf(s.Values())
 	e.mu.Lock()
-	ent, ok := e.cis[key]
-	if !ok {
-		ent = &ciEntry{}
-		e.cis[key] = ent
+	var ent *ciEntry
+	bucket := e.cis[key]
+	for _, c := range bucket {
+		if c.fp == fp {
+			ent = c
+			break
+		}
+	}
+	hit := ent != nil
+	if !hit {
+		if len(bucket) > 0 {
+			e.collisions.Add(1)
+		}
+		ent = &ciEntry{fp: fp}
+		e.cis[key] = append(bucket, ent)
 	}
 	e.mu.Unlock()
-	if ok {
+	if hit {
 		e.hits.Add(1)
 	} else {
 		e.misses.Add(1)
 	}
 	ent.once.Do(func() {
-		ent.dist, ent.cis, ent.err = dist.FitCI(f, xs, reps, e.level, e.taskSeed(hash, f))
+		ent.dist, ent.cis, ent.err = dist.FitCISample(f, s, reps, e.level, e.taskSeed(hash, f))
 	})
 	return ent.dist, ent.cis, ent.err
 }

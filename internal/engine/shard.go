@@ -284,7 +284,10 @@ func (e *Engine) study(ctx context.Context, xs []float64, spec ShardSpec) (*Stud
 	if err != nil {
 		return nil, err
 	}
-	fits, err := e.FitAll(ctx, xs, spec.families()...)
+	// One interned Sample carries the precomputed transforms through all
+	// four family fits and every bootstrap interval below.
+	s := e.Intern(xs)
+	fits, err := e.FitAllSample(ctx, s, spec.families()...)
 	if err != nil {
 		return nil, err
 	}
@@ -298,7 +301,7 @@ func (e *Engine) study(ctx context.Context, xs []float64, spec ShardSpec) (*Stud
 		if !ok || r.Err != nil {
 			continue
 		}
-		if _, cis, err := e.FitCI(ctx, xs, f); err == nil {
+		if _, cis, err := e.FitCISample(ctx, s, f); err == nil {
 			st.CIs[f] = cis
 		} else if ctx.Err() != nil {
 			return nil, ctx.Err()

@@ -301,8 +301,10 @@ func (e *Engine) streamStudy(ctx context.Context, acc *streamstats.Accumulator, 
 	if err != nil {
 		return nil, err
 	}
-	sample := acc.Sample()
-	fits, err := e.FitAll(ctx, sample, spec.families()...)
+	// One interned Sample carries the precomputed transforms through all
+	// four family fits and every bootstrap interval below.
+	s := e.Intern(acc.Sample())
+	fits, err := e.FitAllSample(ctx, s, spec.families()...)
 	if err != nil {
 		return nil, err
 	}
@@ -316,7 +318,7 @@ func (e *Engine) streamStudy(ctx context.Context, acc *streamstats.Accumulator, 
 		if !ok || r.Err != nil {
 			continue
 		}
-		if _, cis, err := e.FitCI(ctx, sample, f); err == nil {
+		if _, cis, err := e.FitCISample(ctx, s, f); err == nil {
 			st.CIs[f] = cis
 		} else if ctx.Err() != nil {
 			return nil, ctx.Err()

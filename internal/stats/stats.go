@@ -172,6 +172,17 @@ func NewECDF(xs []float64) (*ECDF, error) {
 	return &ECDF{sorted: sorted}, nil
 }
 
+// NewECDFFromSorted builds an ECDF directly over an already-sorted slice
+// without copying or re-sorting it. The caller must not mutate the slice
+// afterwards and must guarantee ascending order; dist.Sample uses this to
+// share one sorted view between the ECDF and the fit kernels.
+func NewECDFFromSorted(sorted []float64) (*ECDF, error) {
+	if len(sorted) == 0 {
+		return nil, ErrEmpty
+	}
+	return &ECDF{sorted: sorted}, nil
+}
+
 // At returns the fraction of the sample that is <= x.
 func (e *ECDF) At(x float64) float64 {
 	// First index with value > x.
