@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check vet staticcheck build test race fuzz fuzz-smoke bench bench-engine bench-stream bench-fit golden
+.PHONY: check vet staticcheck build test race race-gen fuzz fuzz-smoke bench bench-engine bench-stream bench-fit bench-gen golden
 
 # The full gate: what CI runs — static checks, build, the race detector
-# over every test, and a short fuzz smoke of the CSV reader.
-check: vet staticcheck build race fuzz-smoke
+# over every test, a focused race pass over the parallel generator, and a
+# short fuzz smoke of the CSV reader.
+check: vet staticcheck build race race-gen fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -27,6 +28,11 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Race smoke of the parallel/streaming generator specifically: worker
+# pools, stream back-pressure and early close under the race detector.
+race-gen:
+	$(GO) test -race -run 'Workers|Stream|Subset' ./internal/lanl
+
 fuzz:
 	$(GO) test -fuzz=FuzzReadCSV -fuzztime=30s ./internal/failures
 
@@ -48,6 +54,11 @@ bench-stream:
 # Fit kernels vs the frozen slice-path fitters; refreshes BENCH_fit.json.
 bench-fit:
 	$(GO) run ./cmd/fitbench
+
+# Generator: frozen reference vs compiled parallel vs streaming, with a
+# record-identity check before timing; refreshes BENCH_gen.json.
+bench-gen:
+	$(GO) run ./cmd/genbench
 
 # Rewrite the cmd/reproduce golden file after a reviewed output change.
 golden:

@@ -5,7 +5,15 @@
 //
 // Usage:
 //
-//	lanlgen [-seed N] [-systems 5,20] [-scale X] [-out trace.csv]
+//	lanlgen [-seed N] [-systems 5,20] [-scale X] [-workers N] [-stream] [-out trace.csv]
+//
+// -workers bounds how many systems generate concurrently (0 means
+// GOMAXPROCS); the output is identical at every worker count. -stream
+// writes each record as it is produced instead of building the dataset
+// in memory first — rows then arrive grouped by system in catalog order
+// (sorted by start time within each system) rather than globally
+// time-sorted; failures.ReadCSV re-sorts on load, so a streamed file
+// loads into the identical dataset.
 package main
 
 import (
@@ -32,23 +40,32 @@ func run(args []string, stdout io.Writer) error {
 	seed := fs.Int64("seed", 1, "random seed; seed 1 is the reference dataset")
 	systems := fs.String("systems", "", "comma-separated system IDs (default: all 22)")
 	scale := fs.Float64("scale", 1, "failure-rate scale factor")
+	workers := fs.Int("workers", 0, "concurrent system generators; 0 = GOMAXPROCS")
+	stream := fs.Bool("stream", false, "write records as they are generated (system-grouped row order, bounded memory)")
 	out := fs.String("out", "", "output file (default: stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := lanl.Config{Seed: *seed, RateScale: *scale}
+	// Validate everything up front so misuse fails before any expensive
+	// generation starts.
+	if *scale <= 0 {
+		return fmt.Errorf("-scale must be positive, got %g", *scale)
+	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be non-negative, got %d", *workers)
+	}
+	cfg := lanl.Config{Seed: *seed, RateScale: *scale, Workers: *workers}
 	if *systems != "" {
 		for _, part := range strings.Split(*systems, ",") {
 			id, err := strconv.Atoi(strings.TrimSpace(part))
 			if err != nil {
 				return fmt.Errorf("parse -systems: %w", err)
 			}
+			if _, err := lanl.SystemByID(id); err != nil {
+				return fmt.Errorf("-systems: %w", err)
+			}
 			cfg.Systems = append(cfg.Systems, id)
 		}
-	}
-	dataset, err := lanl.NewGenerator(cfg).Generate()
-	if err != nil {
-		return fmt.Errorf("generate: %w", err)
 	}
 	w := stdout
 	if *out != "" {
@@ -59,11 +76,32 @@ func run(args []string, stdout io.Writer) error {
 		defer f.Close()
 		w = f
 	}
-	if err := failures.WriteCSV(w, dataset); err != nil {
-		return fmt.Errorf("write: %w", err)
+	gen := lanl.NewGenerator(cfg)
+	var n int
+	if *stream {
+		cw, err := failures.NewCSVWriter(w)
+		if err != nil {
+			return fmt.Errorf("write: %w", err)
+		}
+		if err := gen.GenerateStream(cw.Write); err != nil {
+			return fmt.Errorf("generate: %w", err)
+		}
+		if err := cw.Flush(); err != nil {
+			return fmt.Errorf("write: %w", err)
+		}
+		n = cw.Count()
+	} else {
+		dataset, err := gen.Generate()
+		if err != nil {
+			return fmt.Errorf("generate: %w", err)
+		}
+		if err := failures.WriteCSV(w, dataset); err != nil {
+			return fmt.Errorf("write: %w", err)
+		}
+		n = dataset.Len()
 	}
 	if *out != "" {
-		fmt.Fprintf(stdout, "wrote %d records to %s\n", dataset.Len(), *out)
+		fmt.Fprintf(stdout, "wrote %d records to %s\n", n, *out)
 	}
 	return nil
 }

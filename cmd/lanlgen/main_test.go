@@ -78,4 +78,57 @@ func TestRunBadFlags(t *testing.T) {
 	if err := run([]string{"-bogus"}, &out); err == nil {
 		t.Fatal("unknown flag: want error")
 	}
+	if err := run([]string{"-systems", "99"}, &out); err == nil {
+		t.Fatal("unknown system ID: want error")
+	}
+	if err := run([]string{"-scale", "0"}, &out); err == nil {
+		t.Fatal("zero -scale: want error")
+	}
+	if err := run([]string{"-scale", "-1"}, &out); err == nil {
+		t.Fatal("negative -scale: want error")
+	}
+	if err := run([]string{"-workers", "-2"}, &out); err == nil {
+		t.Fatal("negative -workers: want error")
+	}
+}
+
+func TestRunStreamMatchesMaterialized(t *testing.T) {
+	// A streamed file holds the same records as a materialized one — in
+	// system-grouped order, so compare after loading (ReadCSV re-sorts).
+	var materialized, streamed bytes.Buffer
+	if err := run([]string{"-seed", "2", "-systems", "19,20"}, &materialized); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-seed", "2", "-systems", "19,20", "-stream", "-workers", "4"}, &streamed); err != nil {
+		t.Fatal(err)
+	}
+	want, err := failures.ReadCSV(&materialized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := failures.ReadCSV(&streamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("stream wrote %d records, materialized %d", got.Len(), want.Len())
+	}
+	for i := 0; i < want.Len(); i++ {
+		if got.At(i) != want.At(i) {
+			t.Fatalf("record %d differs after load:\n got %+v\nwant %+v", i, got.At(i), want.At(i))
+		}
+	}
+}
+
+func TestRunWorkersIdenticalOutput(t *testing.T) {
+	var w1, w8 bytes.Buffer
+	if err := run([]string{"-seed", "3", "-systems", "20,21", "-workers", "1"}, &w1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-seed", "3", "-systems", "20,21", "-workers", "8"}, &w8); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(w1.Bytes(), w8.Bytes()) {
+		t.Fatal("CSV output differs between -workers 1 and -workers 8")
+	}
 }

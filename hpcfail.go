@@ -77,8 +77,17 @@ const (
 var (
 	// NewDataset validates, copies and time-orders records.
 	NewDataset = failures.NewDataset
+	// NewDatasetSorted is the copy-saving variant for records already in
+	// start order (the parallel generator's merge output); it verifies the
+	// order and falls back to sorting when the claim does not hold.
+	NewDatasetSorted = failures.NewDatasetSorted
 	// MergeDatasets combines datasets into one time-ordered dataset.
 	MergeDatasets = failures.Merge
+	// SortByStart stable-sorts records in place by start time;
+	// MergeSortedBlocks merges per-block sorted runs into one sorted
+	// slice, stable across block order.
+	SortByStart       = failures.SortByStart
+	MergeSortedBlocks = failures.MergeSortedBlocks
 	// WriteCSV and ReadCSV are the trace codec; ReadCSVWith adds a
 	// lenient mode that skips malformed rows and reports them as
 	// RowErrors instead of aborting the load.
@@ -96,11 +105,18 @@ type (
 	// Scanner yields records one at a time from CSV without building a
 	// Dataset — the bounded-memory ingest path for traces larger than RAM.
 	Scanner = failures.Scanner
+	// CSVWriter emits records one at a time in WriteCSV's exact format —
+	// the output half of the streaming codec.
+	CSVWriter = failures.CSVWriter
 )
 
 // NewScanner opens a streaming CSV reader sharing ReadCSV's parsing,
-// validation and lenient-mode semantics.
-var NewScanner = failures.NewScanner
+// validation and lenient-mode semantics; NewCSVWriter opens the
+// matching streaming writer (header written immediately).
+var (
+	NewScanner   = failures.NewScanner
+	NewCSVWriter = failures.NewCSVWriter
+)
 
 // ---- LANL environment and synthetic trace generation (internal/lanl) ----
 
@@ -110,10 +126,16 @@ type (
 	System = lanl.System
 	// NodeCategory is one homogeneous node group within a system.
 	NodeCategory = lanl.NodeCategory
-	// GeneratorConfig controls synthetic trace generation.
+	// GeneratorConfig controls synthetic trace generation; its Workers
+	// field bounds the generator's worker pool (0 means GOMAXPROCS).
 	GeneratorConfig = lanl.Config
-	// Generator produces synthetic LANL-like traces.
+	// Generator produces synthetic LANL-like traces. Generate materializes
+	// a Dataset; GenerateStream pushes records to a callback without
+	// materializing the trace; Stream returns a pull-style RecordStream.
 	Generator = lanl.Generator
+	// RecordStream is the pull-style record iterator returned by
+	// Generator.Stream — Scan/Record/Err/Close, like Scanner.
+	RecordStream = lanl.RecordStream
 )
 
 // Catalog access and generation.

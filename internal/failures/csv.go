@@ -20,28 +20,66 @@ var csvHeader = []string{
 // so whole-second timestamps are written exactly as before). The reader
 // accepts both, making Write → Read an identity on any dataset.
 func WriteCSV(w io.Writer, d *Dataset) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write(csvHeader); err != nil {
-		return fmt.Errorf("write csv header: %w", err)
+	cw, err := NewCSVWriter(w)
+	if err != nil {
+		return err
 	}
 	for i := 0; i < d.Len(); i++ {
-		r := d.At(i)
-		row := []string{
-			strconv.Itoa(r.System),
-			strconv.Itoa(r.Node),
-			string(r.HW),
-			r.Workload.String(),
-			r.Cause.String(),
-			r.Detail,
-			r.Start.UTC().Format(time.RFC3339Nano),
-			r.End.UTC().Format(time.RFC3339Nano),
-		}
-		if err := cw.Write(row); err != nil {
-			return fmt.Errorf("write csv row %d: %w", i, err)
+		if err := cw.Write(d.At(i)); err != nil {
+			return err
 		}
 	}
-	cw.Flush()
-	if err := cw.Error(); err != nil {
+	return cw.Flush()
+}
+
+// A CSVWriter encodes records one at a time in the repository's CSV
+// format, so a producer can stream a trace to disk without ever holding a
+// Dataset in memory. It is the record-at-a-time counterpart of WriteCSV
+// (which is implemented on top of it): the header goes out at
+// construction, each Write appends one row, and Flush must be called
+// after the last record.
+type CSVWriter struct {
+	cw  *csv.Writer
+	row [8]string
+	n   int
+}
+
+// NewCSVWriter returns a CSVWriter after writing the header row.
+func NewCSVWriter(w io.Writer) (*CSVWriter, error) {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return nil, fmt.Errorf("write csv header: %w", err)
+	}
+	return &CSVWriter{cw: cw}, nil
+}
+
+// Write appends one record row. The row buffer is reused across calls.
+func (w *CSVWriter) Write(r Record) error {
+	w.row = [8]string{
+		strconv.Itoa(r.System),
+		strconv.Itoa(r.Node),
+		string(r.HW),
+		r.Workload.String(),
+		r.Cause.String(),
+		r.Detail,
+		r.Start.UTC().Format(time.RFC3339Nano),
+		r.End.UTC().Format(time.RFC3339Nano),
+	}
+	if err := w.cw.Write(w.row[:]); err != nil {
+		return fmt.Errorf("write csv row %d: %w", w.n, err)
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of record rows written so far.
+func (w *CSVWriter) Count() int { return w.n }
+
+// Flush drains buffered rows to the underlying writer and reports any
+// write error.
+func (w *CSVWriter) Flush() error {
+	w.cw.Flush()
+	if err := w.cw.Error(); err != nil {
 		return fmt.Errorf("flush csv: %w", err)
 	}
 	return nil

@@ -1,0 +1,174 @@
+package failures
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// randomRecords builds n valid records with start times drawn from a
+// small window so duplicates are common — the case where stability
+// matters. Node carries the original position so stability is checkable
+// after sorting.
+func randomRecords(rng *rand.Rand, n, window int) []Record {
+	rs := make([]Record, n)
+	for i := range rs {
+		rs[i] = rec(1+rng.Intn(3), i, rng.Intn(window), 1+rng.Intn(60), CauseHardware)
+	}
+	return rs
+}
+
+func assertStableSorted(t *testing.T, label string, got, original []Record) {
+	t.Helper()
+	want := make([]Record, len(original))
+	copy(want, original)
+	sort.SliceStable(want, func(i, j int) bool { return want[i].Start.Before(want[j].Start) })
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: index %d: got node %d @ %v, want node %d @ %v",
+				label, i, got[i].Node, got[i].Start, want[i].Node, want[i].Start)
+		}
+	}
+}
+
+func TestSortByStartMatchesSliceStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(50)
+		original := randomRecords(rng, n, 1+rng.Intn(10))
+		got := make([]Record, n)
+		copy(got, original)
+		SortByStart(got)
+		assertStableSorted(t, "random", got, original)
+	}
+}
+
+func TestSortByStartEdgeCases(t *testing.T) {
+	SortByStart(nil)
+	one := []Record{rec(1, 0, 5, 1, CauseHardware)}
+	SortByStart(one)
+
+	// Already sorted: the run detector must exit without touching it.
+	sorted := []Record{rec(1, 0, 1, 1, CauseHardware), rec(1, 1, 2, 1, CauseHardware), rec(1, 2, 2, 1, CauseHardware)}
+	orig := make([]Record, len(sorted))
+	copy(orig, sorted)
+	SortByStart(sorted)
+	for i := range orig {
+		if sorted[i] != orig[i] {
+			t.Fatalf("sorted input disturbed at %d", i)
+		}
+	}
+
+	// Reverse order: worst case for the run structure.
+	n := 100
+	rev := make([]Record, n)
+	for i := range rev {
+		rev[i] = rec(1, i, n-i, 1, CauseSoftware)
+	}
+	cp := make([]Record, n)
+	copy(cp, rev)
+	SortByStart(rev)
+	assertStableSorted(t, "reverse", rev, cp)
+
+	// All-equal start times: output must preserve input order exactly.
+	eq := make([]Record, 50)
+	for i := range eq {
+		eq[i] = rec(2, i, 7, 1, CauseUnknown)
+	}
+	cp = make([]Record, len(eq))
+	copy(cp, eq)
+	SortByStart(eq)
+	for i := range eq {
+		if eq[i].Node != cp[i].Node {
+			t.Fatalf("equal-key order broken at %d: node %d", i, eq[i].Node)
+		}
+	}
+}
+
+func TestMergeSortedBlocksMatchesStableSortOfConcatenation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		blocks := make([][]Record, rng.Intn(6))
+		var concat []Record
+		pos := 0
+		for bi := range blocks {
+			b := randomRecords(rng, rng.Intn(20), 1+rng.Intn(5))
+			for i := range b {
+				b[i].Node = pos // stability witness across blocks
+				pos++
+			}
+			SortByStart(b)
+			blocks[bi] = b
+			concat = append(concat, b...)
+		}
+		got := MergeSortedBlocks(blocks)
+		assertStableSorted(t, "merge", got, concat)
+	}
+}
+
+func TestNewDatasetSorted(t *testing.T) {
+	sorted := []Record{rec(1, 0, 1, 1, CauseHardware), rec(1, 1, 5, 1, CauseSoftware)}
+	d, err := NewDatasetSorted(sorted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 || d.At(0).Node != 0 {
+		t.Fatalf("unexpected dataset %v", d.Records())
+	}
+
+	// Out-of-order input must still come back sorted (fallback path).
+	unsorted := []Record{rec(1, 0, 9, 1, CauseHardware), rec(1, 1, 2, 1, CauseSoftware)}
+	d, err = NewDatasetSorted(unsorted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first, _, _ := d.TimeSpan(); !first.Equal(t0.Add(2 * time.Minute)) {
+		t.Fatalf("fallback sort missing: first start %v", first)
+	}
+
+	// Validation failures surface exactly as NewDataset's do.
+	bad := []Record{{System: -1}}
+	if _, err := NewDatasetSorted(bad); err == nil {
+		t.Fatal("invalid record accepted")
+	}
+}
+
+func TestCSVWriterMatchesWriteCSV(t *testing.T) {
+	records := []Record{
+		rec(1, 0, 1, 30, CauseHardware),
+		rec(2, 3, 5, 90, CauseEnvironment),
+		rec(1, 1, 9, 15, CauseUnknown),
+	}
+	d, err := NewDataset(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var whole bytes.Buffer
+	if err := WriteCSV(&whole, d); err != nil {
+		t.Fatal(err)
+	}
+	var streamed bytes.Buffer
+	cw, err := NewCSVWriter(&streamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < d.Len(); i++ {
+		if err := cw.Write(d.At(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if cw.Count() != d.Len() {
+		t.Fatalf("Count = %d, want %d", cw.Count(), d.Len())
+	}
+	if !bytes.Equal(whole.Bytes(), streamed.Bytes()) {
+		t.Fatalf("streamed CSV differs from WriteCSV:\n%q\nvs\n%q", streamed.String(), whole.String())
+	}
+}

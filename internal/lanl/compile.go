@@ -1,0 +1,148 @@
+package lanl
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"hpcfail/internal/failures"
+	"hpcfail/internal/randx"
+)
+
+// This file compiles the calibration maps of params.go into flat,
+// read-only draw tables at startup, so the per-record hot path
+// (makeRecord and the detail/repair draws) does zero map iteration, zero
+// key sorting and zero heap allocation. Compilation reproduces the exact
+// arithmetic of randx.Source.Categorical — the same left-to-right weight
+// summation, the same u < cumulative comparison — so a compiled draw
+// consumes the same variate and returns the same label, bit for bit, as
+// the frozen reference path in ref.go.
+
+// drawTable is a compiled categorical distribution: labels with the
+// running left-to-right sums of their weights.
+type drawTable struct {
+	labels []string
+	cum    []float64
+	// total is the full weight sum, accumulated in the same order as
+	// Categorical's own total loop so u = Float64()*total matches bitwise.
+	total float64
+}
+
+// compileWeights builds a drawTable from parallel label/weight slices.
+// The cumulative sums follow Categorical's accumulation order exactly.
+func compileWeights(labels []string, weights []float64) drawTable {
+	cum := make([]float64, len(weights))
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		cum[i] = acc
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	return drawTable{labels: labels, cum: cum, total: total}
+}
+
+// compileDetail compiles a detail-weight map in sorted-key order — the
+// same deterministic order the reference path re-derives per record.
+func compileDetail(table map[string]float64) drawTable {
+	keys := make([]string, 0, len(table))
+	for k := range table {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	weights := make([]float64, len(keys))
+	for i, k := range keys {
+		weights[i] = table[k]
+	}
+	return compileWeights(keys, weights)
+}
+
+// draw samples an index, consuming exactly one variate. It is the
+// allocation-free equivalent of src.Categorical(weights): u is compared
+// against precomputed running sums instead of sums rebuilt per call.
+func (d *drawTable) draw(src *randx.Source) int {
+	u := src.Float64() * d.total
+	for i, c := range d.cum {
+		if u < c {
+			return i
+		}
+	}
+	return len(d.cum) - 1
+}
+
+// compiledHW is one hardware type's calibration with every per-record
+// lookup resolved ahead of time: the root-cause mix as a draw table, the
+// failures.Causes() slice captured once, per-cause detail tables (nil
+// where the reference path returns "" without consuming a variate), and
+// the repair lognormal's mu pre-shifted by log(repairMuShift).
+type compiledHW struct {
+	perProcYearRate float64
+	lifecycle       lifecycleShape
+
+	causeTable drawTable
+	causes     []failures.RootCause
+	// detail[i] is the compiled detail table for causes[i]; nil means no
+	// detail draw (Network, Human, Unknown) and no variate consumed.
+	detail [6]*drawTable
+	// repairMu[i] = repairTable()[causes[i]].mu + log(repairMuShift).
+	repairMu    [6]float64
+	repairSigma [6]float64
+}
+
+// envDetail is the environment detail mix the reference path builds as a
+// map literal on every environment-caused record.
+func envDetail() map[string]float64 {
+	return map[string]float64{"power outage": 0.6, "A/C failure": 0.4}
+}
+
+// compileHW flattens one hwParams against the shared repair table.
+func compileHW(p hwParams, repairs map[failures.RootCause]repairParam) *compiledHW {
+	causes := failures.Causes()
+	c := &compiledHW{
+		perProcYearRate: p.perProcYearRate,
+		lifecycle:       p.lifecycle,
+		causeTable:      compileWeights(nil, p.causeWeights[:]),
+		causes:          causes,
+	}
+	logShift := math.Log(p.repairMuShift)
+	for i, cause := range causes {
+		// Mirror the reference drawDetail switch: only hardware, software
+		// and environment causes carry a detail draw.
+		switch cause {
+		case failures.CauseHardware:
+			t := compileDetail(p.hwDetail)
+			c.detail[i] = &t
+		case failures.CauseSoftware:
+			t := compileDetail(p.swDetail)
+			c.detail[i] = &t
+		case failures.CauseEnvironment:
+			t := compileDetail(envDetail())
+			c.detail[i] = &t
+		}
+		rp := repairs[cause]
+		c.repairMu[i] = rp.mu + logShift
+		c.repairSigma[i] = rp.sigma
+	}
+	return c
+}
+
+var (
+	compiledOnce sync.Once
+	compiled     map[failures.HWType]*compiledHW
+)
+
+// compiledTables returns the process-wide compiled calibration, built
+// once from hwTable() and repairTable(). The tables are immutable after
+// construction and safe for concurrent workers.
+func compiledTables() map[failures.HWType]*compiledHW {
+	compiledOnce.Do(func() {
+		repairs := repairTable()
+		compiled = make(map[failures.HWType]*compiledHW)
+		for hw, p := range hwTable() {
+			compiled[hw] = compileHW(p, repairs)
+		}
+	})
+	return compiled
+}

@@ -3,7 +3,9 @@ package lanl
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"hpcfail/internal/failures"
@@ -21,6 +23,11 @@ type Config struct {
 	// RateScale scales every system's failure rate; 0 means 1.0. It exists
 	// for workload-size sweeps in benchmarks.
 	RateScale float64
+	// Workers bounds how many systems generate concurrently; 0 or negative
+	// means runtime.GOMAXPROCS(0). The output is identical at every worker
+	// count: each system draws from its own pre-split child source, and the
+	// deterministic merge reassembles the blocks in catalog order.
+	Workers int
 	// DisableCorrelatedBatches turns off the early type G simultaneous
 	// failures (ablation: removes the Figure 6c zero-interarrival mass).
 	DisableCorrelatedBatches bool
@@ -32,30 +39,58 @@ type Config struct {
 }
 
 // Generator produces synthetic LANL-like failure traces. Construct with
-// NewGenerator.
+// NewGenerator. The generator is bit-compatible with the frozen reference
+// path in ref.go — the compiled draw tables, cached profile curves, era
+// threshold and parallel merge all reproduce the reference arithmetic and
+// randomness stream exactly — while running several times faster and
+// allocating nothing per record in the draw path.
 type Generator struct {
-	cfg     Config
-	hw      map[failures.HWType]hwParams
-	repairs map[failures.RootCause]repairParam
+	cfg Config
+	hw  map[failures.HWType]*compiledHW
 }
 
-// NewGenerator returns a Generator for the given configuration.
+// NewGenerator returns a Generator for the given configuration. The
+// per-hardware-type calibration maps are compiled once, process-wide,
+// into flat draw tables (see compile.go).
 func NewGenerator(cfg Config) *Generator {
 	if cfg.RateScale == 0 {
 		cfg.RateScale = 1
 	}
-	return &Generator{cfg: cfg, hw: hwTable(), repairs: repairTable()}
+	return &Generator{cfg: cfg, hw: compiledTables()}
 }
 
-// Generate produces the full synthetic dataset across the configured
-// systems.
-func (g *Generator) Generate() (*failures.Dataset, error) {
+// workers resolves the configured worker count against n pending tasks.
+func (g *Generator) workers(n int) int {
+	w := g.cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// systemTask pairs a catalog system with its pre-split randomness source.
+type systemTask struct {
+	sys System
+	src *randx.Source
+}
+
+// systemTasks splits the root source across the catalog and returns the
+// selected systems in catalog order. Splitting happens here, on one
+// goroutine, so the child sources are identical no matter how many
+// workers later consume them.
+func (g *Generator) systemTasks() []systemTask {
 	want := make(map[int]bool, len(g.cfg.Systems))
 	for _, id := range g.cfg.Systems {
 		want[id] = true
 	}
 	root := randx.NewSource(g.cfg.Seed)
-	var all []failures.Record
+	var tasks []systemTask
 	for _, sys := range Catalog() {
 		// Every system consumes one child source whether selected or not,
 		// so a subset run reproduces the full run's records exactly.
@@ -63,13 +98,89 @@ func (g *Generator) Generate() (*failures.Dataset, error) {
 		if len(want) > 0 && !want[sys.ID] {
 			continue
 		}
-		records, err := g.generateSystem(sys, src)
-		if err != nil {
-			return nil, fmt.Errorf("generate system %d: %w", sys.ID, err)
-		}
-		all = append(all, records...)
+		tasks = append(tasks, systemTask{sys: sys, src: src})
 	}
-	return failures.NewDataset(all)
+	return tasks
+}
+
+// generateBlocks runs the per-system generators across a bounded worker
+// pool and returns each system's sorted record block, indexed like tasks.
+// One worker degenerates to a plain loop with no goroutines.
+func (g *Generator) generateBlocks(tasks []systemTask) ([][]failures.Record, error) {
+	blocks := make([][]failures.Record, len(tasks))
+	errs := make([]error, len(tasks))
+	run := func(i int) {
+		t := tasks[i]
+		records, err := g.generateSystem(t.sys, t.src)
+		if err != nil {
+			errs[i] = fmt.Errorf("generate system %d: %w", t.sys.ID, err)
+			return
+		}
+		blocks[i] = records
+	}
+	if w := g.workers(len(tasks)); w > 1 {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for k := 0; k < w; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					run(i)
+				}
+			}()
+		}
+		for i := range tasks {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	} else {
+		for i := range tasks {
+			run(i)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return blocks, nil
+}
+
+// Generate produces the full synthetic dataset across the configured
+// systems. Systems generate concurrently (see Config.Workers); the merge
+// is deterministic: blocks concatenate in catalog order and a stable
+// sort by start time orders the result, which — stable orders being
+// unique — is record-for-record the dataset the sequential reference
+// path produces.
+func (g *Generator) Generate() (*failures.Dataset, error) {
+	tasks := g.systemTasks()
+	blocks, err := g.generateBlocks(tasks)
+	if err != nil {
+		return nil, err
+	}
+	return failures.NewDatasetSorted(failures.MergeSortedBlocks(blocks))
+}
+
+// floatPool recycles the profile's rate/cum arrays — the generator's
+// largest allocations (~11 MB per full run) — across systems and runs.
+// Pooled slices are returned unzeroed; buildProfile writes every element
+// it later reads (cum[0] is set explicitly), so stale contents never
+// leak into a profile.
+var floatPool sync.Pool
+
+func getFloats(n int) []float64 {
+	if v := floatPool.Get(); v != nil {
+		if s := *(v.(*[]float64)); cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+func putFloats(s []float64) {
+	floatPool.Put(&s)
 }
 
 // intensityProfile is the hourly failure-rate modulation of one system:
@@ -84,34 +195,98 @@ type intensityProfile struct {
 }
 
 // buildProfile computes the intensity profile of a system. src drives the
-// random month-to-month workload-intensity fluctuations.
+// random month-to-month workload-intensity fluctuations. Windows starting
+// at a UTC midnight — all catalog windows — take the table-driven loop of
+// profile.go; anything else falls back to the per-hour reference
+// arithmetic. Both paths produce bitwise-identical profiles.
 func (g *Generator) buildProfile(sys System, shape lifecycleShape, infantAmp float64, src *randx.Source) *intensityProfile {
 	hours := int(sys.End.Sub(sys.Start).Hours())
 	p := &intensityProfile{
 		start: sys.Start,
-		rate:  make([]float64, hours),
-		cum:   make([]float64, hours+1),
+		rate:  getFloats(hours),
+		cum:   getFloats(hours + 1),
 	}
+	p.cum[0] = 0
 	const hoursPerMonth = 24 * 30.44
 	months := int(float64(hours)/hoursPerMonth) + 1
 	monthFactor := make([]float64, months)
 	for i := range monthFactor {
+		// The variate is always consumed so ablation runs stay on the same
+		// randomness stream as the full model.
 		monthFactor[i] = src.LogNormal(0, monthSigma)
 		if g.cfg.DisableTimeModulation {
 			monthFactor[i] = 1
 		}
 	}
-	for h := 0; h < hours; h++ {
-		t := sys.Start.Add(time.Duration(h) * time.Hour)
-		ageDays := float64(h) / 24
-		m := lifecycleAt(shape, infantAmp, ageDays) * monthFactor[int(float64(h)/hoursPerMonth)]
-		if !g.cfg.DisableTimeModulation {
-			m *= hourFactor(t) * dayFactor(t)
+	if !profileAligned(sys.Start) {
+		// Reference arithmetic, hour by hour.
+		for h := 0; h < hours; h++ {
+			t := sys.Start.Add(time.Duration(h) * time.Hour)
+			ageDays := float64(h) / 24
+			m := lifecycleAt(shape, infantAmp, ageDays) * monthFactor[int(float64(h)/hoursPerMonth)]
+			if !g.cfg.DisableTimeModulation {
+				m *= hourFactor(t) * dayFactor(t)
+			}
+			p.rate[h] = m
+			p.cum[h+1] = p.cum[h] + m
 		}
-		p.rate[h] = m
-		p.cum[h+1] = p.cum[h] + m
+		return p
+	}
+	lc := lifecycleTable(shape, infantAmp, hours)
+	// Walk month blocks so the month-index division runs once per month
+	// boundary, not once per hour, and keep a rolling index into the
+	// 168-hour week table instead of re-deriving hour-of-day and weekday.
+	wk := (int(sys.Start.Weekday())*24) % 168
+	acc := 0.0
+	for h0 := 0; h0 < hours; {
+		mi := int(float64(h0) / hoursPerMonth)
+		h1 := monthBlockEnd(h0, mi, hours)
+		mf := monthFactor[mi]
+		if g.cfg.DisableTimeModulation {
+			for h := h0; h < h1; h++ {
+				m := lc[h] * mf
+				p.rate[h] = m
+				acc += m
+				p.cum[h+1] = acc
+			}
+		} else {
+			for h := h0; h < h1; h++ {
+				m := lc[h] * mf
+				m *= weekTable[wk]
+				p.rate[h] = m
+				acc += m
+				p.cum[h+1] = acc
+				wk++
+				if wk == 168 {
+					wk = 0
+				}
+			}
+		}
+		h0 = h1
 	}
 	return p
+}
+
+// monthBlockEnd returns the first hour after h0 (capped at hours) whose
+// month index int(float64(h)/hoursPerMonth) differs from mi, probing the
+// reference expression itself around the arithmetic estimate so block
+// boundaries match the per-hour division exactly.
+func monthBlockEnd(h0, mi, hours int) int {
+	const hoursPerMonth = 24 * 30.44
+	h := int(float64(mi+1) * hoursPerMonth)
+	if h <= h0 {
+		h = h0 + 1
+	}
+	for h < hours && int(float64(h)/hoursPerMonth) <= mi {
+		h++
+	}
+	for h > h0+1 && int(float64(h-1)/hoursPerMonth) > mi {
+		h--
+	}
+	if h > hours {
+		h = hours
+	}
+	return h
 }
 
 // lifecycleAt evaluates the Figure 4 lifecycle multiplier at a system age.
@@ -132,7 +307,7 @@ func lifecycleAt(shape lifecycleShape, infantAmp, ageDays float64) float64 {
 // its peak at peakHour and a 2x peak-to-trough ratio.
 func hourFactor(t time.Time) float64 {
 	hod := float64(t.Hour()) + float64(t.Minute())/60
-	return 1 + hourAmplitude*math.Cos(2*math.Pi*(hod-peakHour)/24)
+	return hourFactorAt(hod)
 }
 
 // dayFactor is the day-of-week modulation (Figure 5 right).
@@ -148,7 +323,13 @@ func dayFactor(t time.Time) float64 {
 // wallTime maps an operational-time position to a wall-clock instant by
 // inverting the cumulative intensity.
 func (p *intensityProfile) wallTime(op float64) time.Time {
-	h := sort.SearchFloat64s(p.cum, op) - 1
+	return p.timeAt(op, sort.SearchFloat64s(p.cum, op))
+}
+
+// timeAt converts a position to an instant given i = the smallest index
+// with cum[i] >= op (SearchFloat64s's contract).
+func (p *intensityProfile) timeAt(op float64, i int) time.Time {
+	h := i - 1
 	if h < 0 {
 		h = 0
 	}
@@ -168,6 +349,40 @@ func (p *intensityProfile) wallTime(op float64) time.Time {
 	return p.start.Add(time.Duration((float64(h) + frac) * float64(time.Hour)))
 }
 
+// searchFrom returns the same index SearchFloat64s(p.cum, op) would,
+// exploiting that arrival positions within one node only move forward: it
+// gallops from a hint known to satisfy cum[hint] < op, then binary
+// searches the bracket. The predicate "cum[i] >= op" is monotone, so the
+// smallest satisfying index past the hint is the global smallest; a hint
+// that does not satisfy the invariant (the first arrival of a node, or a
+// zero-length Weibull gap) falls back to the full binary search.
+func (p *intensityProfile) searchFrom(op float64, hint int) int {
+	n := len(p.cum)
+	if hint < 0 || hint >= n || p.cum[hint] >= op {
+		return sort.SearchFloat64s(p.cum, op)
+	}
+	lo, step := hint, 1
+	hi := lo + step
+	for hi < n && p.cum[hi] < op {
+		lo = hi
+		step <<= 1
+		hi = lo + step
+	}
+	if hi > n {
+		hi = n
+	}
+	i, j := lo+1, hi
+	for i < j {
+		m := int(uint(i+j) >> 1)
+		if p.cum[m] < op {
+			i = m + 1
+		} else {
+			j = m
+		}
+	}
+	return i
+}
+
 // hourIndex returns the profile hour index of a wall-clock time, clamped to
 // the profile bounds.
 func (p *intensityProfile) hourIndex(t time.Time) int {
@@ -181,9 +396,23 @@ func (p *intensityProfile) hourIndex(t time.Time) int {
 	return h
 }
 
-// generateSystem produces all records of one system.
+// estimateRecords sizes a system's record buffer from its expected
+// failure count (mean node factor taken as 1; correlated batches add up
+// to batchProb·(1+maxBatchExtra)/2 on early type G systems, covered by
+// the slack factor).
+func estimateRecords(sys System, rate, rateBoost float64) int {
+	expected := 0.0
+	for _, cat := range sys.Categories {
+		years := cat.End.Sub(cat.Start).Hours() / (24 * 365.25)
+		expected += rate * float64(cat.ProcsPerNode) * years * float64(cat.Nodes) * rateBoost
+	}
+	return int(expected*1.3) + 16
+}
+
+// generateSystem produces all records of one system, sorted by start
+// time (stably, preserving generation order on ties).
 func (g *Generator) generateSystem(sys System, src *randx.Source) ([]failures.Record, error) {
-	params, ok := g.hw[sys.HW]
+	ct, ok := g.hw[sys.HW]
 	if !ok {
 		return nil, fmt.Errorf("no calibration for hardware type %q", sys.HW)
 	}
@@ -193,7 +422,7 @@ func (g *Generator) generateSystem(sys System, src *randx.Source) ([]failures.Re
 		infantAmp = firstOfTypeAmplitude
 		rateBoost *= firstOfTypeBoost
 	}
-	shape := params.lifecycle
+	shape := ct.lifecycle
 	if sys.ID == 21 {
 		// System 21 was commissioned two years after the other type G
 		// systems and follows the conventional early-drop curve
@@ -201,6 +430,17 @@ func (g *Generator) generateSystem(sys System, src *randx.Source) ([]failures.Re
 		shape = shapeInfant
 	}
 	profile := g.buildProfile(sys, shape, infantAmp, src)
+
+	isG := sys.HW == "G"
+	// The early-era test wallTime(pos).Year() < correlationEndYear is
+	// monotone in pos, so it collapses to one comparison against the
+	// bisected threshold — replacing the two wallTime inversions the
+	// reference path pays per type-G arrival (era test at the previous
+	// position plus the record start) with one.
+	eraEnd := math.Inf(-1)
+	if isG {
+		eraEnd = profile.eraThreshold()
+	}
 
 	graphics := make(map[int]bool, len(sys.GraphicsNodes))
 	for _, n := range sys.GraphicsNodes {
@@ -212,7 +452,10 @@ func (g *Generator) generateSystem(sys System, src *randx.Source) ([]failures.Re
 	}
 
 	weibullScale := 1 / math.Gamma(1+1/tbfWeibullShape)
-	var records []failures.Record
+	// Loop-invariant: the reference path recomputed this Gamma call per
+	// node.
+	earlyScale := 1 / math.Gamma(1+1/earlyTBFShape)
+	records := make([]failures.Record, 0, estimateRecords(sys, ct.perProcYearRate, rateBoost))
 	nodeID := 0
 	for _, cat := range sys.Categories {
 		for i := 0; i < cat.Nodes; i++ {
@@ -231,7 +474,7 @@ func (g *Generator) generateSystem(sys System, src *randx.Source) ([]failures.Re
 				factor = src.LogNormal(0, nodeHeterogeneitySigma)
 			}
 			years := cat.End.Sub(cat.Start).Hours() / (24 * 365.25)
-			meanCount := params.perProcYearRate * float64(cat.ProcsPerNode) * years * factor * rateBoost
+			meanCount := ct.perProcYearRate * float64(cat.ProcsPerNode) * years * factor * rateBoost
 			if meanCount <= 0 {
 				continue
 			}
@@ -242,23 +485,30 @@ func (g *Generator) generateSystem(sys System, src *randx.Source) ([]failures.Re
 				continue
 			}
 			meanGap := opSpan / meanCount
-			earlyScale := 1 / math.Gamma(1+1/earlyTBFShape)
 			pos := opStart
+			// hint tracks the last inverted hour: positions only move
+			// forward within a node, so the next inversion gallops from
+			// here instead of bisecting the whole profile.
+			hint := 0
 			for {
 				// Type G systems draw from a burstier distribution while
 				// still in their chaotic early era (Section 5.3).
 				shapeK, scaleK := tbfWeibullShape, weibullScale
-				if sys.HW == "G" && profile.wallTime(pos).Year() < correlationEndYear {
+				if isG && pos < eraEnd {
 					shapeK, scaleK = earlyTBFShape, earlyScale
 				}
 				pos += src.Weibull(shapeK, meanGap*scaleK)
 				if pos >= opEnd {
 					break
 				}
-				start := profile.wallTime(pos).Truncate(time.Second)
-				records = append(records, g.makeRecord(sys, params, node, workload, start, src))
+				si := profile.searchFrom(pos, hint)
+				start := profile.timeAt(pos, si).Truncate(time.Second)
+				if si > 0 {
+					hint = si - 1
+				}
+				records = append(records, g.makeRecord(sys.ID, sys.HW, ct, node, workload, start, src))
 				// Early correlated batches on type G systems (Section 5.3).
-				if sys.HW == "G" && sys.Nodes > 1 && start.Year() < correlationEndYear &&
+				if isG && sys.Nodes > 1 && start.Year() < correlationEndYear &&
 					!g.cfg.DisableCorrelatedBatches && src.Float64() < batchProb {
 					extra := 1 + src.Intn(maxBatchExtra)
 					for e := 0; e < extra; e++ {
@@ -266,70 +516,41 @@ func (g *Generator) generateSystem(sys System, src *randx.Source) ([]failures.Re
 						if other == node {
 							other = (other + 1) % sys.Nodes
 						}
+						// Victims keep their own node's workload label;
+						// the pre-fix code only recognized graphics
+						// victims, mislabeling front-end victims as
+						// compute nodes.
 						wl := failures.WorkloadCompute
-						if graphics[other] {
+						switch {
+						case graphics[other]:
 							wl = failures.WorkloadGraphics
+						case frontend[other]:
+							wl = failures.WorkloadFrontend
 						}
-						records = append(records, g.makeRecord(sys, params, other, wl, start, src))
+						records = append(records, g.makeRecord(sys.ID, sys.HW, ct, other, wl, start, src))
 					}
 				}
 			}
 		}
 	}
+	putFloats(profile.rate)
+	putFloats(profile.cum)
+	failures.SortByStart(records)
 	return records, nil
 }
 
 // makeRecord draws the root cause, detail and repair duration of a failure
-// that starts at the given instant.
-func (g *Generator) makeRecord(sys System, params hwParams, node int, workload failures.Workload, start time.Time, src *randx.Source) failures.Record {
-	causes := failures.Causes()
-	cause := causes[src.Categorical(params.causeWeights[:])]
-	detail := g.drawDetail(params, cause, src)
-	repair := g.drawRepair(params, cause, src)
-	return failures.Record{
-		System:   sys.ID,
-		Node:     node,
-		HW:       sys.HW,
-		Workload: workload,
-		Cause:    cause,
-		Detail:   detail,
-		Start:    start,
-		End:      start.Add(repair),
+// that starts at the given instant. Every draw reads a compiled table:
+// no map walks, no sorting, no allocation (asserted by AllocsPerRun in
+// the tests).
+func (g *Generator) makeRecord(sysID int, hw failures.HWType, ct *compiledHW, node int, workload failures.Workload, start time.Time, src *randx.Source) failures.Record {
+	ci := ct.causeTable.draw(src)
+	cause := ct.causes[ci]
+	detail := ""
+	if t := ct.detail[ci]; t != nil {
+		detail = t.labels[t.draw(src)]
 	}
-}
-
-// drawDetail samples the low-level root cause for a record.
-func (g *Generator) drawDetail(params hwParams, cause failures.RootCause, src *randx.Source) string {
-	var table map[string]float64
-	switch cause {
-	case failures.CauseHardware:
-		table = params.hwDetail
-	case failures.CauseSoftware:
-		table = params.swDetail
-	case failures.CauseEnvironment:
-		table = map[string]float64{"power outage": 0.6, "A/C failure": 0.4}
-	default:
-		return ""
-	}
-	// Deterministic iteration order for reproducibility.
-	keys := make([]string, 0, len(table))
-	for k := range table {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	weights := make([]float64, len(keys))
-	for i, k := range keys {
-		weights[i] = table[k]
-	}
-	return keys[src.Categorical(weights)]
-}
-
-// drawRepair samples a repair duration from the cause's Table 2 lognormal,
-// scaled by the hardware type's repair multiplier and clamped to sane
-// bounds (1 minute to 180 days).
-func (g *Generator) drawRepair(params hwParams, cause failures.RootCause, src *randx.Source) time.Duration {
-	rp := g.repairs[cause]
-	minutes := src.LogNormal(rp.mu+math.Log(params.repairMuShift), rp.sigma)
+	minutes := src.LogNormal(ct.repairMu[ci], ct.repairSigma[ci])
 	const maxMinutes = 180 * 24 * 60
 	if minutes < 1 {
 		minutes = 1
@@ -337,5 +558,15 @@ func (g *Generator) drawRepair(params hwParams, cause failures.RootCause, src *r
 	if minutes > maxMinutes {
 		minutes = maxMinutes
 	}
-	return time.Duration(minutes * float64(time.Minute))
+	repair := time.Duration(minutes * float64(time.Minute))
+	return failures.Record{
+		System:   sysID,
+		Node:     node,
+		HW:       hw,
+		Workload: workload,
+		Cause:    cause,
+		Detail:   detail,
+		Start:    start,
+		End:      start.Add(repair),
+	}
 }
