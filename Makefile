@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check vet staticcheck build test race race-gen fuzz fuzz-smoke bench bench-engine bench-stream bench-fit bench-gen golden
+.PHONY: check vet staticcheck build test race race-gen race-serve fuzz fuzz-smoke bench bench-engine bench-stream bench-fit bench-gen bench-serve golden
 
 # The full gate: what CI runs — static checks, build, the race detector
-# over every test, a focused race pass over the parallel generator, and a
-# short fuzz smoke of the CSV reader.
-check: vet staticcheck build race race-gen fuzz-smoke
+# over every test, focused race passes over the parallel generator and
+# the daemon, and short fuzz smokes of the CSV reader and the ingest
+# endpoint.
+check: vet staticcheck build race race-gen race-serve fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -33,12 +34,20 @@ race:
 race-gen:
 	$(GO) test -race -run 'Workers|Stream|Subset' ./internal/lanl
 
+# Race pass over the daemon and its client: concurrent ingest, queries
+# against copy-on-write snapshots, drain/shutdown, and crash recovery
+# all under the race detector.
+race-serve:
+	$(GO) test -race ./internal/serve/...
+
 fuzz:
 	$(GO) test -fuzz=FuzzReadCSV -fuzztime=30s ./internal/failures
 
-# A 10-second fuzz pass, cheap enough for every check run.
+# A 10-second fuzz pass per target, cheap enough for every check run.
+# go test accepts one -fuzz pattern per invocation, hence two runs.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzReadCSV -fuzztime=10s -run=^$$ ./internal/failures
+	$(GO) test -fuzz=FuzzIngestHandler -fuzztime=10s -run=^$$ ./internal/serve
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
@@ -59,6 +68,11 @@ bench-fit:
 # record-identity check before timing; refreshes BENCH_gen.json.
 bench-gen:
 	$(GO) run ./cmd/genbench
+
+# Daemon over loopback HTTP: concurrent ingest throughput plus /result
+# latency under live appends; refreshes BENCH_serve.json.
+bench-serve:
+	$(GO) run ./cmd/servebench
 
 # Rewrite the cmd/reproduce golden file after a reviewed output change.
 golden:

@@ -1,0 +1,283 @@
+// Command servebench exercises the failserved daemon end to end over
+// loopback HTTP: concurrent clients stream a generated failure trace
+// into one tenant in CSV batches, then query latency on /v1/.../result
+// is sampled while a background writer keeps appending (every query
+// therefore pays the lazy refit of freshly dirtied shards). Results,
+// with machine metadata, go to BENCH_serve.json.
+//
+// Usage:
+//
+//	servebench [-out BENCH_serve.json] [-scale 2] [-batch 500] [-clients 4] [-queries 100]
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hpcfail/internal/engine"
+	"hpcfail/internal/failures"
+	"hpcfail/internal/lanl"
+	"hpcfail/internal/serve"
+	"hpcfail/internal/serve/client"
+)
+
+type ingestResult struct {
+	Records       int     `json:"records"`
+	Batches       int     `json:"batches"`
+	Clients       int     `json:"clients"`
+	WallMs        float64 `json:"wall_ms"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+	// Acks answered from the dedupe window: a client retried after losing
+	// a 200, and the server refused to fold the batch twice.
+	DuplicateAcks int64 `json:"duplicate_acks"`
+}
+
+type queryResult struct {
+	Queries int     `json:"queries"`
+	P50Ms   float64 `json:"p50_ms"`
+	P99Ms   float64 `json:"p99_ms"`
+	MaxMs   float64 `json:"max_ms"`
+	// Batches the background writer folded in while queries ran; nonzero
+	// means the sampled latencies really include lazy refits.
+	ConcurrentBatches int `json:"concurrent_batches"`
+}
+
+type benchReport struct {
+	Benchmark string       `json:"benchmark"`
+	GOOS      string       `json:"goos"`
+	GOARCH    string       `json:"goarch"`
+	GoVersion string       `json:"go_version"`
+	NumCPU    int          `json:"num_cpu"`
+	SyncWAL   bool         `json:"sync_wal"`
+	Ingest    ingestResult `json:"ingest"`
+	Query     queryResult  `json:"query"`
+	Note      string       `json:"note"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "servebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("servebench", flag.ContinueOnError)
+	out := fs.String("out", "BENCH_serve.json", "output file")
+	scale := fs.Float64("scale", 2, "failure-rate scale for the generated trace")
+	batch := fs.Int("batch", 500, "records per ingest batch")
+	clients := fs.Int("clients", 4, "concurrent ingest clients")
+	queries := fs.Int("queries", 100, "result queries sampled under concurrent appends")
+	bootstrap := fs.Int("bootstrap", -1, "bootstrap resamples per CI (negative disables, the default)")
+	seed := fs.Int64("seed", 1, "trace and engine seed")
+	syncWAL := fs.Bool("sync-wal", false, "fsync the WAL after every batch")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *batch < 1 || *clients < 1 || *queries < 1 {
+		return fmt.Errorf("-batch, -clients and -queries must be positive")
+	}
+
+	d, err := lanl.NewGenerator(lanl.Config{Seed: *seed, RateScale: *scale}).Generate()
+	if err != nil {
+		return fmt.Errorf("generate: %w", err)
+	}
+	batches, err := encodeBatches(d.Records(), *batch)
+	if err != nil {
+		return err
+	}
+
+	dir, err := os.MkdirTemp("", "servebench-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	s, err := serve.New(serve.Config{
+		DataDir: dir,
+		Engine:  engine.Options{BootstrapReps: *bootstrap, Seed: *seed},
+		Stream: engine.StreamOptions{
+			Spec: engine.ShardSpec{IncludeFleet: true, ByCause: true},
+		},
+		SyncWAL: *syncWAL,
+	})
+	if err != nil {
+		return err
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	}()
+	ctx := context.Background()
+
+	// Phase 1: ingest throughput. Clients share a batch queue; 429s are
+	// absorbed inside the client's retry loop, so the wall clock already
+	// charges any backpressure stalls to the throughput number.
+	var dupes atomic.Int64
+	work := make(chan int, len(batches))
+	for i := range batches {
+		work <- i
+	}
+	close(work)
+	var wg sync.WaitGroup
+	errc := make(chan error, *clients)
+	start := time.Now()
+	for w := 0; w < *clients; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := client.New(ts.URL, client.Options{})
+			for i := range work {
+				res, err := c.Ingest(ctx, "bench", fmt.Sprintf("batch-%d", i), batches[i])
+				if err != nil {
+					errc <- fmt.Errorf("batch %d: %w", i, err)
+					return
+				}
+				if res.Duplicate {
+					dupes.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	ingestWall := time.Since(start)
+	select {
+	case err := <-errc:
+		return err
+	default:
+	}
+	ing := ingestResult{
+		Records:       d.Len(),
+		Batches:       len(batches),
+		Clients:       *clients,
+		WallMs:        round3(float64(ingestWall.Microseconds()) / 1000),
+		RecordsPerSec: round3(float64(d.Len()) / ingestWall.Seconds()),
+		DuplicateAcks: dupes.Load(),
+	}
+
+	// Phase 2: /result latency while a writer keeps dirtying shards. The
+	// writer replays the trace with fresh Ingest-Ids so every append is
+	// folded, not deduped.
+	writerCtx, stopWriter := context.WithCancel(ctx)
+	var folded atomic.Int64
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		c := client.New(ts.URL, client.Options{})
+		for round := 1; ; round++ {
+			for i := range batches {
+				if writerCtx.Err() != nil {
+					return
+				}
+				if _, err := c.Ingest(writerCtx, "bench", fmt.Sprintf("r%d-batch-%d", round, i), batches[i]); err != nil {
+					return
+				}
+				folded.Add(1)
+			}
+		}
+	}()
+	qc := client.New(ts.URL, client.Options{})
+	lat := make([]float64, 0, *queries)
+	for i := 0; i < *queries; i++ {
+		qs := time.Now()
+		if _, err := qc.Result(ctx, "bench"); err != nil {
+			stopWriter()
+			return fmt.Errorf("query %d: %w", i, err)
+		}
+		lat = append(lat, float64(time.Since(qs).Microseconds())/1000)
+	}
+	stopWriter()
+	<-writerDone
+	sort.Float64s(lat)
+	qry := queryResult{
+		Queries:           len(lat),
+		P50Ms:             round3(percentile(lat, 0.50)),
+		P99Ms:             round3(percentile(lat, 0.99)),
+		MaxMs:             round3(lat[len(lat)-1]),
+		ConcurrentBatches: int(folded.Load()),
+	}
+
+	rep := benchReport{
+		Benchmark: "failserved over loopback HTTP: concurrent CSV ingest, then /result latency under live appends",
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		SyncWAL:   *syncWAL,
+		Ingest:    ing,
+		Query:     qry,
+		Note: "ingest wall clock includes WAL append and the fold into the incremental " +
+			"engine; query latency includes the lazy refit of shards dirtied by the " +
+			"concurrent writer. Loopback HTTP, so no real network jitter.",
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("ingest: %d records in %d batches, %.0f rec/s across %d clients\n",
+		ing.Records, ing.Batches, ing.RecordsPerSec, ing.Clients)
+	fmt.Printf("query under appends: p50 %.1f ms, p99 %.1f ms, max %.1f ms (%d concurrent batches)\n",
+		qry.P50Ms, qry.P99Ms, qry.MaxMs, qry.ConcurrentBatches)
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}
+
+// encodeBatches splits the trace into CSV bodies of up to n records each.
+func encodeBatches(recs []failures.Record, n int) ([][]byte, error) {
+	var batches [][]byte
+	for lo := 0; lo < len(recs); lo += n {
+		hi := lo + n
+		if hi > len(recs) {
+			hi = len(recs)
+		}
+		var buf bytes.Buffer
+		w, err := failures.NewCSVWriter(&buf)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range recs[lo:hi] {
+			if err := w.Write(r); err != nil {
+				return nil, err
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return nil, err
+		}
+		batches = append(batches, buf.Bytes())
+	}
+	return batches, nil
+}
+
+// percentile reads the q-quantile from an ascending slice.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func round3(v float64) float64 { return math.Round(v*1000) / 1000 }

@@ -1,0 +1,514 @@
+package engine
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"time"
+
+	"hpcfail/internal/failures"
+	"hpcfail/internal/streamstats"
+)
+
+// Incremental is the concurrency-safe, long-lived counterpart of
+// AnalyzeStream: a failure-analytics daemon appends record batches as
+// they arrive and serves fit/CI/rate/summary queries at any point, with
+// three properties the service contract depends on:
+//
+//   - Fold equivalence: appending records in a given order produces
+//     exactly the state a one-shot AnalyzeStream pass over the same
+//     sequence would build — same shards, same accumulators bit for bit.
+//
+//   - Lazy, memoized refresh: appends only fold accumulators (cheap, no
+//     fitting) and mark the touched shards dirty; Result refits dirty
+//     shards only, reusing the engine's fit/CI memo, and serves clean
+//     shards from the per-shard cache.
+//
+//   - Non-blocking queries: Result freezes dirty shards under a short
+//     lock (O(sample) copies) and runs all fitting on the frozen copies
+//     outside it, so writers never wait on a bootstrap.
+//
+// Incremental is safe for concurrent Append and Result calls. Construct
+// with Engine.NewIncremental or restore one with Engine.ReadIncremental.
+type Incremental struct {
+	eng  *Engine
+	opts StreamOptions
+
+	mu         sync.Mutex
+	accums     map[ShardKey]*shardAccum
+	seq        map[ShardKey]uint64 // bumped on every fold into the shard
+	cache      map[ShardKey]cachedShard
+	records    int
+	outOfOrder int
+}
+
+type cachedShard struct {
+	res ShardResult
+	seq uint64
+}
+
+// NewIncremental builds an empty incremental analysis with the given
+// stream options. The engine's seed drives per-shard reservoir seeding
+// exactly as in AnalyzeStream, so two incrementals fed the same record
+// sequence under engines with equal options are bit-identical.
+func (e *Engine) NewIncremental(opts StreamOptions) *Incremental {
+	return &Incremental{
+		eng:    e,
+		opts:   opts,
+		accums: make(map[ShardKey]*shardAccum),
+		seq:    make(map[ShardKey]uint64),
+		cache:  make(map[ShardKey]cachedShard),
+	}
+}
+
+// Options echoes the stream options the incremental was built with.
+func (inc *Incremental) Options() StreamOptions { return inc.opts }
+
+// fold sends one record through the same shard fanout as AnalyzeStream.
+// Callers hold inc.mu.
+func (inc *Incremental) fold(r failures.Record) error {
+	keys, n := shardKeysFor(inc.opts.Spec, r)
+	for _, key := range keys[:n] {
+		a, ok := inc.accums[key]
+		if !ok {
+			var err error
+			if a, err = inc.eng.newShardAccum(key, inc.opts); err != nil {
+				return err
+			}
+			inc.accums[key] = a
+		}
+		before := a.outOfOrder
+		a.add(r)
+		inc.outOfOrder += a.outOfOrder - before
+		inc.seq[key]++
+	}
+	inc.records++
+	return nil
+}
+
+// Append folds a batch of records, in order, and reports how many were
+// folded. Cancellation is checked between records: on ctx.Err the fold
+// stops cleanly mid-batch — every record up to the returned count is
+// fully folded into all of its shards, none beyond it is touched, and
+// the accumulators stay consistent and mergeable — so a caller can
+// resume with the unfolded tail.
+func (inc *Incremental) Append(ctx context.Context, recs []failures.Record) (int, error) {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	for i, r := range recs {
+		if err := ctx.Err(); err != nil {
+			return i, err
+		}
+		if err := inc.fold(r); err != nil {
+			return i, fmt.Errorf("engine incremental append: %w", err)
+		}
+	}
+	return len(recs), nil
+}
+
+// AppendSource folds records from a RecordSource until it is exhausted,
+// an error occurs, or ctx is cancelled, returning the folded count.
+func (inc *Incremental) AppendSource(ctx context.Context, src RecordSource) (int, error) {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	n := 0
+	for src.Scan() {
+		if err := ctx.Err(); err != nil {
+			return n, err
+		}
+		if err := inc.fold(src.Record()); err != nil {
+			return n, fmt.Errorf("engine incremental append: %w", err)
+		}
+		n++
+	}
+	if err := src.Err(); err != nil {
+		return n, fmt.Errorf("engine incremental append: %w", err)
+	}
+	return n, nil
+}
+
+// Records returns the total number of records folded so far.
+func (inc *Incremental) Records() int {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	return inc.records
+}
+
+// Info reports the stream bookkeeping of the records folded so far, in
+// the same shape as AnalyzeStream's.
+func (inc *Incremental) Info() StreamInfo {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	return inc.infoLocked()
+}
+
+func (inc *Incremental) infoLocked() StreamInfo {
+	info := StreamInfo{
+		RecordsScanned: inc.records,
+		OutOfOrder:     inc.outOfOrder,
+		SketchEpsilon:  inc.opts.SketchEpsilon,
+		ReservoirSize:  inc.opts.ReservoirSize,
+	}
+	if info.SketchEpsilon <= 0 {
+		info.SketchEpsilon = streamstats.DefaultSketchEpsilon
+	}
+	if info.ReservoirSize <= 0 {
+		info.ReservoirSize = streamstats.DefaultReservoirSize
+	}
+	return info
+}
+
+// Result returns the analysis of everything appended so far, in the
+// canonical shard order. Shards untouched since the last Result are
+// served from cache; dirty shards are frozen under the lock and refitted
+// outside it on the engine's worker pool. The result is a consistent
+// point-in-time view: records appended after Result starts do not leak
+// into it. Calling Result with nothing appended returns
+// failures.ErrNoRecords, matching AnalyzeStream.
+func (inc *Incremental) Result(ctx context.Context) (*FleetResult, *StreamInfo, error) {
+	type job struct {
+		i   int
+		key ShardKey
+		acc *shardAccum
+		seq uint64
+	}
+
+	inc.mu.Lock()
+	if inc.records == 0 {
+		inc.mu.Unlock()
+		return nil, nil, fmt.Errorf("engine incremental result: %w", failures.ErrNoRecords)
+	}
+	keys := streamShardKeys(inc.accums, inc.opts.Spec)
+	out := make([]ShardResult, len(keys))
+	var jobs []job
+	for i, key := range keys {
+		if c, ok := inc.cache[key]; ok && c.seq == inc.seq[key] {
+			out[i] = c.res
+			continue
+		}
+		jobs = append(jobs, job{i: i, key: key, acc: inc.accums[key].freeze(), seq: inc.seq[key]})
+	}
+	info := inc.infoLocked()
+	inc.mu.Unlock()
+
+	// Fit the dirty shards on the worker pool, outside the lock.
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < inc.eng.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range idx {
+				if ctx.Err() != nil {
+					return
+				}
+				out[jobs[j].i] = inc.eng.streamShardResult(ctx, jobs[j].key, jobs[j].acc, inc.opts.Spec)
+			}
+		}()
+	}
+feed:
+	for j := range jobs {
+		select {
+		case idx <- j:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+
+	// Publish to the cache. A concurrent Result may have computed a
+	// fresher view of the same shard; only ever replace older entries.
+	inc.mu.Lock()
+	for _, j := range jobs {
+		if cur, ok := inc.cache[j.key]; !ok || cur.seq < j.seq {
+			inc.cache[j.key] = cachedShard{res: out[j.i], seq: j.seq}
+		}
+	}
+	inc.mu.Unlock()
+	return &FleetResult{Shards: out}, &info, nil
+}
+
+// ShardRate is the observed failure rate of one shard: records per day
+// over the shard's observed start-time span.
+type ShardRate struct {
+	Key     ShardKey
+	Records int
+	// First and Last bound the observed start times.
+	First, Last time.Time
+	// PerDay is Records divided by the span in days; for a span of zero
+	// (a single record, or all records simultaneous) it is NaN.
+	PerDay float64
+}
+
+// Rates reports per-shard failure rates from the streaming counters — an
+// O(shards) query that involves no fitting and takes the lock only
+// briefly.
+func (inc *Incremental) Rates() []ShardRate {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	keys := streamShardKeys(inc.accums, inc.opts.Spec)
+	rates := make([]ShardRate, 0, len(keys))
+	for _, key := range keys {
+		a := inc.accums[key]
+		r := ShardRate{Key: key, Records: a.records, PerDay: math.NaN()}
+		if a.haveLast {
+			r.First, r.Last = a.firstStart, a.lastStart
+			if span := a.lastStart.Sub(a.firstStart); span > 0 {
+				r.PerDay = float64(a.records) / (span.Hours() / 24)
+			}
+		}
+		rates = append(rates, r)
+	}
+	return rates
+}
+
+// Incremental snapshot codec. The format captures everything that
+// determines future folds and query answers — counters, per-shard
+// interarrival state and both accumulators (reservoir generator state
+// included, via the streamstats codec) — so restore + replay of a WAL
+// suffix reproduces the exact in-memory state of an uninterrupted run.
+// The shard order is the canonical enumeration, making equal states
+// byte-equal snapshots.
+var (
+	incMagic = [8]byte{'H', 'F', 'I', 'N', 'C', '0', '1', '\n'}
+
+	// ErrIncSnapshot is wrapped by every incremental-snapshot decode
+	// failure.
+	ErrIncSnapshot = errors.New("engine: corrupt incremental snapshot")
+	// ErrIncMismatch reports a snapshot whose stream options disagree
+	// with the restoring engine's — folding on would silently change
+	// sharding or accuracy, so it is refused.
+	ErrIncMismatch = errors.New("engine: incremental snapshot options mismatch")
+)
+
+func appendTime(buf []byte, t time.Time) []byte {
+	buf = binary.AppendVarint(buf, t.Unix())
+	return binary.AppendUvarint(buf, uint64(t.Nanosecond()))
+}
+
+// WriteSnapshot serializes the full incremental state. The query cache
+// is deliberately excluded: a restored incremental refits lazily on the
+// first Result, reusing the engine's fit memo.
+func (inc *Incremental) WriteSnapshot(w io.Writer) error {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	spec := inc.opts.Spec
+	buf := append([]byte(nil), incMagic[:]...)
+	var flags byte
+	if spec.IncludeFleet {
+		flags |= 1
+	}
+	if spec.ByWorkload {
+		flags |= 2
+	}
+	if spec.ByCause {
+		flags |= 4
+	}
+	buf = append(buf, flags)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(inc.opts.SketchEpsilon))
+	buf = binary.AppendVarint(buf, int64(inc.opts.ReservoirSize))
+	buf = binary.AppendUvarint(buf, uint64(inc.records))
+	buf = binary.AppendUvarint(buf, uint64(inc.outOfOrder))
+
+	keys := streamShardKeys(inc.accums, spec)
+	if len(keys) != len(inc.accums) {
+		return fmt.Errorf("engine incremental snapshot: %d shards enumerate as %d", len(inc.accums), len(keys))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(keys)))
+	for _, key := range keys {
+		a := inc.accums[key]
+		buf = binary.AppendVarint(buf, int64(key.System))
+		buf = binary.AppendUvarint(buf, uint64(key.Workload))
+		buf = binary.AppendUvarint(buf, uint64(key.Cause))
+		buf = binary.AppendUvarint(buf, uint64(a.records))
+		buf = binary.AppendUvarint(buf, uint64(a.outOfOrder))
+		if a.haveLast {
+			buf = append(buf, 1)
+			buf = appendTime(buf, a.firstStart)
+			buf = appendTime(buf, a.lastStart)
+		} else {
+			buf = append(buf, 0)
+		}
+		for _, acc := range []*streamstats.Accumulator{a.inter, a.repair} {
+			b, err := acc.MarshalBinary()
+			if err != nil {
+				return fmt.Errorf("engine incremental snapshot: %w", err)
+			}
+			buf = binary.AppendUvarint(buf, uint64(len(b)))
+			buf = append(buf, b...)
+		}
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// incReader decodes the snapshot byte stream with bounds checking.
+type incReader struct {
+	buf []byte
+}
+
+func (r *incReader) take(n int) ([]byte, error) {
+	if n < 0 || len(r.buf) < n {
+		return nil, fmt.Errorf("%w: truncated", ErrIncSnapshot)
+	}
+	b := r.buf[:n]
+	r.buf = r.buf[n:]
+	return b, nil
+}
+
+func (r *incReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad uvarint", ErrIncSnapshot)
+	}
+	r.buf = r.buf[n:]
+	return v, nil
+}
+
+func (r *incReader) varint() (int64, error) {
+	v, n := binary.Varint(r.buf)
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad varint", ErrIncSnapshot)
+	}
+	r.buf = r.buf[n:]
+	return v, nil
+}
+
+func (r *incReader) time() (time.Time, error) {
+	sec, err := r.varint()
+	if err != nil {
+		return time.Time{}, err
+	}
+	nsec, err := r.uvarint()
+	if err != nil {
+		return time.Time{}, err
+	}
+	return time.Unix(sec, int64(nsec)).UTC(), nil
+}
+
+// ReadIncremental restores a WriteSnapshot blob into a fresh incremental
+// bound to e. The snapshot's stream options must match opts
+// (ErrIncMismatch otherwise): the restored accumulators were built under
+// those options, and future folds must keep using them.
+func (e *Engine) ReadIncremental(rd io.Reader, opts StreamOptions) (*Incremental, error) {
+	data, err := io.ReadAll(rd)
+	if err != nil {
+		return nil, fmt.Errorf("engine read incremental: %w", err)
+	}
+	r := incReader{buf: data}
+	magic, err := r.take(len(incMagic))
+	if err != nil {
+		return nil, err
+	}
+	if [8]byte(magic) != incMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrIncSnapshot, magic)
+	}
+	flagsB, err := r.take(1)
+	if err != nil {
+		return nil, err
+	}
+	flags := flagsB[0]
+	spec := opts.Spec
+	if spec.IncludeFleet != (flags&1 != 0) || spec.ByWorkload != (flags&2 != 0) || spec.ByCause != (flags&4 != 0) {
+		return nil, fmt.Errorf("%w: sharding flags %03b vs spec {fleet=%t workload=%t cause=%t}",
+			ErrIncMismatch, flags, spec.IncludeFleet, spec.ByWorkload, spec.ByCause)
+	}
+	epsB, err := r.take(8)
+	if err != nil {
+		return nil, err
+	}
+	if eps := math.Float64frombits(binary.LittleEndian.Uint64(epsB)); math.Float64bits(eps) != math.Float64bits(opts.SketchEpsilon) {
+		return nil, fmt.Errorf("%w: sketch epsilon %g vs %g", ErrIncMismatch, eps, opts.SketchEpsilon)
+	}
+	size, err := r.varint()
+	if err != nil {
+		return nil, err
+	}
+	if int(size) != opts.ReservoirSize {
+		return nil, fmt.Errorf("%w: reservoir size %d vs %d", ErrIncMismatch, size, opts.ReservoirSize)
+	}
+
+	inc := e.NewIncremental(opts)
+	records, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	outOfOrder, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	inc.records = int(records)
+	inc.outOfOrder = int(outOfOrder)
+	shards, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < shards; i++ {
+		system, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		workload, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		cause, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		key := ShardKey{System: int(system), Workload: failures.Workload(workload), Cause: failures.RootCause(cause)}
+		if _, dup := inc.accums[key]; dup {
+			return nil, fmt.Errorf("%w: duplicate shard %s", ErrIncSnapshot, key)
+		}
+		a := &shardAccum{}
+		recs, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		ooo, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		a.records, a.outOfOrder = int(recs), int(ooo)
+		haveB, err := r.take(1)
+		if err != nil {
+			return nil, err
+		}
+		if a.haveLast = haveB[0] != 0; a.haveLast {
+			if a.firstStart, err = r.time(); err != nil {
+				return nil, err
+			}
+			if a.lastStart, err = r.time(); err != nil {
+				return nil, err
+			}
+		}
+		for _, accp := range []**streamstats.Accumulator{&a.inter, &a.repair} {
+			n, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			b, err := r.take(int(n))
+			if err != nil {
+				return nil, err
+			}
+			acc := &streamstats.Accumulator{}
+			if err := acc.UnmarshalBinary(b); err != nil {
+				return nil, fmt.Errorf("engine read incremental shard %s: %w", key, err)
+			}
+			*accp = acc
+		}
+		inc.accums[key] = a
+	}
+	if len(r.buf) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrIncSnapshot, len(r.buf))
+	}
+	return inc, nil
+}

@@ -50,15 +50,26 @@ type StreamInfo struct {
 }
 
 // shardAccum is the O(1)-memory state of one shard during a streaming
-// pass: counts, the previous start time for interarrival deltas, and one
-// streaming accumulator per sample kind.
+// pass: counts, the first/previous start times for rate and interarrival
+// accounting, and one streaming accumulator per sample kind.
 type shardAccum struct {
 	records    int
 	haveLast   bool
+	firstStart time.Time
 	lastStart  time.Time
 	outOfOrder int
 	inter      *streamstats.Accumulator
 	repair     *streamstats.Accumulator
+}
+
+// freeze returns a read-only deep copy for query-path fitting: identical
+// counts, summaries and subsamples at O(sample) cost. See
+// streamstats.Accumulator.Freeze for why the copy must not be added to.
+func (a *shardAccum) freeze() *shardAccum {
+	c := *a
+	c.inter = a.inter.Freeze()
+	c.repair = a.repair.Freeze()
+	return &c
 }
 
 // shardSeed derives the deterministic reservoir seed of one (shard,
@@ -111,10 +122,36 @@ func (a *shardAccum) add(r failures.Record) {
 		if r.Start.After(a.lastStart) {
 			a.lastStart = r.Start
 		}
+		if r.Start.Before(a.firstStart) {
+			a.firstStart = r.Start
+		}
 	} else {
 		a.haveLast = true
+		a.firstStart = r.Start
 		a.lastStart = r.Start
 	}
+}
+
+// shardKeysFor enumerates the shards one record belongs to under a spec:
+// its system shard always, plus the optional fleet aggregate, workload
+// and cause sub-shards. Shared by the one-shot streaming pass and the
+// incremental engine so both fold records identically.
+func shardKeysFor(spec ShardSpec, r failures.Record) ([4]ShardKey, int) {
+	keys := [4]ShardKey{{System: r.System}}
+	n := 1
+	if spec.IncludeFleet {
+		keys[n] = ShardKey{}
+		n++
+	}
+	if spec.ByWorkload {
+		keys[n] = ShardKey{System: r.System, Workload: r.Workload}
+		n++
+	}
+	if spec.ByCause {
+		keys[n] = ShardKey{System: r.System, Cause: r.Cause}
+		n++
+	}
+	return keys, n
 }
 
 // AnalyzeStream is the bounded-memory counterpart of AnalyzeFleet: it
@@ -171,20 +208,7 @@ func (e *Engine) AnalyzeStream(ctx context.Context, src RecordSource, opts Strea
 		}
 		r := src.Record()
 		info.RecordsScanned++
-		keys := [4]ShardKey{{System: r.System}}
-		n := 1
-		if spec.IncludeFleet {
-			keys[n] = ShardKey{}
-			n++
-		}
-		if spec.ByWorkload {
-			keys[n] = ShardKey{System: r.System, Workload: r.Workload}
-			n++
-		}
-		if spec.ByCause {
-			keys[n] = ShardKey{System: r.System, Cause: r.Cause}
-			n++
-		}
+		keys, n := shardKeysFor(spec, r)
 		for _, key := range keys[:n] {
 			if err := touch(key, r); err != nil {
 				return nil, nil, fmt.Errorf("engine analyze stream: %w", err)

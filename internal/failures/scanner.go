@@ -1,6 +1,7 @@
 package failures
 
 import (
+	"context"
 	"encoding/csv"
 	"errors"
 	"fmt"
@@ -31,6 +32,7 @@ import (
 type Scanner struct {
 	cr      *csv.Reader
 	lenient bool
+	ctx     context.Context
 
 	rec     Record
 	line    int
@@ -58,6 +60,22 @@ func NewScanner(r io.Reader, opts ReadCSVOptions) (*Scanner, error) {
 	return &Scanner{cr: cr, lenient: opts.SkipMalformed}, nil
 }
 
+// NewScannerContext is NewScanner with cancellation: once ctx is done,
+// the next Scan stops and Err reports ctx.Err() (use errors.Is against
+// context.Canceled / DeadlineExceeded). The check runs before every row,
+// so a dropped ingest connection or a server shutdown aborts a scan
+// mid-stream promptly instead of draining the reader. Records already
+// yielded are unaffected, so accumulators folded from a cancelled scan
+// remain consistent and mergeable.
+func NewScannerContext(ctx context.Context, r io.Reader, opts ReadCSVOptions) (*Scanner, error) {
+	sc, err := NewScanner(r, opts)
+	if err != nil {
+		return nil, err
+	}
+	sc.ctx = ctx
+	return sc, nil
+}
+
 // Scan advances to the next well-formed record, reporting false at end of
 // input or on a fatal error (see Err). In lenient mode malformed rows are
 // skipped and recorded as RowErrors rather than stopping the scan.
@@ -66,6 +84,13 @@ func (s *Scanner) Scan() bool {
 		return false
 	}
 	for {
+		if s.ctx != nil {
+			if err := s.ctx.Err(); err != nil {
+				s.err = err
+				s.done = true
+				return false
+			}
+		}
 		row, err := s.cr.Read()
 		if err == io.EOF {
 			s.done = true

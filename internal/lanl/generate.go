@@ -236,7 +236,7 @@ func (g *Generator) buildProfile(sys System, shape lifecycleShape, infantAmp flo
 	// Walk month blocks so the month-index division runs once per month
 	// boundary, not once per hour, and keep a rolling index into the
 	// 168-hour week table instead of re-deriving hour-of-day and weekday.
-	wk := (int(sys.Start.Weekday())*24) % 168
+	wk := (int(sys.Start.Weekday()) * 24) % 168
 	acc := 0.0
 	for h0 := 0; h0 < hours; {
 		mi := int(float64(h0) / hoursPerMonth)

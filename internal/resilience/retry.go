@@ -14,6 +14,7 @@ package resilience
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"hpcfail/internal/randx"
@@ -107,7 +108,19 @@ func (p ExponentialBackoff) Validate() error {
 	return nil
 }
 
-// NextDelay implements RetryPolicy.
+// MaxBackoffDelay caps an uncapped (Max <= 0) exponential backoff. The
+// doubling accumulates in float64, so by retry ≈ 40 (base 1s, factor 2)
+// the product exceeds math.MaxInt64 nanoseconds and a naive
+// time.Duration conversion overflows to a negative delay — which a
+// scheduler treats as "retry immediately", the exact herd the backoff
+// exists to prevent. A day is beyond any delay the simulator (sim-time
+// hours) or the ingest client (real-time seconds) meaningfully waits,
+// and it keeps the arithmetic far from the representable edge.
+const MaxBackoffDelay = 24 * time.Hour
+
+// NextDelay implements RetryPolicy. The delay never exceeds Max when set,
+// or MaxBackoffDelay when not, and never overflows to a negative
+// duration no matter how large retry grows.
 func (p ExponentialBackoff) NextDelay(retry int, src *randx.Source) (time.Duration, bool) {
 	if !allowed(retry, p.MaxRetries) {
 		return 0, false
@@ -116,20 +129,38 @@ func (p ExponentialBackoff) NextDelay(retry int, src *randx.Source) (time.Durati
 	if factor <= 1 {
 		factor = 2
 	}
+	cap := float64(MaxBackoffDelay)
+	if p.Max > 0 {
+		cap = float64(p.Max)
+	}
 	d := float64(p.Base)
 	for i := 1; i < retry; i++ {
 		d *= factor
-		if p.Max > 0 && d >= float64(p.Max) {
-			d = float64(p.Max)
+		if d >= cap {
+			d = cap
 			break
 		}
 	}
-	if p.Max > 0 && d > float64(p.Max) {
-		d = float64(p.Max)
+	if d > cap {
+		d = cap
 	}
-	delay := time.Duration(d)
+	delay := durationFromFloat(d)
 	if p.Jitter > 0 && src != nil {
 		delay = randx.JitterDuration(delay, p.Jitter, src)
 	}
 	return delay, true
+}
+
+// durationFromFloat converts a non-negative float nanosecond count to a
+// Duration, saturating instead of overflowing: float64 → int64
+// conversion of an out-of-range value is not defined by the language
+// spec, so values at or beyond 2⁶³ are pinned to MaxInt64 explicitly.
+func durationFromFloat(d float64) time.Duration {
+	if d >= float64(math.MaxInt64) {
+		return time.Duration(math.MaxInt64)
+	}
+	if d < 0 || math.IsNaN(d) {
+		return 0
+	}
+	return time.Duration(d)
 }

@@ -1,0 +1,66 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+
+	"hpcfail/internal/randx"
+)
+
+// Regression: before the clamp, an uncapped exponential backoff
+// overflowed float64 → time.Duration conversion at high attempt counts
+// (base 1s doubles past math.MaxInt64 ns around retry 40), producing a
+// negative delay — i.e. "retry immediately", the herd the backoff is
+// supposed to break up.
+func TestExponentialBackoffHighRetryNeverNegative(t *testing.T) {
+	policies := []ExponentialBackoff{
+		{Base: time.Second},                          // uncapped, factor 2
+		{Base: time.Second, Factor: 10},              // faster growth
+		{Base: time.Hour},                            // big base, uncapped
+		{Base: time.Nanosecond, Factor: 1e6},         // extreme factor
+		{Base: time.Second, Max: 30 * time.Second},   // explicit cap
+		{Base: time.Second, Jitter: 0.9},             // jitter on a clamped delay
+		{Base: time.Hour, Max: 400 * 24 * time.Hour}, // cap beyond the default clamp
+	}
+	src := randx.NewSource(11)
+	for pi, p := range policies {
+		var prev time.Duration
+		for _, retry := range []int{1, 2, 10, 39, 40, 41, 63, 64, 100, 1000, 1 << 20} {
+			d, ok := p.NextDelay(retry, src)
+			if !ok {
+				t.Fatalf("policy %d retry %d refused", pi, retry)
+			}
+			if d < 0 {
+				t.Fatalf("policy %d retry %d: negative delay %v", pi, retry, d)
+			}
+			if p.Jitter == 0 && d < prev {
+				t.Fatalf("policy %d retry %d: delay %v shrank below %v", pi, retry, d, prev)
+			}
+			cap := MaxBackoffDelay
+			if p.Max > 0 {
+				cap = p.Max
+			}
+			if d > cap {
+				t.Fatalf("policy %d retry %d: delay %v exceeds cap %v", pi, retry, d, cap)
+			}
+			if p.Jitter == 0 {
+				prev = d
+			}
+		}
+	}
+}
+
+// The clamp must not disturb the pre-saturation schedule.
+func TestExponentialBackoffClampPreservesEarlyDelays(t *testing.T) {
+	p := ExponentialBackoff{Base: time.Second}
+	want := []time.Duration{time.Second, 2 * time.Second, 4 * time.Second, 8 * time.Second}
+	for i, w := range want {
+		if d, _ := p.NextDelay(i+1, nil); d != w {
+			t.Fatalf("retry %d: delay %v, want %v", i+1, d, w)
+		}
+	}
+	// An uncapped policy saturates exactly at the exported clamp.
+	if d, _ := p.NextDelay(1<<10, nil); d != MaxBackoffDelay {
+		t.Fatalf("saturated delay %v, want %v", d, MaxBackoffDelay)
+	}
+}

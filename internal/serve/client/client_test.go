@@ -1,0 +1,184 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hpcfail/internal/resilience"
+	"hpcfail/internal/serve"
+)
+
+const csvBatch = "system,node,hw,workload,cause,detail,start,end\n" +
+	"1,0,A,compute,Hardware,,2005-01-01T00:00:00Z,2005-01-01T01:00:00Z\n" +
+	"2,3,B,graphics,Software,,2005-01-01T02:00:00Z,2005-01-01T02:30:00Z\n"
+
+// fastRetry keeps tests quick while still exercising the retry loop.
+var fastRetry = resilience.FixedBackoff{Delay: time.Millisecond, MaxRetries: 16}
+
+func newStub(t *testing.T, handler http.HandlerFunc) *Client {
+	t.Helper()
+	ts := httptest.NewServer(handler)
+	t.Cleanup(ts.Close)
+	c := New(ts.URL, Options{Retry: fastRetry})
+	// Collapse real sleeps; the requested delays still flow through.
+	c.sleep = func(ctx context.Context, d time.Duration) error { return ctx.Err() }
+	return c
+}
+
+func TestIngestRetriesTransientRefusals(t *testing.T) {
+	var attempts atomic.Int32
+	var ids []string
+	c := newStub(t, func(w http.ResponseWriter, r *http.Request) {
+		ids = append(ids, r.Header.Get("Ingest-Id"))
+		switch attempts.Add(1) {
+		case 1:
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"ingest queue full"}`, http.StatusTooManyRequests)
+		case 2:
+			http.Error(w, `{"error":"transient"}`, http.StatusInternalServerError)
+		default:
+			fmt.Fprint(w, `{"accepted":2,"quarantined":0}`)
+		}
+	})
+	res, err := c.Ingest(context.Background(), "alpha", "id-1", []byte(csvBatch))
+	if err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	if res.Accepted != 2 || attempts.Load() != 3 {
+		t.Fatalf("got %+v after %d attempts, want 2 accepted after 3", res, attempts.Load())
+	}
+	for i, id := range ids {
+		if id != "id-1" {
+			t.Fatalf("attempt %d sent Ingest-Id %q; retries must reuse the same ID", i, id)
+		}
+	}
+}
+
+func TestIngestDoesNotRetryPermanentErrors(t *testing.T) {
+	var attempts atomic.Int32
+	c := newStub(t, func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		http.Error(w, `{"error":"bad csv header"}`, http.StatusBadRequest)
+	})
+	_, err := c.Ingest(context.Background(), "alpha", "id-1", []byte("junk"))
+	var se *StatusError
+	if !isStatus(err, &se) || se.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want StatusError 400", err)
+	}
+	if attempts.Load() != 1 {
+		t.Fatalf("%d attempts on a 400, want exactly 1", attempts.Load())
+	}
+}
+
+func TestIngestExhaustsRetryBudget(t *testing.T) {
+	var attempts atomic.Int32
+	c := newStub(t, func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		http.Error(w, `{"error":"draining"}`, http.StatusServiceUnavailable)
+	})
+	c.retry = resilience.FixedBackoff{Delay: time.Millisecond, MaxRetries: 3}
+	if _, err := c.Ingest(context.Background(), "alpha", "id-1", []byte(csvBatch)); err == nil {
+		t.Fatal("ingest succeeded against a permanently draining server")
+	}
+	if got := attempts.Load(); got != 4 {
+		t.Fatalf("%d attempts, want 1 + 3 retries", got)
+	}
+}
+
+func TestIngestHonorsRetryAfter(t *testing.T) {
+	var attempts atomic.Int32
+	var slept []time.Duration
+	c := newStub(t, func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) == 1 {
+			w.Header().Set("Retry-After", "2")
+			http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+			return
+		}
+		fmt.Fprint(w, `{"accepted":2,"quarantined":0}`)
+	})
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return nil
+	}
+	if _, err := c.Ingest(context.Background(), "alpha", "id-1", []byte(csvBatch)); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	// The policy's delay is 1ms; the server asked for 2s, and the larger
+	// hint must win.
+	if len(slept) != 1 || slept[0] < 2*time.Second {
+		t.Fatalf("slept %v, want one wait of at least the 2s Retry-After hint", slept)
+	}
+}
+
+func TestIngestStopsOnContextCancel(t *testing.T) {
+	c := newStub(t, func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Ingest(ctx, "alpha", "id-1", []byte(csvBatch)); err == nil {
+		t.Fatal("ingest ignored a cancelled context")
+	}
+}
+
+// End to end against the real daemon: delivery is exactly-once even when
+// the client re-sends, and the query helpers decode real responses.
+func TestClientAgainstRealServer(t *testing.T) {
+	s, err := serve.New(serve.Config{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	c := New(ts.URL, Options{Retry: fastRetry})
+
+	ctx := context.Background()
+	res, err := c.Ingest(ctx, "alpha", "batch-1", []byte(csvBatch))
+	if err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	if res.Accepted != 2 || res.Duplicate {
+		t.Fatalf("first delivery: %+v", res)
+	}
+	res, err = c.Ingest(ctx, "alpha", "batch-1", []byte(csvBatch))
+	if err != nil {
+		t.Fatalf("re-send: %v", err)
+	}
+	if !res.Duplicate || res.Accepted != 2 {
+		t.Fatalf("re-send folded again: %+v", res)
+	}
+
+	var summary struct {
+		Records int `json:"records"`
+	}
+	raw, err := c.Summary(ctx, "alpha")
+	if err != nil {
+		t.Fatalf("summary: %v", err)
+	}
+	if err := json.Unmarshal(raw, &summary); err != nil {
+		t.Fatalf("decode summary: %v", err)
+	}
+	if summary.Records != 2 {
+		t.Fatalf("records = %d, want 2 (exactly-once)", summary.Records)
+	}
+	if _, err := c.Rates(ctx, "alpha"); err != nil {
+		t.Fatalf("rates: %v", err)
+	}
+	if _, err := c.Result(ctx, "alpha"); err != nil {
+		t.Fatalf("result: %v", err)
+	}
+	if _, err := c.Result(ctx, "nobody"); err == nil {
+		t.Fatal("result of unknown tenant succeeded")
+	}
+}

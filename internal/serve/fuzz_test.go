@@ -1,0 +1,73 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hpcfail/internal/serve"
+)
+
+// FuzzIngestHandler throws arbitrary bytes at the ingest endpoint. The
+// handler's contract under garbage: never panic, always answer one of
+// the documented statuses, and on 200 account every input row as either
+// accepted or quarantined (both non-negative, and the tenant's summary
+// counters never go backwards).
+func FuzzIngestHandler(f *testing.F) {
+	cfg := testConfig(f.TempDir())
+	cfg.MaxBodyBytes = 64 << 10
+	cfg.MaxBatchRecords = 512
+	s, err := serve.New(cfg)
+	if err != nil {
+		f.Fatalf("serve.New: %v", err)
+	}
+	f.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	handler := s.Handler()
+
+	header := "system,node,hw,workload,cause,detail,start,end\n"
+	valid := header + "1,0,A,compute,Hardware,,2005-01-01T00:00:00Z,2005-01-01T01:00:00Z\n"
+	f.Add([]byte(valid))
+	f.Add([]byte(header))                                                                                                // no rows
+	f.Add([]byte(""))                                                                                                    // empty body
+	f.Add([]byte("garbage"))                                                                                             // no header
+	f.Add([]byte(valid + "1,0,A,compute,Bogus,,notatime,alsonot\n"))                                                     // bad row
+	f.Add([]byte(valid[:len(valid)-20]))                                                                                 // truncated mid-row
+	f.Add([]byte(header + "1,0,\"A\n"))                                                                                  // unterminated quote
+	f.Add([]byte(header + strings.Repeat("1,0,A,compute,Hardware,,2005-01-01T00:00:00Z,2005-01-01T01:00:00Z\n", 600)))   // over record cap
+	f.Add(bytes.Repeat([]byte{0xff, 0x00, 0x7f}, 300))                                                                   // binary junk
+	f.Add([]byte(header + "999999999999999999999999,0,A,compute,Hardware,,2005-01-01T00:00:00Z,2005-01-01T01:00:00Z\n")) // absurd number
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest("POST", "/v1/tenants/fuzz/ingest", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req) // must not panic
+
+		switch rec.Code {
+		case 200:
+			var res serve.IngestResult
+			if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+				t.Fatalf("200 with undecodable body %q: %v", rec.Body.String(), err)
+			}
+			if res.Accepted < 0 || res.Quarantined < 0 {
+				t.Fatalf("negative accounting: %+v", res)
+			}
+		case 400, 413, 429, 499, 503:
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+				t.Fatalf("status %d with non-error body %q", rec.Code, rec.Body.String())
+			}
+		default:
+			t.Fatalf("unexpected status %d: %s", rec.Code, rec.Body.String())
+		}
+	})
+}

@@ -1,0 +1,478 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"hpcfail/internal/dist"
+	"hpcfail/internal/engine"
+	"hpcfail/internal/failures"
+)
+
+// HTTP API (all JSON):
+//
+//	POST /v1/tenants/{tenant}/ingest      CSV body → IngestResult
+//	GET  /v1/tenants/{tenant}/result      full fit/CI analysis
+//	GET  /v1/tenants/{tenant}/rates       per-shard failure rates
+//	GET  /v1/tenants/{tenant}/summary     counters + stream info
+//	GET  /v1/tenants/{tenant}/quarantine  recent malformed rows
+//	GET  /v1/tenants                      tenant list
+//	GET  /healthz                         liveness + drain state
+//
+// Error responses are {"error": "..."} with a meaningful status: 400
+// malformed input, 404 unknown tenant, 413 over byte/record caps, 429
+// queue full (with Retry-After), 503 draining (with Retry-After).
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/tenants/{tenant}/ingest", s.handleIngest)
+	mux.HandleFunc("GET /v1/tenants/{tenant}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/tenants/{tenant}/rates", s.handleRates)
+	mux.HandleFunc("GET /v1/tenants/{tenant}/summary", s.handleSummary)
+	mux.HandleFunc("GET /v1/tenants/{tenant}/quarantine", s.handleQuarantine)
+	mux.HandleFunc("GET /v1/tenants", s.handleTenants)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// retryAfter answers a refusal the client should retry, per the
+// backpressure contract: 429 when a queue is momentarily full, 503 while
+// draining.
+func retryAfter(w http.ResponseWriter, status int, seconds int, msg string) {
+	w.Header().Set("Retry-After", strconv.Itoa(seconds))
+	writeError(w, status, "%s", msg)
+}
+
+func (s *Server) tenantFromPath(w http.ResponseWriter, r *http.Request) (string, bool) {
+	name := r.PathValue("tenant")
+	if !validTenantName(name) {
+		writeError(w, http.StatusBadRequest, "invalid tenant name %q (want 1-64 chars of [a-zA-Z0-9_-])", name)
+		return "", false
+	}
+	return name, true
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	name, ok := s.tenantFromPath(w, r)
+	if !ok {
+		return
+	}
+	if s.Draining() {
+		retryAfter(w, http.StatusServiceUnavailable, 5, "server is draining")
+		return
+	}
+
+	// Slow-client guard: the whole body must arrive within ReadTimeout,
+	// or the connection's reads start failing and the scan below aborts.
+	rc := http.NewResponseController(w)
+	_ = rc.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+	defer rc.SetReadDeadline(time.Time{})
+
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	sc, err := failures.NewScannerContext(r.Context(), body, failures.ReadCSVOptions{SkipMalformed: true})
+	if err != nil {
+		writeError(w, statusForBodyErr(err), "bad csv header: %v", err)
+		return
+	}
+	var recs []failures.Record
+	for sc.Scan() {
+		if len(recs) >= s.cfg.MaxBatchRecords {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"batch exceeds %d records", s.cfg.MaxBatchRecords)
+			return
+		}
+		recs = append(recs, sc.Record())
+	}
+	if err := sc.Err(); err != nil {
+		writeError(w, statusForBodyErr(err), "read body: %v", err)
+		return
+	}
+
+	// Register in-flight before the draining re-check so Shutdown's
+	// "flip draining, then wait for ingests" sequence cannot miss us.
+	s.ingests.Add(1)
+	defer s.ingests.Done()
+	t, err := s.getTenant(name, true)
+	if errors.Is(err, errDraining) {
+		retryAfter(w, http.StatusServiceUnavailable, 5, "server is draining")
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+
+	job := ingestJob{
+		ingestID: r.Header.Get("Ingest-Id"),
+		recs:     recs,
+		rowErrs:  sc.RowErrors(),
+		reply:    make(chan ingestReply, 1),
+	}
+	ok, closed := t.enqueue(job)
+	if closed {
+		retryAfter(w, http.StatusServiceUnavailable, 5, "server is draining")
+		return
+	}
+	if !ok {
+		retryAfter(w, http.StatusTooManyRequests, 1, "ingest queue full")
+		return
+	}
+	// The job is owned by the folder now; it completes even if the client
+	// goes away, so a retried Ingest-Id will be acknowledged as a
+	// duplicate rather than folded twice.
+	select {
+	case reply := <-job.reply:
+		if reply.err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", reply.err)
+			return
+		}
+		writeJSON(w, http.StatusOK, reply.res)
+	case <-r.Context().Done():
+		writeError(w, statusClientClosedRequest, "client went away; batch still queued")
+	}
+}
+
+// statusClientClosedRequest is nginx's non-standard 499: the client
+// disconnected while the batch was queued. The batch is still applied.
+const statusClientClosedRequest = 499
+
+// statusForBodyErr maps a scan failure to a status: over-cap bodies are
+// 413, a client-side cancel is 499, everything else (malformed header,
+// unreadable framing) is the client's 400.
+func statusForBodyErr(err error) int {
+	var tooLarge *http.MaxBytesError
+	switch {
+	case errors.As(err, &tooLarge):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return statusClientClosedRequest
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// Num is a float64 that survives JSON: NaN and the infinities — which
+// encoding/json rejects — are rendered as the strings "NaN", "+Inf",
+// "-Inf". Fit quality scores and rate fields legitimately take all three.
+type Num float64
+
+// MarshalJSON implements json.Marshaler.
+func (n Num) MarshalJSON() ([]byte, error) {
+	f := float64(n)
+	switch {
+	case math.IsNaN(f):
+		return []byte(`"NaN"`), nil
+	case math.IsInf(f, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(f, -1):
+		return []byte(`"-Inf"`), nil
+	}
+	return strconv.AppendFloat(nil, f, 'g', -1, 64), nil
+}
+
+// The query DTOs. Every float goes through Num, every map becomes a
+// sorted slice or string-keyed map, so equal states yield byte-equal
+// responses — the crash-recovery tests compare raw bytes.
+
+type shardKeyDTO struct {
+	System   int    `json:"system"`
+	Workload string `json:"workload,omitempty"`
+	Cause    string `json:"cause,omitempty"`
+}
+
+func keyDTO(k engine.ShardKey) shardKeyDTO {
+	d := shardKeyDTO{System: k.System}
+	if k.Workload != 0 {
+		d.Workload = k.Workload.String()
+	}
+	if k.Cause != 0 {
+		d.Cause = k.Cause.String()
+	}
+	return d
+}
+
+type summaryDTO struct {
+	N        int `json:"n"`
+	Mean     Num `json:"mean"`
+	Median   Num `json:"median"`
+	StdDev   Num `json:"stddev"`
+	Variance Num `json:"variance"`
+	C2       Num `json:"c2"`
+	Min      Num `json:"min"`
+	Max      Num `json:"max"`
+}
+
+type fitDTO struct {
+	Family string `json:"family"`
+	Params string `json:"params,omitempty"`
+	NLL    Num    `json:"nll"`
+	AIC    Num    `json:"aic"`
+	KS     Num    `json:"ks"`
+	Error  string `json:"error,omitempty"`
+}
+
+type ciDTO struct {
+	Name     string `json:"name"`
+	Estimate Num    `json:"estimate"`
+	Lo       Num    `json:"lo"`
+	Hi       Num    `json:"hi"`
+}
+
+type studyDTO struct {
+	N       int                `json:"n"`
+	Summary summaryDTO         `json:"summary"`
+	Fits    []fitDTO           `json:"fits"`
+	CIs     map[string][]ciDTO `json:"cis,omitempty"`
+}
+
+type shardDTO struct {
+	Key          shardKeyDTO `json:"key"`
+	Label        string      `json:"label"`
+	Records      int         `json:"records"`
+	Interarrival *studyDTO   `json:"interarrival,omitempty"`
+	Repair       *studyDTO   `json:"repair,omitempty"`
+	Error        string      `json:"error,omitempty"`
+}
+
+type resultDTO struct {
+	Tenant        string     `json:"tenant"`
+	Records       int        `json:"records"`
+	OutOfOrder    int        `json:"out_of_order"`
+	SketchEpsilon Num        `json:"sketch_epsilon"`
+	ReservoirSize int        `json:"reservoir_size"`
+	Shards        []shardDTO `json:"shards"`
+}
+
+func studyToDTO(st *engine.Study) *studyDTO {
+	if st == nil {
+		return nil
+	}
+	d := &studyDTO{
+		N: st.N,
+		Summary: summaryDTO{
+			N:        st.Summary.N,
+			Mean:     Num(st.Summary.Mean),
+			Median:   Num(st.Summary.Median),
+			StdDev:   Num(st.Summary.StdDev),
+			Variance: Num(st.Summary.Variance),
+			C2:       Num(st.Summary.C2),
+			Min:      Num(st.Summary.Min),
+			Max:      Num(st.Summary.Max),
+		},
+	}
+	if st.Fits != nil {
+		for _, f := range st.Fits.Results {
+			fd := fitDTO{
+				Family: f.Family.String(),
+				NLL:    Num(f.NLL),
+				AIC:    Num(f.AIC),
+				KS:     Num(f.KS),
+			}
+			if f.Err != nil {
+				fd.Error = f.Err.Error()
+			} else if f.Dist != nil {
+				fd.Params = f.Dist.Params()
+			}
+			d.Fits = append(d.Fits, fd)
+		}
+	}
+	if len(st.CIs) > 0 {
+		d.CIs = make(map[string][]ciDTO, len(st.CIs))
+		families := make([]dist.Family, 0, len(st.CIs))
+		for f := range st.CIs {
+			families = append(families, f)
+		}
+		sort.Slice(families, func(i, j int) bool { return families[i] < families[j] })
+		for _, f := range families {
+			cis := make([]ciDTO, 0, len(st.CIs[f]))
+			for _, ci := range st.CIs[f] {
+				cis = append(cis, ciDTO{
+					Name:     ci.Name,
+					Estimate: Num(ci.Estimate),
+					Lo:       Num(ci.Lo),
+					Hi:       Num(ci.Hi),
+				})
+			}
+			d.CIs[f.String()] = cis
+		}
+	}
+	return d
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	name, ok := s.tenantFromPath(w, r)
+	if !ok {
+		return
+	}
+	t, ok := s.lookupTenant(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such tenant %q", name)
+		return
+	}
+	res, info, err := t.inc.Result(r.Context())
+	if errors.Is(err, failures.ErrNoRecords) {
+		writeError(w, http.StatusNotFound, "tenant %q has no records yet", name)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	out := resultDTO{
+		Tenant:        name,
+		Records:       info.RecordsScanned,
+		OutOfOrder:    info.OutOfOrder,
+		SketchEpsilon: Num(info.SketchEpsilon),
+		ReservoirSize: info.ReservoirSize,
+		Shards:        make([]shardDTO, 0, len(res.Shards)),
+	}
+	for _, sh := range res.Shards {
+		d := shardDTO{
+			Key:          keyDTO(sh.Key),
+			Label:        sh.Key.String(),
+			Records:      sh.Records,
+			Interarrival: studyToDTO(sh.Interarrival),
+			Repair:       studyToDTO(sh.Repair),
+		}
+		if sh.Err != nil {
+			d.Error = sh.Err.Error()
+		}
+		out.Shards = append(out.Shards, d)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type rateDTO struct {
+	Key     shardKeyDTO `json:"key"`
+	Label   string      `json:"label"`
+	Records int         `json:"records"`
+	First   string      `json:"first,omitempty"`
+	Last    string      `json:"last,omitempty"`
+	PerDay  Num         `json:"per_day"`
+}
+
+func (s *Server) handleRates(w http.ResponseWriter, r *http.Request) {
+	name, ok := s.tenantFromPath(w, r)
+	if !ok {
+		return
+	}
+	t, ok := s.lookupTenant(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such tenant %q", name)
+		return
+	}
+	rates := t.inc.Rates()
+	out := make([]rateDTO, 0, len(rates))
+	for _, rt := range rates {
+		d := rateDTO{
+			Key:     keyDTO(rt.Key),
+			Label:   rt.Key.String(),
+			Records: rt.Records,
+			PerDay:  Num(rt.PerDay),
+		}
+		if !rt.First.IsZero() {
+			d.First = rt.First.UTC().Format(time.RFC3339Nano)
+			d.Last = rt.Last.UTC().Format(time.RFC3339Nano)
+		}
+		out = append(out, d)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tenant": name, "rates": out})
+}
+
+type tenantSummaryDTO struct {
+	Tenant        string `json:"tenant"`
+	Records       int    `json:"records"`
+	OutOfOrder    int    `json:"out_of_order"`
+	Accepted      int    `json:"accepted"`
+	Quarantined   int    `json:"quarantined"`
+	Duplicates    int    `json:"duplicates"`
+	Rejected      int    `json:"rejected"`
+	SketchEpsilon Num    `json:"sketch_epsilon"`
+	ReservoirSize int    `json:"reservoir_size"`
+}
+
+func (t *tenant) summary() tenantSummaryDTO {
+	info := t.inc.Info()
+	t.foldMu.Lock()
+	defer t.foldMu.Unlock()
+	return tenantSummaryDTO{
+		Tenant:        t.name,
+		Records:       info.RecordsScanned,
+		OutOfOrder:    info.OutOfOrder,
+		Accepted:      t.accepted,
+		Quarantined:   t.quarantined,
+		Duplicates:    t.duplicates,
+		Rejected:      t.rejected,
+		SketchEpsilon: Num(info.SketchEpsilon),
+		ReservoirSize: info.ReservoirSize,
+	}
+}
+
+func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
+	name, ok := s.tenantFromPath(w, r)
+	if !ok {
+		return
+	}
+	t, ok := s.lookupTenant(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such tenant %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, t.summary())
+}
+
+func (s *Server) handleQuarantine(w http.ResponseWriter, r *http.Request) {
+	name, ok := s.tenantFromPath(w, r)
+	if !ok {
+		return
+	}
+	t, ok := s.lookupTenant(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such tenant %q", name)
+		return
+	}
+	t.foldMu.Lock()
+	rows := append([]QuarantinedRow(nil), t.quarantine...)
+	total := t.quarantined
+	t.foldMu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"tenant": name,
+		"total":  total,
+		"rows":   rows,
+	})
+}
+
+func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"tenants": s.TenantNames()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.Draining() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  status,
+		"tenants": len(s.TenantNames()),
+	})
+}

@@ -1,0 +1,484 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hpcfail/internal/engine"
+	"hpcfail/internal/failures"
+	"hpcfail/internal/serve"
+)
+
+// testRecords builds a deterministic, globally start-time-sorted trace
+// slice: records offset..offset+n-1 of the same infinite trace, so
+// consecutive batches continue each other.
+func testRecords(n, offset int) []failures.Record {
+	t0 := time.Date(2005, 1, 1, 0, 0, 0, 0, time.UTC)
+	recs := make([]failures.Record, n)
+	for i := range recs {
+		j := offset + i
+		// j*37 grows by 37 per step while the quadratic term stays below
+		// 17, so starts are strictly increasing across batch boundaries.
+		start := t0.Add(time.Duration(j*37+(j*j)%17) * time.Minute)
+		recs[i] = failures.Record{
+			System:   1 + j%3,
+			Node:     j % 128,
+			HW:       failures.HWType(rune('A' + j%4)),
+			Workload: failures.Workloads()[j%3],
+			Cause:    failures.Causes()[j%6],
+			Start:    start,
+			End:      start.Add(time.Duration(10+j%90) * time.Minute),
+		}
+	}
+	return recs
+}
+
+func csvBody(t testing.TB, recs []failures.Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := failures.NewCSVWriter(&buf)
+	if err != nil {
+		t.Fatalf("csv writer: %v", err)
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatalf("csv write: %v", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("csv flush: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func testConfig(dir string) serve.Config {
+	return serve.Config{
+		DataDir: dir,
+		Engine:  engine.Options{Workers: 2, BootstrapReps: -1, Seed: 42},
+		Stream: engine.StreamOptions{
+			Spec:          engine.ShardSpec{IncludeFleet: true, ByCause: true},
+			ReservoirSize: 64,
+		},
+		QueueDepth:   8,
+		DedupeWindow: 64,
+	}
+}
+
+func newTestServer(t *testing.T, cfg serve.Config) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	s, err := serve.New(cfg)
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s, ts
+}
+
+func postIngest(t *testing.T, base, tenant, ingestID string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/tenants/"+tenant+"/ingest", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("new request: %v", err)
+	}
+	if ingestID != "" {
+		req.Header.Set("Ingest-Id", ingestID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("ingest request: %v", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read response: %v", err)
+	}
+	return resp, data
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("decode %s: %v\nbody: %s", url, err, data)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestIngestAndQuery(t *testing.T) {
+	_, ts := newTestServer(t, testConfig(t.TempDir()))
+
+	// Three batches into one tenant, one batch into another.
+	for i := 0; i < 3; i++ {
+		resp, data := postIngest(t, ts.URL, "alpha", fmt.Sprintf("batch-%d", i), csvBody(t, testRecords(100, i*100)))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest %d: status %d: %s", i, resp.StatusCode, data)
+		}
+		var res serve.IngestResult
+		if err := json.Unmarshal(data, &res); err != nil {
+			t.Fatalf("decode ingest response: %v", err)
+		}
+		if res.Accepted != 100 || res.Quarantined != 0 || res.Duplicate {
+			t.Fatalf("ingest %d: got %+v, want 100 accepted", i, res)
+		}
+	}
+	if resp, data := postIngest(t, ts.URL, "beta", "", csvBody(t, testRecords(20, 0))); resp.StatusCode != http.StatusOK {
+		t.Fatalf("beta ingest: status %d: %s", resp.StatusCode, data)
+	}
+
+	var summary struct {
+		Records     int `json:"records"`
+		Accepted    int `json:"accepted"`
+		Quarantined int `json:"quarantined"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/tenants/alpha/summary", &summary); code != http.StatusOK {
+		t.Fatalf("summary status %d", code)
+	}
+	if summary.Records != 300 || summary.Accepted != 300 {
+		t.Fatalf("summary = %+v, want 300 records", summary)
+	}
+
+	var result struct {
+		Tenant  string `json:"tenant"`
+		Records int    `json:"records"`
+		Shards  []struct {
+			Label        string `json:"label"`
+			Records      int    `json:"records"`
+			Interarrival *struct {
+				N    int `json:"n"`
+				Fits []struct {
+					Family string `json:"family"`
+				} `json:"fits"`
+			} `json:"interarrival"`
+		} `json:"shards"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/tenants/alpha/result", &result); code != http.StatusOK {
+		t.Fatalf("result status %d", code)
+	}
+	if result.Records != 300 || len(result.Shards) == 0 {
+		t.Fatalf("result records=%d shards=%d, want 300 and >0", result.Records, len(result.Shards))
+	}
+	if result.Shards[0].Label != "fleet / all / all" {
+		t.Fatalf("first shard %q, want the fleet aggregate", result.Shards[0].Label)
+	}
+	if ia := result.Shards[0].Interarrival; ia == nil || len(ia.Fits) == 0 {
+		t.Fatalf("fleet shard has no interarrival fits: %+v", result.Shards[0])
+	}
+
+	// The streaming query answers must agree with a one-shot AnalyzeStream
+	// over the concatenated batches under an identical engine: same shard
+	// count and per-shard record counts.
+	eng := engine.New(engine.Options{Workers: 2, BootstrapReps: -1, Seed: 42})
+	inc := eng.NewIncremental(testConfig(t.TempDir()).Stream)
+	if _, err := inc.Append(context.Background(), testRecords(300, 0)); err != nil {
+		t.Fatalf("reference append: %v", err)
+	}
+	ref, _, err := inc.Result(context.Background())
+	if err != nil {
+		t.Fatalf("reference result: %v", err)
+	}
+	if len(ref.Shards) != len(result.Shards) {
+		t.Fatalf("server has %d shards, reference %d", len(result.Shards), len(ref.Shards))
+	}
+	for i, sh := range ref.Shards {
+		if result.Shards[i].Records != sh.Records {
+			t.Fatalf("shard %d (%s): server %d records, reference %d",
+				i, sh.Key, result.Shards[i].Records, sh.Records)
+		}
+	}
+
+	var rates struct {
+		Rates []struct {
+			Label  string `json:"label"`
+			PerDay any    `json:"per_day"`
+		} `json:"rates"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/tenants/alpha/rates", &rates); code != http.StatusOK {
+		t.Fatalf("rates status %d", code)
+	}
+	if len(rates.Rates) != len(result.Shards) {
+		t.Fatalf("rates has %d shards, result %d", len(rates.Rates), len(result.Shards))
+	}
+
+	var tenants struct {
+		Tenants []string `json:"tenants"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/tenants", &tenants); code != http.StatusOK {
+		t.Fatalf("tenants status %d", code)
+	}
+	if len(tenants.Tenants) != 2 || tenants.Tenants[0] != "alpha" || tenants.Tenants[1] != "beta" {
+		t.Fatalf("tenants = %v, want [alpha beta]", tenants.Tenants)
+	}
+
+	var health struct {
+		Status string `json:"status"`
+	}
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusOK || health.Status != "ok" {
+		t.Fatalf("healthz = %d %+v, want 200 ok", code, health)
+	}
+}
+
+func TestQuarantineLenientIngest(t *testing.T) {
+	_, ts := newTestServer(t, testConfig(t.TempDir()))
+
+	good := csvBody(t, testRecords(10, 0))
+	// Splice two malformed rows into the valid body: a bogus cause and a
+	// wrong field count.
+	lines := strings.Split(strings.TrimSpace(string(good)), "\n")
+	bad := append([]string{}, lines[:5]...)
+	bad = append(bad, "1,0,A,compute,Bogus,,2005-01-01T00:00:00Z,2005-01-01T01:00:00Z")
+	bad = append(bad, lines[5:]...)
+	bad = append(bad, "not,enough,fields")
+	body := []byte(strings.Join(bad, "\n") + "\n")
+
+	resp, data := postIngest(t, ts.URL, "alpha", "q-1", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("lenient ingest: status %d: %s", resp.StatusCode, data)
+	}
+	var res serve.IngestResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if res.Accepted != 10 || res.Quarantined != 2 {
+		t.Fatalf("got %+v, want 10 accepted / 2 quarantined", res)
+	}
+
+	var quarantine struct {
+		Total int `json:"total"`
+		Rows  []struct {
+			IngestID string `json:"ingest_id"`
+			Line     int    `json:"line"`
+			Error    string `json:"error"`
+		} `json:"rows"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/tenants/alpha/quarantine", &quarantine); code != http.StatusOK {
+		t.Fatalf("quarantine status %d", code)
+	}
+	if quarantine.Total != 2 || len(quarantine.Rows) != 2 {
+		t.Fatalf("quarantine = %+v, want 2 rows", quarantine)
+	}
+	if quarantine.Rows[0].IngestID != "q-1" || quarantine.Rows[0].Line != 6 {
+		t.Fatalf("first quarantined row = %+v, want ingest q-1 line 6", quarantine.Rows[0])
+	}
+	if !strings.Contains(quarantine.Rows[0].Error, "Bogus") {
+		t.Fatalf("first quarantined row error %q does not name the bad cause", quarantine.Rows[0].Error)
+	}
+}
+
+func TestExactlyOnceDedupe(t *testing.T) {
+	_, ts := newTestServer(t, testConfig(t.TempDir()))
+	body := csvBody(t, testRecords(50, 0))
+
+	resp, data := postIngest(t, ts.URL, "alpha", "same-id", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first ingest: %d: %s", resp.StatusCode, data)
+	}
+	for i := 0; i < 3; i++ {
+		resp, data := postIngest(t, ts.URL, "alpha", "same-id", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("retry %d: %d: %s", i, resp.StatusCode, data)
+		}
+		var res serve.IngestResult
+		if err := json.Unmarshal(data, &res); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !res.Duplicate || res.Accepted != 50 {
+			t.Fatalf("retry %d: got %+v, want duplicate with original counts", i, res)
+		}
+	}
+
+	var summary struct {
+		Records    int `json:"records"`
+		Duplicates int `json:"duplicates"`
+	}
+	getJSON(t, ts.URL+"/v1/tenants/alpha/summary", &summary)
+	if summary.Records != 50 || summary.Duplicates != 3 {
+		t.Fatalf("summary = %+v, want 50 records folded once and 3 duplicates", summary)
+	}
+
+	// An empty Ingest-Id opts out of dedupe: the same bytes fold again.
+	if resp, _ := postIngest(t, ts.URL, "alpha", "", body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("no-id ingest: %d", resp.StatusCode)
+	}
+	getJSON(t, ts.URL+"/v1/tenants/alpha/summary", &summary)
+	if summary.Records != 100 {
+		t.Fatalf("records = %d after no-id re-send, want 100", summary.Records)
+	}
+}
+
+func TestBackpressure429(t *testing.T) {
+	cfg := testConfig(t.TempDir())
+	cfg.QueueDepth = 2
+	s, ts := newTestServer(t, cfg)
+
+	// Hold the folder so queued jobs cannot drain. entered signals that
+	// the folder has taken a job off the queue and is parked in the hook.
+	release := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	s.SetFoldHook(func(string) {
+		entered <- struct{}{}
+		<-release
+	})
+	var releaseOnce sync.Once
+	releaseAll := func() {
+		s.SetFoldHook(nil)
+		releaseOnce.Do(func() { close(release) })
+	}
+	t.Cleanup(releaseAll) // never leave the folder parked if an assert fails
+
+	// First batch: the folder takes it and parks, leaving the queue empty.
+	// Two more then fill the depth-2 queue. All three handlers block
+	// awaiting replies, so they run in goroutines.
+	var inflight []chan int
+	post := func(i int) {
+		code := make(chan int, 1)
+		inflight = append(inflight, code)
+		body := csvBody(t, testRecords(5, i*5))
+		id := fmt.Sprintf("bp-%d", i)
+		go func() {
+			req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/tenants/alpha/ingest", bytes.NewReader(body))
+			req.Header.Set("Ingest-Id", id)
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				code <- -1
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			code <- resp.StatusCode
+		}()
+	}
+	post(0)
+	select {
+	case <-entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("folder never picked up the first batch")
+	}
+	post(1)
+	post(2)
+	deadline := time.Now().Add(10 * time.Second)
+	for s.QueueLen("alpha") < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never filled: len %d", s.QueueLen("alpha"))
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The queue is now provably full: the next ingest must bounce with
+	// 429 and a Retry-After hint, without touching any folded state.
+	resp, data := postIngest(t, ts.URL, "alpha", "bp-overflow", csvBody(t, testRecords(5, 100)))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow ingest: status %d, want 429 (body: %s)", resp.StatusCode, data)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatalf("429 without Retry-After header")
+	}
+
+	// Release the folder; every queued batch must complete with 200.
+	releaseAll()
+	for i, code := range inflight {
+		select {
+		case c := <-code:
+			if c != http.StatusOK {
+				t.Fatalf("queued ingest %d finished with %d, want 200", i, c)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("queued ingest %d never completed", i)
+		}
+	}
+
+	var summary struct {
+		Records  int `json:"records"`
+		Rejected int `json:"rejected"`
+	}
+	getJSON(t, ts.URL+"/v1/tenants/alpha/summary", &summary)
+	if summary.Records != 15 {
+		t.Fatalf("records = %d, want exactly the 3 queued batches (15)", summary.Records)
+	}
+	if summary.Rejected == 0 {
+		t.Fatalf("rejected counter is zero after observed 429s")
+	}
+}
+
+func TestIngestRejections(t *testing.T) {
+	cfg := testConfig(t.TempDir())
+	cfg.MaxBodyBytes = 4 << 10
+	cfg.MaxBatchRecords = 20
+	_, ts := newTestServer(t, cfg)
+
+	cases := []struct {
+		name   string
+		tenant string
+		body   []byte
+		want   int
+	}{
+		{"bad tenant name", "bad.name", csvBody(t, testRecords(1, 0)), http.StatusBadRequest},
+		{"tenant name too long", strings.Repeat("a", 65), csvBody(t, testRecords(1, 0)), http.StatusBadRequest},
+		{"garbage header", "alpha", []byte("what,is,this\n1,2,3\n"), http.StatusBadRequest},
+		{"empty body", "alpha", nil, http.StatusBadRequest},
+		{"over byte cap", "alpha", csvBody(t, testRecords(200, 0)), http.StatusRequestEntityTooLarge},
+		{"over record cap", "alpha", csvBody(t, testRecords(45, 0)), http.StatusRequestEntityTooLarge},
+	}
+	for _, tc := range cases {
+		resp, data := postIngest(t, ts.URL, tc.tenant, "", tc.body)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d (body: %s)", tc.name, resp.StatusCode, tc.want, data)
+		}
+	}
+
+	// Rejected batches must not create tenant state.
+	if code := getJSON(t, ts.URL+"/v1/tenants/alpha/summary", nil); code != http.StatusNotFound {
+		t.Fatalf("summary of never-ingested tenant: %d, want 404", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/tenants/alpha/result", nil); code != http.StatusNotFound {
+		t.Fatalf("result of never-ingested tenant: %d, want 404", code)
+	}
+}
+
+func TestNaNSafeJSON(t *testing.T) {
+	_, ts := newTestServer(t, testConfig(t.TempDir()))
+	// A single record gives a zero-span shard: per_day is NaN, which the
+	// response must render as a string rather than failing to encode.
+	resp, data := postIngest(t, ts.URL, "alpha", "one", csvBody(t, testRecords(1, 0)))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: %d: %s", resp.StatusCode, data)
+	}
+	var rates struct {
+		Rates []struct {
+			PerDay any `json:"per_day"`
+		} `json:"rates"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/tenants/alpha/rates", &rates); code != http.StatusOK {
+		t.Fatalf("rates status %d", code)
+	}
+	if len(rates.Rates) == 0 {
+		t.Fatal("no rates")
+	}
+	if s, ok := rates.Rates[0].PerDay.(string); !ok || s != "NaN" {
+		t.Fatalf(`per_day = %v (%T), want the string "NaN"`, rates.Rates[0].PerDay, rates.Rates[0].PerDay)
+	}
+}

@@ -1,0 +1,232 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"hpcfail/internal/serve"
+)
+
+// Shutdown's drain contract: batches already admitted complete and are
+// acknowledged with 200, new ingests are refused with 503 + Retry-After,
+// queries keep answering throughout, and the final snapshot holds
+// everything that was acknowledged.
+func TestShutdownDrainsInFlight(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig(dir)
+	s, err := serve.New(cfg)
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Park the folder on the first batch so it is verifiably in flight
+	// when Shutdown begins.
+	release := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	s.SetFoldHook(func(string) {
+		entered <- struct{}{}
+		<-release
+	})
+	var releaseOnce sync.Once
+	releaseAll := func() {
+		s.SetFoldHook(nil)
+		releaseOnce.Do(func() { close(release) })
+	}
+	t.Cleanup(releaseAll)
+
+	inflightCode := make(chan int, 1)
+	body := csvBody(t, testRecords(40, 0))
+	go func() {
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/tenants/alpha/ingest", bytes.NewReader(body))
+		req.Header.Set("Ingest-Id", "inflight")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			inflightCode <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		inflightCode <- resp.StatusCode
+	}()
+	select {
+	case <-entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("folder never picked up the in-flight batch")
+	}
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		shutdownErr <- s.Shutdown(ctx)
+	}()
+
+	// Draining must become observable, and new ingests must bounce with
+	// 503 + Retry-After while the in-flight one is still parked.
+	deadline := time.Now().Add(10 * time.Second)
+	for !s.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("server never started draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp, data := postIngest(t, ts.URL, "alpha", "late", csvBody(t, testRecords(5, 1000)))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("ingest while draining: status %d, want 503 (body: %s)", resp.StatusCode, data)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After header")
+	}
+
+	// Queries stay available while draining.
+	var health struct {
+		Status string `json:"status"`
+	}
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusOK || health.Status != "draining" {
+		t.Fatalf("healthz while draining = %d %+v, want 200 draining", code, health)
+	}
+
+	// Release the folder: the in-flight batch must complete with 200 and
+	// Shutdown must return cleanly.
+	releaseAll()
+	select {
+	case code := <-inflightCode:
+		if code != http.StatusOK {
+			t.Fatalf("in-flight ingest finished with %d, want 200", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight ingest never completed")
+	}
+	select {
+	case err := <-shutdownErr:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("shutdown never returned")
+	}
+
+	// A second Shutdown is an idempotent no-op.
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+
+	// The final snapshot holds the drained batch: a fresh server over the
+	// same directory sees its records without any client re-send.
+	s2, err := serve.New(cfg)
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	defer func() { _ = s2.Shutdown(context.Background()) }()
+	var summary struct {
+		Records int `json:"records"`
+	}
+	if code := getJSON(t, ts2.URL+"/v1/tenants/alpha/summary", &summary); code != http.StatusOK {
+		t.Fatalf("summary after restart: %d", code)
+	}
+	if summary.Records != 40 {
+		t.Fatalf("restarted server has %d records, want the drained 40", summary.Records)
+	}
+	// And the drained batch's Ingest-Id is still in the dedupe window: a
+	// client that never got the 200 re-sends and is told "duplicate".
+	resp2, data2 := postIngest(t, ts2.URL, "alpha", "inflight", body)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("re-send after restart: %d: %s", resp2.StatusCode, data2)
+	}
+	var res serve.IngestResult
+	if err := json.Unmarshal(data2, &res); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !res.Duplicate {
+		t.Fatalf("re-send after restart folded again: %+v", res)
+	}
+}
+
+// Queued-but-not-yet-folded batches also drain: Shutdown closes the
+// queues only after in-flight admissions settle, and the folder empties
+// what was admitted before exiting.
+func TestShutdownDrainsQueuedBacklog(t *testing.T) {
+	cfg := testConfig(t.TempDir())
+	cfg.QueueDepth = 8
+	s, err := serve.New(cfg)
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	release := make(chan struct{})
+	entered := make(chan struct{}, 16)
+	s.SetFoldHook(func(string) {
+		entered <- struct{}{}
+		<-release
+	})
+	var releaseOnce sync.Once
+	releaseAll := func() {
+		s.SetFoldHook(nil)
+		releaseOnce.Do(func() { close(release) })
+	}
+	t.Cleanup(releaseAll)
+
+	const batches = 4
+	codes := make(chan int, batches)
+	for i := 0; i < batches; i++ {
+		body := csvBody(t, testRecords(10, i*10))
+		go func() {
+			req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/tenants/alpha/ingest", bytes.NewReader(body))
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				codes <- -1
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			codes <- resp.StatusCode
+		}()
+	}
+	select {
+	case <-entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("folder never started")
+	}
+	// Wait until the remaining batches are queued behind the parked one.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.QueueLen("alpha") < batches-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("backlog never queued: len %d", s.QueueLen("alpha"))
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	shutdownErr := make(chan error, 1)
+	go func() { shutdownErr <- s.Shutdown(context.Background()) }()
+	for !s.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+	releaseAll()
+
+	for i := 0; i < batches; i++ {
+		select {
+		case c := <-codes:
+			if c != http.StatusOK {
+				t.Fatalf("queued batch finished with %d, want 200", c)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("queued batch never completed")
+		}
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}

@@ -1,0 +1,227 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"hpcfail/internal/engine"
+	"hpcfail/internal/failures"
+)
+
+// IngestResult is the outcome of one ingested batch, returned to the
+// client and remembered in the dedupe window so a retried batch gets the
+// same answer without being folded twice.
+type IngestResult struct {
+	// Accepted is the number of valid records folded into the analysis.
+	Accepted int `json:"accepted"`
+	// Quarantined is the number of malformed rows skipped by the lenient
+	// parser; see the quarantine endpoint for diagnostics.
+	Quarantined int `json:"quarantined"`
+	// Duplicate reports that this ingest ID was already applied and the
+	// batch was NOT re-folded; the counts echo the original outcome.
+	Duplicate bool `json:"duplicate,omitempty"`
+}
+
+// ingestJob is one parsed batch queued for the tenant's folder goroutine.
+type ingestJob struct {
+	ingestID string
+	recs     []failures.Record
+	rowErrs  []failures.RowError
+	reply    chan ingestReply
+}
+
+type ingestReply struct {
+	res IngestResult
+	err error
+}
+
+// QuarantinedRow is one malformed input row held for diagnosis: which
+// batch it arrived in, its line within that batch's CSV body, and why it
+// was rejected. The quarantine is a bounded in-memory ring — operational
+// visibility, not durable state — so it is deliberately outside the
+// snapshot/WAL recovery contract.
+type QuarantinedRow struct {
+	IngestID string `json:"ingest_id,omitempty"`
+	Line     int    `json:"line"`
+	Error    string `json:"error"`
+}
+
+// dedupeRing remembers the outcomes of the last N distinct ingest IDs in
+// arrival order. It gives the service exactly-once batch semantics under
+// client retries: a re-sent ID inside the window is acknowledged with its
+// original outcome instead of being folded again. Entries are rebuilt
+// from the WAL on recovery (quarantine counts excluded — quarantined rows
+// never reach the WAL).
+type dedupeRing struct {
+	cap     int
+	order   []string
+	results map[string]IngestResult
+}
+
+func newDedupeRing(capacity int) *dedupeRing {
+	return &dedupeRing{cap: capacity, results: make(map[string]IngestResult, capacity)}
+}
+
+func (d *dedupeRing) get(id string) (IngestResult, bool) {
+	if id == "" {
+		return IngestResult{}, false
+	}
+	res, ok := d.results[id]
+	return res, ok
+}
+
+func (d *dedupeRing) add(id string, res IngestResult) {
+	if id == "" || d.cap <= 0 {
+		return
+	}
+	if _, ok := d.results[id]; ok {
+		d.results[id] = res
+		return
+	}
+	d.order = append(d.order, id)
+	d.results[id] = res
+	for len(d.order) > d.cap {
+		delete(d.results, d.order[0])
+		d.order = d.order[1:]
+	}
+}
+
+// tenant is one isolated ingest stream: its own incremental analysis, WAL,
+// bounded queue and single folder goroutine. The single folder is what
+// makes WAL order equal fold order — the property the reservoir-exact
+// crash-recovery contract depends on.
+type tenant struct {
+	name string
+	srv  *Server
+
+	// queueMu guards queue admission against close: senders check closed
+	// and enqueue under it, Shutdown flips closed and closes the channel
+	// under it, so no send can race the close.
+	queueMu sync.Mutex
+	queue   chan ingestJob
+	closed  bool
+
+	// foldMu serializes the fold transaction (WAL append + incremental
+	// fold + counters + dedupe) against snapshot capture, so a snapshot
+	// always sees a WAL offset consistent with the folded state.
+	foldMu      sync.Mutex
+	wal         *wal
+	inc         *engine.Incremental
+	dedupe      *dedupeRing
+	accepted    int
+	quarantined int
+	duplicates  int
+	rejected    int // batches bounced with 429 (queue full)
+	quarantine  []QuarantinedRow
+}
+
+func (s *Server) newTenant(name string, inc *engine.Incremental, w *wal) *tenant {
+	return &tenant{
+		name:   name,
+		srv:    s,
+		queue:  make(chan ingestJob, s.cfg.QueueDepth),
+		wal:    w,
+		inc:    inc,
+		dedupe: newDedupeRing(s.cfg.DedupeWindow),
+	}
+}
+
+// enqueue offers a job to the bounded queue without blocking. ok=false
+// means the queue is full — the backpressure signal the handler converts
+// into 429 + Retry-After. closed=true means the tenant is draining.
+func (t *tenant) enqueue(job ingestJob) (ok, closed bool) {
+	t.queueMu.Lock()
+	defer t.queueMu.Unlock()
+	if t.closed {
+		return false, true
+	}
+	select {
+	case t.queue <- job:
+		return true, false
+	default:
+		t.foldMu.Lock()
+		t.rejected++
+		t.foldMu.Unlock()
+		return false, false
+	}
+}
+
+// closeQueue stops admission and closes the queue so the folder drains
+// what is already queued and exits.
+func (t *tenant) closeQueue() {
+	t.queueMu.Lock()
+	defer t.queueMu.Unlock()
+	if !t.closed {
+		t.closed = true
+		close(t.queue)
+	}
+}
+
+// run is the folder goroutine: it drains the queue, applying one batch at
+// a time — WAL first, fold second — and answers each job's reply channel.
+// Replies are buffered, so an abandoned handler (client gone) never
+// blocks the folder.
+func (t *tenant) run() {
+	defer t.srv.folders.Done()
+	for job := range t.queue {
+		if hook := t.srv.foldHook.Load(); hook != nil {
+			(*hook)(t.name)
+		}
+		res, err := t.apply(job)
+		job.reply <- ingestReply{res: res, err: err}
+	}
+}
+
+// apply is the fold transaction for one batch.
+func (t *tenant) apply(job ingestJob) (IngestResult, error) {
+	t.foldMu.Lock()
+	defer t.foldMu.Unlock()
+	if res, ok := t.dedupe.get(job.ingestID); ok {
+		t.duplicates++
+		res.Duplicate = true
+		return res, nil
+	}
+	if len(job.recs) > 0 {
+		if err := t.wal.appendBatch(job.ingestID, job.recs); err != nil {
+			return IngestResult{}, fmt.Errorf("tenant %s: wal append: %w", t.name, err)
+		}
+		if _, err := t.inc.Append(context.Background(), job.recs); err != nil {
+			return IngestResult{}, fmt.Errorf("tenant %s: fold: %w", t.name, err)
+		}
+	}
+	res := IngestResult{Accepted: len(job.recs), Quarantined: len(job.rowErrs)}
+	t.accepted += len(job.recs)
+	t.quarantined += len(job.rowErrs)
+	for _, re := range job.rowErrs {
+		t.quarantine = append(t.quarantine, QuarantinedRow{
+			IngestID: job.ingestID,
+			Line:     re.Line,
+			Error:    re.Err.Error(),
+		})
+	}
+	if keep := t.srv.cfg.QuarantineKeep; len(t.quarantine) > keep {
+		t.quarantine = append(t.quarantine[:0], t.quarantine[len(t.quarantine)-keep:]...)
+	}
+	t.dedupe.add(job.ingestID, res)
+	return res, nil
+}
+
+// replayBatch re-applies one WAL frame during recovery: fold and re-arm
+// the dedupe window, without touching the WAL (the frame is already in
+// it). Quarantine counts are unknowable here — malformed rows never
+// reached the WAL — so a replayed entry reports zero.
+// Every frame is folded unconditionally: snapshots capture WAL offset,
+// fold state and dedupe window atomically under foldMu, so the replayed
+// suffix contains exactly the frames the snapshot has not folded — and a
+// frame only ever enters the WAL after passing dedupe, so re-checking
+// here would wrongly skip an ID legitimately reused after falling out of
+// the window.
+func (t *tenant) replayBatch(ingestID string, recs []failures.Record) error {
+	if _, err := t.inc.Append(context.Background(), recs); err != nil {
+		return err
+	}
+	t.accepted += len(recs)
+	t.dedupe.add(ingestID, IngestResult{Accepted: len(recs)})
+	return nil
+}

@@ -12,9 +12,49 @@ import (
 // sample cannot be held. Construct with NewReservoir.
 type Reservoir struct {
 	capacity int
+	seed     int64
 	seen     uint64
 	sample   []float64
 	rng      *rand.Rand
+	src      *countingSource
+}
+
+// countingSource wraps the seeded math/rand source with a draw counter.
+// The generator's state is a pure function of (seed, draws), so snapshot,
+// restore and clone can reproduce it exactly by re-seeding and discarding
+// the same number of draws — without changing a single emitted value
+// relative to an unwrapped rand.New(rand.NewSource(seed)).
+type countingSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+func newCountingSource(seed int64) *countingSource {
+	// rand.NewSource's concrete type implements Source64; the assertion
+	// guards the fast-forward contract (one state step per call).
+	return &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+func (c *countingSource) Int63() int64 {
+	c.n++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.n++
+	return c.src.Uint64()
+}
+
+func (c *countingSource) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.n = 0
+}
+
+// fastForward discards draws until the counter reaches n.
+func (c *countingSource) fastForward(n uint64) {
+	for c.n < n {
+		c.Uint64()
+	}
 }
 
 // DefaultReservoirSize is the capacity used when NewReservoir is given a
@@ -31,10 +71,32 @@ func NewReservoir(capacity int, seed int64) *Reservoir {
 	// The sample grows on demand rather than preallocating capacity:
 	// analyses shard a stream into many reservoirs, most of which see far
 	// fewer observations than the cap.
+	src := newCountingSource(seed)
 	return &Reservoir{
 		capacity: capacity,
-		rng:      rand.New(rand.NewSource(seed)),
+		seed:     seed,
+		rng:      rand.New(src),
+		src:      src,
 	}
+}
+
+// Clone returns an independent deep copy: same subsample, and the same
+// future Add/Merge behavior, because the generator state is reproduced by
+// fast-forwarding a fresh seeded source. Cost is O(len(sample) + draws).
+func (r *Reservoir) Clone() *Reservoir {
+	c := r.frozen()
+	c.src.fastForward(r.src.n)
+	return c
+}
+
+// frozen is Clone without the generator fast-forward: an O(sample) copy
+// whose subsample is identical but whose future replacement draws are
+// not. Backs Accumulator.Freeze.
+func (r *Reservoir) frozen() *Reservoir {
+	c := NewReservoir(r.capacity, r.seed)
+	c.seen = r.seen
+	c.sample = append([]float64(nil), r.sample...)
+	return c
 }
 
 // Add folds one observation into the reservoir.

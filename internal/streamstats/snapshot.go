@@ -1,0 +1,403 @@
+package streamstats
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Versioned binary snapshot/restore for every streaming structure. The
+// format is the crash-recovery contract of the analytics service: a
+// restored structure is indistinguishable from the original — identical
+// Quantile/Mean/Seen answers AND identical future Add/Merge behavior,
+// reservoir generator state included. Each blob opens with a one-byte
+// kind tag and a one-byte version so mixed-up or stale blobs fail loudly
+// instead of decoding garbage.
+//
+// Encodings are deterministic (sketch buckets are written in sorted key
+// order), so equal states produce byte-equal snapshots — the property the
+// service's kill-and-restore chaos tests pin.
+const (
+	momentsKind     byte = 'M'
+	sketchKind      byte = 'Q'
+	reservoirKind   byte = 'R'
+	accumulatorKind byte = 'A'
+
+	snapshotVersion byte = 1
+)
+
+// ErrSnapshot is wrapped by every decode failure, so callers can
+// distinguish a corrupt blob from other errors with errors.Is.
+var ErrSnapshot = errors.New("streamstats: corrupt snapshot")
+
+// binReader walks a snapshot blob with bounds checking.
+type binReader struct {
+	buf []byte
+}
+
+func (r *binReader) bytes(n int) ([]byte, error) {
+	if n < 0 || len(r.buf) < n {
+		return nil, fmt.Errorf("%w: truncated (%d bytes left, need %d)", ErrSnapshot, len(r.buf), n)
+	}
+	b := r.buf[:n]
+	r.buf = r.buf[n:]
+	return b, nil
+}
+
+func (r *binReader) byte() (byte, error) {
+	b, err := r.bytes(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (r *binReader) u64() (uint64, error) {
+	b, err := r.bytes(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+func (r *binReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad uvarint", ErrSnapshot)
+	}
+	r.buf = r.buf[n:]
+	return v, nil
+}
+
+func (r *binReader) varint() (int64, error) {
+	v, n := binary.Varint(r.buf)
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad varint", ErrSnapshot)
+	}
+	r.buf = r.buf[n:]
+	return v, nil
+}
+
+func (r *binReader) f64() (float64, error) {
+	u, err := r.u64()
+	return math.Float64frombits(u), err
+}
+
+func (r *binReader) header(kind byte) error {
+	k, err := r.byte()
+	if err != nil {
+		return err
+	}
+	if k != kind {
+		return fmt.Errorf("%w: kind %q, want %q", ErrSnapshot, k, kind)
+	}
+	v, err := r.byte()
+	if err != nil {
+		return err
+	}
+	if v != snapshotVersion {
+		return fmt.Errorf("%w: version %d, want %d", ErrSnapshot, v, snapshotVersion)
+	}
+	return nil
+}
+
+func appendHeader(buf []byte, kind byte) []byte {
+	return append(buf, kind, snapshotVersion)
+}
+
+func appendU64(buf []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, v)
+}
+
+func appendF64(buf []byte, v float64) []byte {
+	return appendU64(buf, math.Float64bits(v))
+}
+
+func appendBool(buf []byte, v bool) []byte {
+	if v {
+		return append(buf, 1)
+	}
+	return append(buf, 0)
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *Moments) MarshalBinary() ([]byte, error) {
+	buf := appendHeader(make([]byte, 0, 2+8*5+1), momentsKind)
+	buf = appendU64(buf, m.n)
+	buf = appendF64(buf, m.mean)
+	buf = appendF64(buf, m.m2)
+	buf = appendF64(buf, m.min)
+	buf = appendF64(buf, m.max)
+	buf = appendBool(buf, m.hasNaN)
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, replacing m.
+func (m *Moments) UnmarshalBinary(data []byte) error {
+	r := binReader{buf: data}
+	if err := r.header(momentsKind); err != nil {
+		return err
+	}
+	var out Moments
+	var err error
+	var nan byte
+	if out.n, err = r.u64(); err != nil {
+		return err
+	}
+	if out.mean, err = r.f64(); err != nil {
+		return err
+	}
+	if out.m2, err = r.f64(); err != nil {
+		return err
+	}
+	if out.min, err = r.f64(); err != nil {
+		return err
+	}
+	if out.max, err = r.f64(); err != nil {
+		return err
+	}
+	if nan, err = r.byte(); err != nil {
+		return err
+	}
+	out.hasNaN = nan != 0
+	*m = out
+	return nil
+}
+
+// appendBuckets writes one sign's bucket map in sorted key order.
+func appendBuckets(buf []byte, m map[int]uint64) []byte {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	buf = binary.AppendUvarint(buf, uint64(len(keys)))
+	for _, k := range keys {
+		buf = binary.AppendVarint(buf, int64(k))
+		buf = binary.AppendUvarint(buf, m[k])
+	}
+	return buf
+}
+
+func readBuckets(r *binReader) (map[int]uint64, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[int]uint64, n)
+	for i := uint64(0); i < n; i++ {
+		k, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		c, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		m[int(k)] = c
+	}
+	return m, nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s *QuantileSketch) MarshalBinary() ([]byte, error) {
+	buf := appendHeader(nil, sketchKind)
+	buf = appendF64(buf, s.eps)
+	buf = appendU64(buf, s.zero)
+	buf = appendU64(buf, s.posInf)
+	buf = appendU64(buf, s.negInf)
+	buf = appendU64(buf, s.nan)
+	buf = appendU64(buf, s.n)
+	buf = appendBuckets(buf, s.pos)
+	buf = appendBuckets(buf, s.neg)
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, replacing s.
+// Gamma and its log are rederived from the stored epsilon bits, so bucket
+// boundaries of future Adds are bit-identical to the snapshotted sketch's.
+func (s *QuantileSketch) UnmarshalBinary(data []byte) error {
+	r := binReader{buf: data}
+	if err := r.header(sketchKind); err != nil {
+		return err
+	}
+	eps, err := r.f64()
+	if err != nil {
+		return err
+	}
+	out, err := NewQuantileSketch(eps)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrSnapshot, err)
+	}
+	if out.zero, err = r.u64(); err != nil {
+		return err
+	}
+	if out.posInf, err = r.u64(); err != nil {
+		return err
+	}
+	if out.negInf, err = r.u64(); err != nil {
+		return err
+	}
+	if out.nan, err = r.u64(); err != nil {
+		return err
+	}
+	if out.n, err = r.u64(); err != nil {
+		return err
+	}
+	if out.pos, err = readBuckets(&r); err != nil {
+		return err
+	}
+	if out.neg, err = readBuckets(&r); err != nil {
+		return err
+	}
+	*s = *out
+	return nil
+}
+
+// Clone returns an independent deep copy of the sketch.
+func (s *QuantileSketch) Clone() *QuantileSketch {
+	c := *s
+	c.pos = make(map[int]uint64, len(s.pos))
+	for k, v := range s.pos {
+		c.pos[k] = v
+	}
+	c.neg = make(map[int]uint64, len(s.neg))
+	for k, v := range s.neg {
+		c.neg[k] = v
+	}
+	return &c
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler. The generator state
+// is stored as (seed, draws): restore re-seeds and fast-forwards, which
+// reproduces the exact state because the underlying source advances one
+// step per draw.
+func (r *Reservoir) MarshalBinary() ([]byte, error) {
+	buf := appendHeader(nil, reservoirKind)
+	buf = binary.AppendUvarint(buf, uint64(r.capacity))
+	buf = appendU64(buf, uint64(r.seed))
+	buf = appendU64(buf, r.seen)
+	buf = appendU64(buf, r.src.n)
+	buf = binary.AppendUvarint(buf, uint64(len(r.sample)))
+	for _, x := range r.sample {
+		buf = appendF64(buf, x)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, replacing r.
+func (r *Reservoir) UnmarshalBinary(data []byte) error {
+	br := binReader{buf: data}
+	if err := br.header(reservoirKind); err != nil {
+		return err
+	}
+	capacity, err := br.uvarint()
+	if err != nil {
+		return err
+	}
+	if capacity == 0 || capacity > math.MaxInt32 {
+		return fmt.Errorf("%w: reservoir capacity %d", ErrSnapshot, capacity)
+	}
+	seed, err := br.u64()
+	if err != nil {
+		return err
+	}
+	seen, err := br.u64()
+	if err != nil {
+		return err
+	}
+	draws, err := br.u64()
+	if err != nil {
+		return err
+	}
+	n, err := br.uvarint()
+	if err != nil {
+		return err
+	}
+	if n > capacity || n > seen {
+		return fmt.Errorf("%w: reservoir sample %d exceeds capacity %d or seen %d", ErrSnapshot, n, capacity, seen)
+	}
+	out := NewReservoir(int(capacity), int64(seed))
+	out.seen = seen
+	out.sample = make([]float64, n)
+	for i := range out.sample {
+		if out.sample[i], err = br.f64(); err != nil {
+			return err
+		}
+	}
+	out.src.fastForward(draws)
+	*r = *out
+	return nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler: the three
+// sub-structures, each length-prefixed.
+func (a *Accumulator) MarshalBinary() ([]byte, error) {
+	buf := appendHeader(nil, accumulatorKind)
+	for _, part := range []interface{ MarshalBinary() ([]byte, error) }{&a.moments, a.sketch, a.res} {
+		b, err := part.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(b)))
+		buf = append(buf, b...)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, replacing a.
+func (a *Accumulator) UnmarshalBinary(data []byte) error {
+	r := binReader{buf: data}
+	if err := r.header(accumulatorKind); err != nil {
+		return err
+	}
+	var out Accumulator
+	out.sketch = &QuantileSketch{}
+	out.res = &Reservoir{}
+	for _, part := range []interface{ UnmarshalBinary([]byte) error }{&out.moments, out.sketch, out.res} {
+		n, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		b, err := r.bytes(int(n))
+		if err != nil {
+			return err
+		}
+		if err := part.UnmarshalBinary(b); err != nil {
+			return err
+		}
+	}
+	if len(r.buf) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrSnapshot, len(r.buf))
+	}
+	*a = out
+	return nil
+}
+
+// Clone returns an independent deep copy of the accumulator: identical
+// summaries, quantiles and subsample, and identical future Add/Merge
+// behavior. Reproducing the reservoir's generator state costs O(draws);
+// use Freeze for read-only copies on a hot query path.
+func (a *Accumulator) Clone() *Accumulator {
+	return &Accumulator{
+		moments: a.moments,
+		sketch:  a.sketch.Clone(),
+		res:     a.res.Clone(),
+	}
+}
+
+// Freeze returns an independent read-only deep copy: identical summaries,
+// quantiles and subsample, at O(sample) cost. The reservoir's generator
+// state is NOT reproduced, so Add/Merge on a frozen copy diverges from
+// the original's future — freeze to query, clone to keep accumulating.
+// The analytics service freezes dirty shards under a short lock and fits
+// the frozen copies outside it, so queries never block writers.
+func (a *Accumulator) Freeze() *Accumulator {
+	return &Accumulator{
+		moments: a.moments,
+		sketch:  a.sketch.Clone(),
+		res:     a.res.frozen(),
+	}
+}
