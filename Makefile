@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: check vet staticcheck build test race race-gen race-serve fuzz fuzz-smoke bench bench-engine bench-stream bench-fit bench-gen bench-serve golden
+.PHONY: check vet staticcheck build test race race-gen race-serve race-sweep fuzz fuzz-smoke bench bench-engine bench-stream bench-fit bench-gen bench-serve bench-sweep golden golden-sweep
 
 # The full gate: what CI runs — static checks, build, the race detector
-# over every test, focused race passes over the parallel generator and
-# the daemon, and short fuzz smokes of the CSV reader and the ingest
-# endpoint.
-check: vet staticcheck build race race-gen race-serve fuzz-smoke
+# over every test, focused race passes over the parallel generator, the
+# daemon and the sweep engine, and short fuzz smokes of the CSV reader,
+# the ingest endpoint and the sweep-spec parser.
+check: vet staticcheck build race race-gen race-serve race-sweep fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -40,6 +40,11 @@ race-gen:
 race-serve:
 	$(GO) test -race ./internal/serve/...
 
+# Race pass over the sweep engine's worker pool and the byte-identity
+# matrix (workers x seeds), plus the CLI golden at several worker counts.
+race-sweep:
+	$(GO) test -race -run 'Workers|Golden' ./internal/sweep ./cmd/sweep
+
 fuzz:
 	$(GO) test -fuzz=FuzzReadCSV -fuzztime=30s ./internal/failures
 
@@ -48,6 +53,7 @@ fuzz:
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzReadCSV -fuzztime=10s -run=^$$ ./internal/failures
 	$(GO) test -fuzz=FuzzIngestHandler -fuzztime=10s -run=^$$ ./internal/serve
+	$(GO) test -fuzz=FuzzParseSweepSpec -fuzztime=10s -run=^$$ ./internal/sweep
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
@@ -74,6 +80,15 @@ bench-gen:
 bench-serve:
 	$(GO) run ./cmd/servebench
 
+# Sweep engine at one worker vs every core, with a byte-identity check
+# before timing; refreshes BENCH_sweep.json.
+bench-sweep:
+	$(GO) run ./cmd/sweepbench
+
 # Rewrite the cmd/reproduce golden file after a reviewed output change.
 golden:
 	$(GO) test ./cmd/reproduce -run TestReproduceGolden -update
+
+# Rewrite the cmd/sweep golden file after a reviewed output change.
+golden-sweep:
+	$(GO) test ./cmd/sweep -run TestSweepGolden -update

@@ -9,6 +9,10 @@
 //	simulate -mode model -tbf weibull:0.7:150 -ttr lognormal:0:1.2 \
 //	         -nodes 32 -jobs 8 -nodes-per-job 2 -work 300 -interval 10
 //	simulate -mode replay -data trace.csv -system 20 -jobs 10 -work 500
+//
+// Model mode is a thin shell over sim.RunOne — the same library call the
+// sweep engine (cmd/sweep) evaluates thousands of times — so a single
+// configuration checked here behaves identically inside a sweep.
 package main
 
 import (
@@ -17,14 +21,12 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strconv"
 	"strings"
 	"time"
 
 	"hpcfail/internal/dist"
 	"hpcfail/internal/failures"
 	"hpcfail/internal/report"
-	"hpcfail/internal/resilience"
 	"hpcfail/internal/sim"
 )
 
@@ -50,392 +52,151 @@ func (m *multiFlag) Set(v string) error {
 }
 
 type options struct {
-	mode        string
-	data        string
-	lenient     bool
-	system      int
-	tbfSpec     string
-	ttrSpec     string
-	nodes       int
-	jobs        int
-	nodesPerJob int
-	work        float64
-	interval    float64
-	cost        float64
-	restart     float64
-	scheduler   string
-	seed        int64
-	horizon     float64
-
-	// Resilience policies.
-	retry      string
-	maxRetries int
-	fence      string
-	detect     string
-
-	// Fault injection.
-	bursts     multiFlag
-	inflate    string
-	cascade    string
-	injectSeed int64
+	mode    string
+	data    string
+	lenient bool
+	system  int
+	spec    sim.RunSpec
 }
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
 	var o options
+	var bursts multiFlag
 	fs.StringVar(&o.mode, "mode", "model", "failure source: model or replay")
 	fs.StringVar(&o.data, "data", "", "CSV trace for replay mode")
 	fs.BoolVar(&o.lenient, "lenient", false, "skip malformed trace rows instead of aborting (replay mode)")
 	fs.IntVar(&o.system, "system", 20, "system ID for replay mode")
-	fs.StringVar(&o.tbfSpec, "tbf", "weibull:0.7:150", "TBF model family:params (hours)")
-	fs.StringVar(&o.ttrSpec, "ttr", "lognormal:0:1.2", "TTR model family:params (hours)")
-	fs.IntVar(&o.nodes, "nodes", 32, "cluster size in model mode")
-	fs.IntVar(&o.jobs, "jobs", 8, "jobs to submit")
-	fs.IntVar(&o.nodesPerJob, "nodes-per-job", 2, "nodes per job")
-	fs.Float64Var(&o.work, "work", 300, "work per job (hours)")
-	fs.Float64Var(&o.interval, "interval", 10, "checkpoint interval (hours, 0 = none)")
-	fs.Float64Var(&o.cost, "cost", 0.1, "checkpoint cost (hours)")
-	fs.Float64Var(&o.restart, "restart", 0.25, "restart cost (hours)")
-	fs.StringVar(&o.scheduler, "scheduler", "first-fit", "first-fit or reliability-aware")
-	fs.Int64Var(&o.seed, "seed", 1, "seed for model mode")
-	fs.Float64Var(&o.horizon, "horizon", 1e6, "simulation horizon (hours)")
-	fs.StringVar(&o.retry, "retry", "none", "retry policy: none, immediate, fixed:<delayH> or expo:<baseH>:<maxH>:<jitter>")
-	fs.IntVar(&o.maxRetries, "max-retries", 0, "retry budget per job (0 = unlimited)")
-	fs.StringVar(&o.fence, "fence", "none", "fencing policy: none or window:<K>:<windowH>:<probationH>")
-	fs.StringVar(&o.detect, "detect", "none", "detection model: none, fixed:<hours> or uniform:<loH>:<hiH>")
-	fs.Var(&o.bursts, "burst", "inject a burst atH:firstNode:span:prob:repairH[:spreadH] (repeatable)")
-	fs.StringVar(&o.inflate, "repair-inflate", "", "inflate repairs fromH:untilH:factor")
-	fs.StringVar(&o.cascade, "cascade", "", "cascade failures prob:lagH:repairH")
-	fs.Int64Var(&o.injectSeed, "inject-seed", 7, "seed for the fault injector")
+	fs.StringVar(&o.spec.TBF, "tbf", "weibull:0.7:150", "TBF model family:params (hours)")
+	fs.StringVar(&o.spec.TTR, "ttr", "lognormal:0:1.2", "TTR model family:params (hours)")
+	fs.IntVar(&o.spec.Nodes, "nodes", 32, "cluster size in model mode")
+	fs.IntVar(&o.spec.Jobs, "jobs", 8, "jobs to submit")
+	fs.IntVar(&o.spec.NodesPerJob, "nodes-per-job", 2, "nodes per job")
+	fs.Float64Var(&o.spec.WorkHours, "work", 300, "work per job (hours)")
+	fs.Float64Var(&o.spec.CheckpointInterval, "interval", 10, "checkpoint interval (hours, 0 = none)")
+	fs.Float64Var(&o.spec.CheckpointCost, "cost", 0.1, "checkpoint cost (hours)")
+	fs.Float64Var(&o.spec.RestartCost, "restart", 0.25, "restart cost (hours)")
+	fs.StringVar(&o.spec.Scheduler, "scheduler", "first-fit", "first-fit or reliability-aware")
+	fs.Int64Var(&o.spec.Seed, "seed", 1, "seed for model mode")
+	fs.Float64Var(&o.spec.HorizonHours, "horizon", 1e6, "simulation horizon (hours)")
+	fs.StringVar(&o.spec.Retry, "retry", "none", "retry policy: none, immediate, fixed:<delayH> or expo:<baseH>:<maxH>:<jitter>[:<factor>]")
+	fs.IntVar(&o.spec.MaxRetries, "max-retries", 0, "retry budget per job (0 = unlimited)")
+	fs.StringVar(&o.spec.Fence, "fence", "none", "fencing policy: none or window:<K>:<windowH>:<probationH>")
+	fs.StringVar(&o.spec.Detect, "detect", "none", "detection model: none, fixed:<hours> or uniform:<loH>:<hiH>")
+	fs.Var(&bursts, "burst", "inject a burst atH:firstNode:span:prob:repairH[:spreadH] (repeatable)")
+	fs.StringVar(&o.spec.Inflate, "repair-inflate", "", "inflate repairs fromH:untilH:factor")
+	fs.StringVar(&o.spec.Cascade, "cascade", "", "cascade failures prob:lagH:repairH")
+	fs.Int64Var(&o.spec.InjectSeed, "inject-seed", 7, "seed for the fault injector")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	o.spec.Bursts = bursts
 
-	// Validate everything up front so a bad combination fails before the
-	// simulation starts, not hours into it.
-	if o.horizon <= 0 {
-		return fmt.Errorf("-horizon must be positive, got %g", o.horizon)
-	}
-	if o.jobs < 0 {
-		return fmt.Errorf("-jobs must be non-negative, got %d", o.jobs)
-	}
-	if o.nodesPerJob <= 0 {
-		return fmt.Errorf("-nodes-per-job must be positive, got %d", o.nodesPerJob)
-	}
-	var sched sim.Scheduler
-	switch o.scheduler {
-	case "first-fit":
-		sched = sim.FirstFitScheduler{}
-	case "reliability-aware":
-		sched = sim.ReliabilityScheduler{}
-	default:
-		return fmt.Errorf("unknown scheduler %q", o.scheduler)
-	}
-	res, err := parseResilience(&o)
-	if err != nil {
-		return err
-	}
-	scenario, err := parseScenario(&o)
-	if err != nil {
-		return err
-	}
-	if o.mode == "replay" && (res != nil || !scenario.Empty()) {
-		return fmt.Errorf("resilience and injection flags need -mode model")
-	}
-	if o.lenient && o.mode != "replay" {
-		return fmt.Errorf("-lenient only applies to -mode replay")
-	}
-
-	var cluster *sim.Cluster
 	switch o.mode {
 	case "model":
-		tbf, err := parseDist(o.tbfSpec)
-		if err != nil {
-			return fmt.Errorf("-tbf: %w", err)
+		if o.lenient {
+			return fmt.Errorf("-lenient only applies to -mode replay")
 		}
-		ttr, err := parseDist(o.ttrSpec)
-		if err != nil {
-			return fmt.Errorf("-ttr: %w", err)
+		// Validate everything up front so a bad combination fails before
+		// the simulation starts, not hours into it.
+		if err := o.spec.Validate(); err != nil {
+			return err
 		}
-		if o.nodes <= 0 {
-			return fmt.Errorf("-nodes must be positive")
-		}
-		specs := make([]sim.NodeSpec, o.nodes)
-		for i := range specs {
-			specs[i] = sim.NodeSpec{TBF: tbf, TTR: ttr}
-		}
-		cluster, err = sim.NewCluster(sim.ClusterConfig{
-			Nodes: specs, Scheduler: sched, Seed: o.seed, Resilience: res,
-		})
+		res, err := sim.RunOne(o.spec)
 		if err != nil {
 			return err
 		}
+		fmt.Fprint(w, reportTable(res))
+		return nil
 	case "replay":
-		if o.data == "" {
-			return fmt.Errorf("replay mode needs -data")
-		}
-		f, err := os.Open(o.data)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		dataset, rowErrs, err := failures.ReadCSVWith(f, failures.ReadCSVOptions{SkipMalformed: o.lenient})
-		if err != nil {
-			return fmt.Errorf("read %s: %w", o.data, err)
-		}
-		if len(rowErrs) > 0 {
-			fmt.Fprintf(os.Stderr, "simulate: skipped %d malformed rows in %s\n", len(rowErrs), o.data)
-		}
-		cluster, err = sim.ReplayCluster(dataset.BySystem(o.system), sched)
-		if err != nil {
-			return err
-		}
+		return runReplay(&o, w)
 	default:
 		return fmt.Errorf("unknown mode %q", o.mode)
 	}
-	if !scenario.Empty() {
-		if _, err := cluster.Inject(scenario, o.injectSeed); err != nil {
-			return err
-		}
-	}
+}
 
-	for i := 0; i < o.jobs; i++ {
-		if err := cluster.Submit(sim.JobConfig{
-			ID:                  i,
-			WorkHours:           o.work,
-			CheckpointInterval:  o.interval,
-			CheckpointCostHours: o.cost,
-			RestartCostHours:    o.restart,
-		}, o.nodesPerJob); err != nil {
-			return err
-		}
+// runReplay drives the job stream over a recorded failure trace. Replay
+// nodes have no random source, so the resilience and injection machinery
+// (which perturbs or reacts to the failure process) does not apply.
+func runReplay(o *options, w io.Writer) error {
+	if o.spec.Retry != "none" || o.spec.Fence != "none" || o.spec.Detect != "none" ||
+		len(o.spec.Bursts) > 0 || o.spec.Inflate != "" || o.spec.Cascade != "" {
+		return fmt.Errorf("resilience and injection flags need -mode model")
 	}
-	if err := cluster.Run(time.Duration(o.horizon * float64(time.Hour))); err != nil {
+	if o.data == "" {
+		return fmt.Errorf("replay mode needs -data")
+	}
+	if o.spec.HorizonHours <= 0 {
+		return fmt.Errorf("-horizon must be positive, got %g", o.spec.HorizonHours)
+	}
+	sched, err := sim.ParseSchedulerSpec(o.spec.Scheduler)
+	if err != nil {
 		return err
 	}
+	f, err := os.Open(o.data)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	dataset, rowErrs, err := failures.ReadCSVWith(f, failures.ReadCSVOptions{SkipMalformed: o.lenient})
+	if err != nil {
+		return fmt.Errorf("read %s: %w", o.data, err)
+	}
+	if len(rowErrs) > 0 {
+		fmt.Fprintf(os.Stderr, "simulate: skipped %d malformed rows in %s\n", len(rowErrs), o.data)
+	}
+	cluster, err := sim.ReplayCluster(dataset.BySystem(o.system), sched)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < o.spec.Jobs; i++ {
+		if err := cluster.Submit(sim.JobConfig{
+			ID:                  i,
+			WorkHours:           o.spec.WorkHours,
+			CheckpointInterval:  o.spec.CheckpointInterval,
+			CheckpointCostHours: o.spec.CheckpointCost,
+			RestartCostHours:    o.spec.RestartCost,
+		}, o.spec.NodesPerJob); err != nil {
+			return err
+		}
+	}
+	if err := cluster.Run(time.Duration(o.spec.HorizonHours * float64(time.Hour))); err != nil {
+		return err
+	}
+	fmt.Fprint(w, reportTable(sim.RunResult{
+		Metrics:        cluster.Collect(),
+		SchedulerName:  sched.Name(),
+		SimulatedHours: cluster.Engine().Now().Hours(),
+	}))
+	return nil
+}
 
-	m := cluster.Collect()
+// reportTable renders one run's metrics; policy rows appear only when a
+// policy was active, injection rows only when a scenario was armed.
+func reportTable(res sim.RunResult) string {
+	m := res.Metrics
 	t := report.NewTable("Metric", "Value")
-	t.AddRow("scheduler", sched.Name())
+	t.AddRow("scheduler", res.SchedulerName)
 	t.AddRow("jobs completed", fmt.Sprintf("%d", m.JobsCompleted))
 	t.AddRow("jobs unfinished", fmt.Sprintf("%d", m.JobsUnfinished))
 	t.AddRow("interruptions", fmt.Sprintf("%d", m.TotalInterruptions))
 	t.AddRow("lost work (h)", fmt.Sprintf("%.1f", m.TotalLostWorkHours))
 	t.AddRow("mean job efficiency", fmt.Sprintf("%.4f", m.MeanEfficiency))
 	t.AddRow("mean node availability", fmt.Sprintf("%.4f", m.MeanAvailability))
-	if res != nil {
+	if res.HasResilience {
 		t.AddRow("jobs abandoned", fmt.Sprintf("%d", m.JobsAbandoned))
 		t.AddRow("total retries", fmt.Sprintf("%d", m.TotalRetries))
 		t.AddRow("fenced node hours", fmt.Sprintf("%.1f", m.FencedNodeHours))
 		t.AddRow("lost to detection (h)", fmt.Sprintf("%.1f", m.LostToDetectionHours))
 	}
-	if !scenario.Empty() {
+	if res.Injected {
 		t.AddRow("injected failures", fmt.Sprintf("%d", m.InjectedFailures))
 		t.AddRow("cascade failures", fmt.Sprintf("%d", m.CascadeFailures))
 	}
 	t.AddRow("goodput", fmt.Sprintf("%.4f", m.Goodput))
-	t.AddRow("simulated time (h)", fmt.Sprintf("%.0f", cluster.Engine().Now().Hours()))
-	fmt.Fprint(w, t.String())
-	return nil
+	t.AddRow("simulated time (h)", fmt.Sprintf("%.0f", res.SimulatedHours))
+	return t.String()
 }
 
-// hoursOf converts a flag value in hours to a duration.
-func hoursOf(h float64) time.Duration { return time.Duration(h * float64(time.Hour)) }
-
-// specParams parses the numeric parameters of a name:p1:p2 flag spec and
-// checks their count against want.
-func specParams(spec string, want int) ([]float64, error) {
-	parts := strings.Split(spec, ":")
-	if len(parts)-1 != want {
-		return nil, fmt.Errorf("%q needs %d parameters, got %d", parts[0], want, len(parts)-1)
-	}
-	params := make([]float64, 0, want)
-	for _, p := range parts[1:] {
-		v, err := strconv.ParseFloat(p, 64)
-		if err != nil {
-			return nil, fmt.Errorf("parse %q: %w", spec, err)
-		}
-		params = append(params, v)
-	}
-	return params, nil
-}
-
-// parseResilience builds the cluster resilience configuration from the
-// -retry, -fence and -detect flags; it returns nil when all three are
-// "none".
-func parseResilience(o *options) (*sim.ResilienceConfig, error) {
-	var res sim.ResilienceConfig
-	switch kind := strings.SplitN(o.retry, ":", 2)[0]; kind {
-	case "none":
-		if o.retry != "none" {
-			return nil, fmt.Errorf("-retry: %q takes no parameters", o.retry)
-		}
-	case "immediate":
-		if o.retry != "immediate" {
-			return nil, fmt.Errorf("-retry: %q takes no parameters", o.retry)
-		}
-		res.Retry = resilience.ImmediateRetry{MaxRetries: o.maxRetries}
-	case "fixed":
-		p, err := specParams(o.retry, 1)
-		if err != nil {
-			return nil, fmt.Errorf("-retry: %w", err)
-		}
-		res.Retry = resilience.FixedBackoff{Delay: hoursOf(p[0]), MaxRetries: o.maxRetries}
-	case "expo":
-		p, err := specParams(o.retry, 3)
-		if err != nil {
-			return nil, fmt.Errorf("-retry: %w", err)
-		}
-		eb := resilience.ExponentialBackoff{
-			Base: hoursOf(p[0]), Max: hoursOf(p[1]), Jitter: p[2], MaxRetries: o.maxRetries,
-		}
-		if err := eb.Validate(); err != nil {
-			return nil, fmt.Errorf("-retry: %w", err)
-		}
-		res.Retry = eb
-	default:
-		return nil, fmt.Errorf("-retry: unknown policy %q", kind)
-	}
-
-	switch kind := strings.SplitN(o.fence, ":", 2)[0]; kind {
-	case "none":
-		if o.fence != "none" {
-			return nil, fmt.Errorf("-fence: %q takes no parameters", o.fence)
-		}
-	case "window":
-		p, err := specParams(o.fence, 3)
-		if err != nil {
-			return nil, fmt.Errorf("-fence: %w", err)
-		}
-		wf, err := resilience.NewWindowFencing(int(p[0]), hoursOf(p[1]), hoursOf(p[2]))
-		if err != nil {
-			return nil, fmt.Errorf("-fence: %w", err)
-		}
-		res.Fencing = wf
-	default:
-		return nil, fmt.Errorf("-fence: unknown policy %q", kind)
-	}
-
-	switch kind := strings.SplitN(o.detect, ":", 2)[0]; kind {
-	case "none":
-		if o.detect != "none" {
-			return nil, fmt.Errorf("-detect: %q takes no parameters", o.detect)
-		}
-	case "fixed":
-		p, err := specParams(o.detect, 1)
-		if err != nil {
-			return nil, fmt.Errorf("-detect: %w", err)
-		}
-		if p[0] < 0 {
-			return nil, fmt.Errorf("-detect: negative lag %g", p[0])
-		}
-		res.Detection = resilience.FixedDetection{Delay: hoursOf(p[0])}
-	case "uniform":
-		p, err := specParams(o.detect, 2)
-		if err != nil {
-			return nil, fmt.Errorf("-detect: %w", err)
-		}
-		ud := resilience.UniformDetection{Min: hoursOf(p[0]), Max: hoursOf(p[1])}
-		if err := ud.Validate(); err != nil {
-			return nil, fmt.Errorf("-detect: %w", err)
-		}
-		res.Detection = ud
-	default:
-		return nil, fmt.Errorf("-detect: unknown model %q", kind)
-	}
-
-	if res.Retry == nil && res.Fencing == nil && res.Detection == nil {
-		return nil, nil
-	}
-	return &res, nil
-}
-
-// parseScenario builds the fault-injection scenario from the -burst,
-// -repair-inflate and -cascade flags. Structural validation (node ranges,
-// probabilities) happens in Cluster.Inject, which knows the cluster size.
-func parseScenario(o *options) (resilience.Scenario, error) {
-	var sc resilience.Scenario
-	for _, spec := range o.bursts {
-		fields := strings.Split(spec, ":")
-		if len(fields) != 5 && len(fields) != 6 {
-			return sc, fmt.Errorf("-burst: %q needs atH:firstNode:span:prob:repairH[:spreadH]", spec)
-		}
-		p := make([]float64, len(fields))
-		for i, f := range fields {
-			v, err := strconv.ParseFloat(f, 64)
-			if err != nil {
-				return sc, fmt.Errorf("-burst: parse %q: %w", spec, err)
-			}
-			p[i] = v
-		}
-		b := resilience.Burst{
-			At: hoursOf(p[0]), FirstNode: int(p[1]), Span: int(p[2]),
-			FailProb: p[3], RepairHours: p[4],
-		}
-		if len(p) == 6 {
-			b.Spread = hoursOf(p[5])
-		}
-		sc.Bursts = append(sc.Bursts, b)
-	}
-	if o.inflate != "" {
-		p, err := specParams("inflate:"+o.inflate, 3)
-		if err != nil {
-			return sc, fmt.Errorf("-repair-inflate: %w", err)
-		}
-		sc.Inflations = append(sc.Inflations, resilience.RepairInflation{
-			From: hoursOf(p[0]), Until: hoursOf(p[1]), Factor: p[2],
-		})
-	}
-	if o.cascade != "" {
-		p, err := specParams("cascade:"+o.cascade, 3)
-		if err != nil {
-			return sc, fmt.Errorf("-cascade: %w", err)
-		}
-		sc.Cascade = &resilience.Cascade{Prob: p[0], Lag: hoursOf(p[1]), RepairHours: p[2]}
-	}
-	return sc, nil
-}
-
-// parseDist parses family:param[:param] specs, e.g. weibull:0.7:150,
-// exponential:0.01, lognormal:0:1.2, gamma:2:50.
-func parseDist(spec string) (dist.Continuous, error) {
-	parts := strings.Split(spec, ":")
-	params := make([]float64, 0, len(parts)-1)
-	for _, p := range parts[1:] {
-		v, err := strconv.ParseFloat(p, 64)
-		if err != nil {
-			return nil, fmt.Errorf("parse %q: %w", spec, err)
-		}
-		params = append(params, v)
-	}
-	need := func(n int) error {
-		if len(params) != n {
-			return fmt.Errorf("%s needs %d parameters, got %d", parts[0], n, len(params))
-		}
-		return nil
-	}
-	switch parts[0] {
-	case "exponential":
-		if err := need(1); err != nil {
-			return nil, err
-		}
-		return dist.NewExponential(params[0])
-	case "weibull":
-		if err := need(2); err != nil {
-			return nil, err
-		}
-		return dist.NewWeibull(params[0], params[1])
-	case "gamma":
-		if err := need(2); err != nil {
-			return nil, err
-		}
-		return dist.NewGamma(params[0], params[1])
-	case "lognormal":
-		if err := need(2); err != nil {
-			return nil, err
-		}
-		return dist.NewLogNormal(params[0], params[1])
-	default:
-		return nil, fmt.Errorf("unknown family %q", parts[0])
-	}
-}
+// parseDist is kept as a local alias of the shared spec parser.
+func parseDist(spec string) (dist.Continuous, error) { return sim.ParseDistSpec(spec) }

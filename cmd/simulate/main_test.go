@@ -10,6 +10,7 @@ import (
 
 	"hpcfail/internal/failures"
 	"hpcfail/internal/lanl"
+	"hpcfail/internal/sim"
 )
 
 // collapse reduces runs of whitespace to single spaces so assertions are
@@ -198,6 +199,62 @@ func TestResilienceFlagsDeterministic(t *testing.T) {
 	}
 	if a.String() != b.String() {
 		t.Fatalf("same flags, different output:\n%s\n---\n%s", a.String(), b.String())
+	}
+}
+
+// The CLI's model mode must be a pure shell over sim.RunOne: parsing the
+// flags and calling the library with the equivalent RunSpec have to agree
+// byte for byte, or a configuration checked via cmd/simulate would behave
+// differently inside a sweep that evaluates it through the library.
+func TestFlagsAgreeWithRunOne(t *testing.T) {
+	args := []string{
+		"-mode", "model", "-tbf", "weibull:0.7:150", "-ttr", "lognormal:0:1.2",
+		"-nodes", "12", "-jobs", "5", "-nodes-per-job", "2", "-work", "120",
+		"-interval", "6", "-cost", "0.2", "-restart", "0.3",
+		"-retry", "expo:0.5:8:0.5:2", "-max-retries", "6",
+		"-fence", "window:2:48:24", "-detect", "fixed:0.1",
+		"-burst", "50:0:4:1:24", "-repair-inflate", "40:200:3",
+		"-cascade", "0.4:0.1:12",
+		"-seed", "3", "-inject-seed", "9", "-horizon", "20000",
+	}
+	spec := sim.RunSpec{
+		TBF: "weibull:0.7:150", TTR: "lognormal:0:1.2",
+		Nodes: 12, Jobs: 5, NodesPerJob: 2, WorkHours: 120,
+		CheckpointInterval: 6, CheckpointCost: 0.2, RestartCost: 0.3,
+		Scheduler: "first-fit", Seed: 3, HorizonHours: 20000,
+		Retry: "expo:0.5:8:0.5:2", MaxRetries: 6,
+		Fence: "window:2:48:24", Detect: "fixed:0.1",
+		Bursts: []string{"50:0:4:1:24"}, Inflate: "40:200:3", Cascade: "0.4:0.1:12",
+		InjectSeed: 9,
+	}
+	var viaFlags bytes.Buffer
+	if err := run(args, &viaFlags); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.RunOne(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaLibrary := reportTable(res); viaFlags.String() != viaLibrary {
+		t.Fatalf("flag path and library path disagree:\n%s\n---\n%s", viaFlags.String(), viaLibrary)
+	}
+}
+
+// Validation must reject a bad configuration before any simulation work,
+// through both entry points.
+func TestRunSpecValidationAgreesWithFlags(t *testing.T) {
+	bad := sim.RunSpec{
+		TBF: "weibull:0.7:150", TTR: "lognormal:0:1.2",
+		Nodes: 4, Jobs: 2, NodesPerJob: 1, WorkHours: 50,
+		Scheduler: "first-fit", HorizonHours: 1000,
+		Retry: "expo:1:8:2", // jitter outside [0, 1]
+	}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("RunSpec.Validate accepted jitter > 1")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-retry", "expo:1:8:2"}, &out); err == nil {
+		t.Fatal("flag path accepted jitter > 1")
 	}
 }
 

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+const goldenFile = "testdata/sweep_seed1.golden"
+
+// goldenGrid is the fixed grid behind the golden file: two scenarios,
+// three intervals bracketing the overhead/rollback trade-off, and the
+// no-op x active retry/fencing cross — 24 points, small enough to sweep
+// in well under a second per worker count.
+const goldenGrid = "scenario=calm,bursts interval=2,8,32 " +
+	"retry=none,expo:0.5:24:0.5 fence=none,window:2:72:24"
+
+// goldenArgs is the fixed invocation behind the golden file. -tsv -
+// appends the full machine-readable result (every aggregate, every
+// optimizer trajectory entry) to stdout, so the golden pins both layers.
+func goldenArgs(workers int) []string {
+	return []string{
+		"-grid", goldenGrid, "-profiles", "E-smp,G-numa",
+		"-seeds", "2", "-seed", "1", "-bootstrap", "50",
+		"-workers", fmt.Sprint(workers), "-tsv", "-",
+	}
+}
+
+// The full sweep output on a fixed seed is a contract: any change to the
+// simulator, the seed derivation, the aggregation, the optimizers or the
+// report layer that shifts a single byte must be reviewed (and blessed
+// with -update).
+func TestSweepGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep run")
+	}
+	var out bytes.Buffer
+	if err := run(goldenArgs(1), &out); err != nil {
+		t.Fatal(err)
+	}
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenFile), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenFile, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", goldenFile, out.Len())
+		return
+	}
+	want, err := os.ReadFile(goldenFile)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Fatalf("output differs from %s (%d vs %d bytes); run with -update to bless\nfirst divergence near: %s",
+			goldenFile, out.Len(), len(want), firstDiff(out.Bytes(), want))
+	}
+}
+
+// The determinism contract, end to end through the CLI: the sweep must be
+// byte-identical to the golden at ANY worker count, not merely at the
+// count that generated it.
+func TestSweepGoldenAnyWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep runs")
+	}
+	if *update {
+		t.Skip("golden being rewritten")
+	}
+	want, err := os.ReadFile(goldenFile)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	for _, workers := range []int{4, 8, runtime.GOMAXPROCS(0)} {
+		var out bytes.Buffer
+		if err := run(goldenArgs(workers), &out); err != nil {
+			t.Fatalf("workers %d: %v", workers, err)
+		}
+		if !bytes.Equal(out.Bytes(), want) {
+			t.Fatalf("workers %d diverges from golden\nfirst divergence near: %s",
+				workers, firstDiff(out.Bytes(), want))
+		}
+	}
+}
+
+// firstDiff returns a context snippet around the first differing byte.
+func firstDiff(a, b []byte) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	lo := i - 60
+	if lo < 0 {
+		lo = 0
+	}
+	hi := i + 60
+	snip := func(x []byte) string {
+		h := hi
+		if h > len(x) {
+			h = len(x)
+		}
+		if lo >= h {
+			return "<end>"
+		}
+		return string(x[lo:h])
+	}
+	return fmt.Sprintf("byte %d\n got: %q\nwant: %q", i, snip(a), snip(b))
+}

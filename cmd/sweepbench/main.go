@@ -1,0 +1,159 @@
+// Command sweepbench benchmarks the sweep engine: the same grid evaluated
+// at one worker and at every-core workers, reporting configurations per
+// second and the parallel scaling factor. Every timed run doubles as a
+// determinism check — the multi-worker result's TSV is compared
+// byte-for-byte against the single-worker result before any number is
+// reported. Results, with machine metadata, go to BENCH_sweep.json.
+//
+// Usage:
+//
+//	sweepbench [-out BENCH_sweep.json] [-seed 1] [-workers 0] [-reps 3]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"hpcfail/internal/sweep"
+)
+
+type pathResult struct {
+	Workers        int     `json:"workers"`
+	WallMs         float64 `json:"wall_ms"`
+	ConfigsPerSec  float64 `json:"configs_per_sec"`
+	SimsPerSec     float64 `json:"sims_per_sec"`
+	Configurations int     `json:"configurations"`
+	Simulations    int     `json:"simulations"`
+}
+
+type benchReport struct {
+	Benchmark       string     `json:"benchmark"`
+	GOOS            string     `json:"goos"`
+	GOARCH          string     `json:"goarch"`
+	GoVersion       string     `json:"go_version"`
+	NumCPU          int        `json:"num_cpu"`
+	Seed            int64      `json:"seed"`
+	Seeds           int        `json:"seeds"`
+	Grid            string     `json:"grid"`
+	GridPoints      int        `json:"grid_points"`
+	Reps            int        `json:"reps"`
+	Workers1        pathResult `json:"workers_1"`
+	WorkersN        pathResult `json:"workers_n"`
+	Scaling         float64    `json:"scaling_vs_workers"`
+	IdentityChecked bool       `json:"identity_checked"`
+	Note            string     `json:"note"`
+}
+
+// benchGrid is sized so a rep takes on the order of a second: enough
+// simulations that per-task scheduling overhead is amortized, few enough
+// that several reps at two worker counts stay quick.
+const benchGrid = "scenario=calm,bursts,slow-repair interval=2,8,32 " +
+	"retry=none,expo:0.5:24:0.5 fence=none,window:2:72:24"
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sweepbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sweepbench", flag.ContinueOnError)
+	out := fs.String("out", "BENCH_sweep.json", "output file")
+	seed := fs.Int64("seed", 1, "master seed")
+	workers := fs.Int("workers", 0, "worker count for the parallel pass (0 = GOMAXPROCS)")
+	reps := fs.Int("reps", 3, "timed repetitions per worker count (best rep reported)")
+	gridSpec := fs.String("grid", benchGrid, "axis grid to sweep")
+	seeds := fs.Int("seeds", 3, "seed replicates per configuration")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *workers == 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	if *workers < 1 || *reps < 1 || *seeds < 1 {
+		return fmt.Errorf("-workers, -reps and -seeds must be at least 1")
+	}
+	grid, err := sweep.ParseSweepSpec(*gridSpec)
+	if err != nil {
+		return err
+	}
+
+	opts := sweep.Options{
+		Grid: grid, Seeds: *seeds, Seed: *seed,
+		// Refinement off: the benchmark measures the fan-out path, and the
+		// optimizer stages are inherently sequential.
+		Refine: false,
+	}
+	time1, res1, err := bench(opts, 1, *reps)
+	if err != nil {
+		return err
+	}
+	timeN, resN, err := bench(opts, *workers, *reps)
+	if err != nil {
+		return err
+	}
+	if res1.TSV() != resN.TSV() {
+		return fmt.Errorf("determinism violation: workers 1 and %d disagree", *workers)
+	}
+
+	report := benchReport{
+		Benchmark: "sweep",
+		GOOS:      runtime.GOOS, GOARCH: runtime.GOARCH,
+		GoVersion: runtime.Version(), NumCPU: runtime.NumCPU(),
+		Seed: *seed, Seeds: *seeds,
+		Grid: grid.String(), GridPoints: grid.Size(), Reps: *reps,
+		Workers1:        path(1, time1, res1),
+		WorkersN:        path(*workers, timeN, resN),
+		IdentityChecked: true,
+		Note: "best of -reps runs per worker count; identity_checked means the " +
+			"multi-worker TSV matched the single-worker TSV byte-for-byte",
+	}
+	report.Scaling = report.WorkersN.ConfigsPerSec / report.Workers1.ConfigsPerSec
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("sweepbench: %d configs, workers 1: %.1f configs/s, workers %d: %.1f configs/s (%.2fx) -> %s\n",
+		report.Workers1.Configurations, report.Workers1.ConfigsPerSec,
+		*workers, report.WorkersN.ConfigsPerSec, report.Scaling, *out)
+	return nil
+}
+
+// bench runs the sweep reps times at the given worker count and returns
+// the best wall time with the (identical every rep) result.
+func bench(opts sweep.Options, workers, reps int) (time.Duration, *sweep.Result, error) {
+	opts.Workers = workers
+	best := time.Duration(0)
+	var res *sweep.Result
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		r, err := sweep.Run(opts)
+		if err != nil {
+			return 0, nil, err
+		}
+		if wall := time.Since(start); res == nil || wall < best {
+			best, res = wall, r
+		}
+	}
+	return best, res, nil
+}
+
+func path(workers int, wall time.Duration, res *sweep.Result) pathResult {
+	sec := wall.Seconds()
+	return pathResult{
+		Workers: workers, WallMs: 1000 * sec,
+		ConfigsPerSec:  float64(res.Configurations) / sec,
+		SimsPerSec:     float64(res.Simulations) / sec,
+		Configurations: res.Configurations,
+		Simulations:    res.Simulations,
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"hpcfail/internal/sim"
 	"hpcfail/internal/stats"
 	"hpcfail/internal/streamstats"
+	"hpcfail/internal/sweep"
 	"hpcfail/internal/trend"
 )
 
@@ -592,6 +593,35 @@ var (
 	// fitted failure distribution.
 	SimulateEfficiency = checkpoint.SimulateEfficiency
 	OptimizeInterval   = checkpoint.OptimizeInterval
+)
+
+// ---- Policy-search sweeps (internal/sweep) ----
+
+// One-configuration simulation via textual spec tokens (the cmd/simulate
+// flag syntax) and the sweep engine built on it.
+type (
+	// RunSpec is one complete (policy, scenario, seed) simulator
+	// configuration; RunOne executes it, RunSpec.Validate checks it.
+	RunSpec        = sim.RunSpec
+	SimRunResult   = sim.RunResult
+	SweepGrid      = sweep.Grid
+	SweepOptions   = sweep.Options
+	SweepResult    = sweep.Result
+	SweepProfile   = sweep.SystemProfile
+	SweepPoint     = sweep.Point
+	RefineResult   = sweep.RefineResult
+	SweepAggregate = sweep.Aggregate
+)
+
+var (
+	RunOne = sim.RunOne
+	// ParseSweepSpec parses a "scenario=... interval=... retry=..." grid;
+	// RunSweep fans it across a worker pool with byte-identical results
+	// at any worker count.
+	ParseSweepSpec       = sweep.ParseSweepSpec
+	RunSweep             = sweep.Run
+	DefaultSweepProfiles = sweep.DefaultProfiles
+	DefaultSweepBase     = sweep.DefaultBase
 )
 
 // NewRandSource returns a deterministic random source for distribution

@@ -1,0 +1,180 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+// jitter is deterministic high-frequency noise: the same x always gets the
+// same perturbation, as when an optimizer's objective is a seeded
+// simulation. Amplitude amp, period ~1e-3 in x.
+func jitter(x, amp float64) float64 { return amp * math.Sin(4973*x) }
+
+// The noise regime the sweep engine runs optimizers in: a smooth bowl
+// plus seeded jitter far smaller than the bowl's curvature signal. The
+// search must land near the true minimum despite every evaluation lying.
+func TestGoldenSectionNoisyQuadratic(t *testing.T) {
+	f := func(x float64) float64 { return (x-3)*(x-3) + jitter(x, 1e-3) }
+	x, err := GoldenSection(f, 0.5, 10, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Noise of amplitude a can displace the argmin of x^2+noise by about
+	// sqrt(a); allow a generous multiple.
+	if math.Abs(x-3) > 0.1 {
+		t.Fatalf("minimizer %g, want near 3", x)
+	}
+}
+
+// A plateau objective (flat bottom over [1.5, 2.5]) must terminate inside
+// the flat region rather than oscillate or error: ties (f1 == f2) take
+// the else branch deterministically.
+func TestGoldenSectionPlateau(t *testing.T) {
+	f := func(x float64) float64 { return math.Max(math.Abs(x-2)-0.5, 0) }
+	x, err := GoldenSection(f, 0, 6, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x < 1.5-1e-3 || x > 2.5+1e-3 {
+		t.Fatalf("minimizer %g outside plateau [1.5, 2.5]", x)
+	}
+}
+
+// A monotone objective has its minimum on the boundary; the bracket must
+// collapse onto that endpoint, not stall mid-interval.
+func TestGoldenSectionBoundaryMinima(t *testing.T) {
+	cases := []struct {
+		f    func(float64) float64
+		want float64
+	}{
+		{func(x float64) float64 { return x + jitter(x, 1e-6) }, 1},  // left edge
+		{func(x float64) float64 { return -x + jitter(x, 1e-6) }, 5}, // right edge
+	}
+	for _, c := range cases {
+		x, err := GoldenSection(c.f, 1, 5, 1e-4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(x-c.want) > 1e-3 {
+			t.Fatalf("minimizer %g, want boundary %g", x, c.want)
+		}
+	}
+}
+
+// Two identical searches must produce bit-identical evaluation
+// trajectories and results — the property the sweep's golden harness
+// leans on.
+func TestGoldenSectionDeterministic(t *testing.T) {
+	runOnce := func() ([]float64, float64) {
+		var traj []float64
+		f := func(x float64) float64 {
+			traj = append(traj, x)
+			return math.Cos(x) + jitter(x, 1e-4)
+		}
+		x, err := GoldenSection(f, 0, 6, 1e-5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return traj, x
+	}
+	trajA, xA := runOnce()
+	trajB, xB := runOnce()
+	if xA != xB || len(trajA) != len(trajB) {
+		t.Fatalf("non-deterministic: %v (%d evals) vs %v (%d evals)", xA, len(trajA), xB, len(trajB))
+	}
+	for i := range trajA {
+		if trajA[i] != trajB[i] {
+			t.Fatalf("trajectories diverge at eval %d: %v vs %v", i, trajA[i], trajB[i])
+		}
+	}
+}
+
+func TestNelderMeadNoisyBowl(t *testing.T) {
+	target := []float64{1, -2, 0.5}
+	f := func(x []float64) float64 {
+		var s float64
+		for i, v := range x {
+			s += (v - target[i]) * (v - target[i])
+			s += jitter(v, 1e-4)
+		}
+		return s
+	}
+	x, fx, err := NelderMead(f, []float64{0, 0, 0}, 1, 1e-10, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(x[i]-target[i]) > 0.05 {
+			t.Fatalf("x = %v (f = %g), want near %v", x, fx, target)
+		}
+	}
+}
+
+// A plateau floor: once the simplex reaches the flat region every vertex
+// ties and the relative-spread stopping rule must fire instead of
+// churning to maxIter.
+func TestNelderMeadPlateau(t *testing.T) {
+	f := func(x []float64) float64 {
+		return math.Max(math.Abs(x[0])+math.Abs(x[1])-1, 0)
+	}
+	x, fx, err := NelderMead(f, []float64{4, 4}, 1, 1e-9, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fx > 1e-6 {
+		t.Fatalf("stopped at %v with f = %g, want plateau value 0", x, fx)
+	}
+}
+
+// Clamp-plus-penalty boundaries, as the sweep's policy refinement uses:
+// the unconstrained minimum lies outside the feasible box, so the search
+// must settle on the boundary the penalty creates.
+func TestNelderMeadPenaltyBoundary(t *testing.T) {
+	f := func(x []float64) float64 {
+		v := -x[0] // unbounded descent rightward...
+		if x[0] > 2 {
+			v += 10 * (x[0] - 2) // ...until the penalty wall at 2
+		}
+		return v + jitter(x[0], 1e-6)
+	}
+	x, _, err := NelderMead(f, []float64{0}, 0.5, 1e-12, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-3 {
+		t.Fatalf("x = %v, want boundary 2", x)
+	}
+}
+
+func TestNelderMeadDeterministic(t *testing.T) {
+	runOnce := func() ([][]float64, []float64) {
+		var traj [][]float64
+		f := func(x []float64) float64 {
+			traj = append(traj, append([]float64(nil), x...))
+			s := math.Sin(x[0]) + x[1]*x[1]
+			return s + jitter(x[0]+x[1], 1e-5)
+		}
+		x, _, err := NelderMead(f, []float64{2, 2}, 0.8, 1e-8, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return traj, x
+	}
+	trajA, xA := runOnce()
+	trajB, xB := runOnce()
+	if len(trajA) != len(trajB) {
+		t.Fatalf("eval counts differ: %d vs %d", len(trajA), len(trajB))
+	}
+	for i := range trajA {
+		for j := range trajA[i] {
+			if trajA[i][j] != trajB[i][j] {
+				t.Fatalf("trajectories diverge at eval %d: %v vs %v", i, trajA[i], trajB[i])
+			}
+		}
+	}
+	for j := range xA {
+		if xA[j] != xB[j] {
+			t.Fatalf("results differ: %v vs %v", xA, xB)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package sweep
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseSweepSpec drives arbitrary text through the grid parser. Two
+// properties: no input panics, and any input the parser accepts must
+// re-render (String) and re-parse into the identical grid — the canonical
+// form is a fixed point. A violation of the second property would mean a
+// sweep blessed under one spelling of a grid could silently run a
+// different grid when its canonical form is replayed.
+func FuzzParseSweepSpec(f *testing.F) {
+	seeds := []string{
+		"",
+		"scenario=calm",
+		"scenario=calm,bursts,cascade,slow-repair",
+		"interval=2,8,32",
+		"interval=2..32/4L",
+		"interval=0.5,2..4/3,48",
+		"retry=none,immediate,fixed:1,expo:0.5:24:0.5,expo:0.5:24:0.5:3",
+		"fence=none,window:2:72:24",
+		"detect=none,fixed:0.1,uniform:0.02:1",
+		"scenario=calm interval=2..10/5 retry=none fence=none detect=none",
+		"interval=1e3",
+		"interval=2..8/3 interval=9", // duplicate axis
+		"retry=expo:1:8:2",           // invalid jitter
+		"flavor=a",                   // unknown axis
+		"interval=..,/",
+		"interval=2..8/4LL",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		g, err := ParseSweepSpec(spec)
+		if err != nil {
+			return
+		}
+		if g.Size() < 1 {
+			t.Fatalf("accepted grid with size %d: %q", g.Size(), spec)
+		}
+		canonical := g.String()
+		g2, err := ParseSweepSpec(canonical)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canonical, spec, err)
+		}
+		if !reflect.DeepEqual(g, g2) {
+			t.Fatalf("canonical round trip changed the grid:\nspec %q\n%+v\n%+v", spec, g, g2)
+		}
+		if g2.String() != canonical {
+			t.Fatalf("canonical form not a fixed point: %q -> %q", canonical, g2.String())
+		}
+	})
+}

@@ -1,0 +1,117 @@
+// Package sweep searches the simulator's resilience-policy space: it fans
+// (retry × fencing × detection × checkpoint interval × injected scenario ×
+// seed replicate) combinations across a bounded worker pool running
+// internal/sim, aggregates goodput/availability/lost-work per
+// configuration with seeded bootstrap confidence intervals, and refines
+// around the grid winner with golden-section (checkpoint interval) and
+// Nelder–Mead (backoff base × factor × K-strikes) searches.
+//
+// The package carries a hard determinism contract: for fixed inputs the
+// sweep result — every aggregate, every confidence bound, every optimizer
+// trajectory point — is byte-identical at any worker count. Parallelism
+// only reorders execution, never results: each (profile, point, replicate)
+// task derives its seeds from its coordinates, results land in
+// preallocated slots indexed by task, and every reduction runs in task
+// order after the pool drains.
+package sweep
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// SystemProfile is one system family to sweep: the paper shows failure
+// rates, repair-time mixes and hazard shapes differ enough across hardware
+// types that no single resilience configuration is optimal fleet-wide, so
+// the sweep optimizes per profile. TBF/TTR are sim spec tokens; the
+// Weibull shapes follow the paper (0.7 decreasing hazard; 0.45 for the
+// bursty early NUMA era) and the repair-time spreads follow Table 2's
+// lognormal with per-type median shifts, scaled to a stress regime where
+// policy choice matters within a few thousand simulated hours.
+type SystemProfile struct {
+	// Name labels the profile in reports, e.g. "E-smp".
+	Name string
+	// HW is the paper's hardware-type letter.
+	HW string
+	// Nodes is the cluster size simulated for this family.
+	Nodes int
+	// TBF and TTR are sim.ParseDistSpec tokens (hours).
+	TBF, TTR string
+}
+
+// DefaultProfiles returns the swept system families: SMP clusters with
+// the ramp-era type D, the CPU-flaw type E and the memory-heavy type F,
+// plus the early NUMA type G with its burstier interarrivals and long
+// repairs.
+func DefaultProfiles() []SystemProfile {
+	return []SystemProfile{
+		{Name: "D-ramp", HW: "D", Nodes: 24, TBF: "weibull:0.7:126", TTR: "lognormal:-0.5:1.1"},
+		{Name: "E-smp", HW: "E", Nodes: 32, TBF: "weibull:0.7:174", TTR: "lognormal:-0.7:1.2"},
+		{Name: "F-smp", HW: "F", Nodes: 24, TBF: "weibull:0.7:158", TTR: "lognormal:0:1.2"},
+		{Name: "G-numa", HW: "G", Nodes: 16, TBF: "weibull:0.45:131", TTR: "lognormal:1.1:1.2"},
+	}
+}
+
+// ProfilesByName resolves a subset of DefaultProfiles by name.
+func ProfilesByName(names []string) ([]SystemProfile, error) {
+	all := DefaultProfiles()
+	byName := make(map[string]SystemProfile, len(all))
+	for _, p := range all {
+		byName[p.Name] = p
+	}
+	out := make([]SystemProfile, 0, len(names))
+	for _, n := range names {
+		p, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("sweep: unknown profile %q", n)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// ScenarioNames lists the named injection scenarios a grid's scenario
+// axis may reference.
+func ScenarioNames() []string {
+	return []string{"calm", "bursts", "cascade", "slow-repair"}
+}
+
+// scenarioSpec expands a named scenario into sim spec tokens for a
+// cluster of the given size and horizon:
+//
+//   - calm: no injection — only the fitted failure distributions.
+//   - bursts: a correlated burst strikes one quarter of the machine every
+//     200 hours (the system-20 spatial skew of Figure 6), each in-range
+//     node failing with probability 0.8 and a 12-hour repair.
+//   - cascade: every observed failure spreads to the victim's
+//     co-scheduled peers with probability 0.35 after a 3-minute lag.
+//   - slow-repair: every repair takes 3x for the whole horizon — the
+//     heavy upper repair tail of Section 5.2 as a standing condition.
+func scenarioSpec(name string, nodes int, horizonHours float64) (bursts []string, inflate, cascade string, err error) {
+	switch name {
+	case "calm":
+		return nil, "", "", nil
+	case "bursts":
+		span := nodes / 4
+		if span < 2 {
+			span = 2
+		}
+		for at := 100.0; at < horizonHours; at += 200 {
+			bursts = append(bursts, fmt.Sprintf("%s:0:%d:0.8:12:2", formatNum(at), span))
+		}
+		return bursts, "", "", nil
+	case "cascade":
+		return nil, "", "0.35:0.05:12", nil
+	case "slow-repair":
+		return nil, "0:" + formatNum(horizonHours) + ":3", "", nil
+	default:
+		return nil, "", "", fmt.Errorf("sweep: unknown scenario %q", name)
+	}
+}
+
+// formatNum renders a float as its shortest round-tripping decimal, the
+// canonical numeric token format throughout the package.
+func formatNum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// parseNum parses a canonical numeric token.
+func parseNum(tok string) (float64, error) { return strconv.ParseFloat(tok, 64) }

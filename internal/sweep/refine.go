@@ -1,0 +1,231 @@
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"hpcfail/internal/mathx"
+)
+
+// Evaluation is one optimizer objective call: the raw parameter vector the
+// optimizer proposed and the mean goodput it obtained. Trajectories are
+// part of the determinism contract — they must replay identically at any
+// worker count.
+type Evaluation struct {
+	Params  []float64
+	Goodput float64
+}
+
+// RefineResult is one optimizer's refinement around a grid winner.
+type RefineResult struct {
+	// Method names the optimizer: "golden-section" or "nelder-mead".
+	Method string
+	// Best is the refined configuration (Index -1: off-grid).
+	Best Point
+	// Goodput aggregates the refined configuration over the same
+	// replicate seeds the grid used.
+	Goodput Aggregate
+	// Delta is the paired per-replicate goodput difference refined minus
+	// grid winner — common random numbers make this the low-variance
+	// comparison; its CI excluding zero means the refinement is a real
+	// win, not replicate noise.
+	Delta Aggregate
+	// Trajectory records every objective evaluation in call order.
+	Trajectory []Evaluation
+}
+
+// objective evaluates candidate points for an optimizer, memoizing by
+// point tokens (optimizers revisit corners) and recording a trajectory.
+type objective struct {
+	r       *runner
+	profile SystemProfile
+	memo    map[string]float64
+	traj    []Evaluation
+	err     error
+}
+
+// meanGoodput runs one candidate over all replicate seeds and returns the
+// mean goodput. Simulator errors are latched: once one occurs, every
+// subsequent call returns -Inf and the optimizer winds down quickly.
+func (o *objective) meanGoodput(pt Point) float64 {
+	if o.err != nil {
+		return math.Inf(-1)
+	}
+	key := pt.Interval + "\x00" + pt.Retry + "\x00" + pt.Fence + "\x00" + pt.Detect
+	if v, ok := o.memo[key]; ok {
+		return v
+	}
+	ms, err := o.r.evalReplicates(o.profile, pt)
+	if err != nil {
+		o.err = err
+		return math.Inf(-1)
+	}
+	var sum float64
+	for _, m := range ms {
+		sum += m.Goodput
+	}
+	v := sum / float64(len(ms))
+	o.memo[key] = v
+	return v
+}
+
+// record appends one trajectory entry.
+func (o *objective) record(params []float64, goodput float64) {
+	o.traj = append(o.traj, Evaluation{Params: append([]float64(nil), params...), Goodput: goodput})
+}
+
+// finish evaluates the refined best point, computes its aggregate and the
+// paired delta against the grid winner, and assembles the result.
+func (o *objective) finish(method string, best, winner Point) (*RefineResult, error) {
+	if o.err != nil {
+		return nil, o.err
+	}
+	bestMs, err := o.r.evalReplicates(o.profile, best)
+	if err != nil {
+		return nil, err
+	}
+	winnerMs, err := o.r.evalReplicates(o.profile, winner)
+	if err != nil {
+		return nil, err
+	}
+	n := len(bestMs)
+	goodput := make([]float64, n)
+	delta := make([]float64, n)
+	for i := range bestMs {
+		goodput[i] = bestMs[i].Goodput
+		delta[i] = bestMs[i].Goodput - winnerMs[i].Goodput
+	}
+	return &RefineResult{
+		Method:     method,
+		Best:       best,
+		Goodput:    o.r.aggregate(goodput, o.profile.Name, method, "goodput"),
+		Delta:      o.r.aggregate(delta, o.profile.Name, method, "delta"),
+		Trajectory: o.traj,
+	}, nil
+}
+
+// refineInterval runs a golden-section search on the checkpoint interval
+// around the grid winner, holding every other axis at the winner's tokens.
+// The bracket spans a factor of four either side of the winner (floored at
+// 15 minutes) — wide enough to catch an off-grid optimum, narrow enough
+// that the unimodality golden section needs holds in practice, since
+// goodput against checkpoint interval is a single trade-off between
+// checkpoint overhead (small intervals) and rollback loss (large ones).
+func (r *runner) refineInterval(profile SystemProfile, winner Point) (*RefineResult, error) {
+	w, err := parseNum(winner.Interval)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: winner interval %q: %w", winner.Interval, err)
+	}
+	if w < 1 {
+		w = 1
+	}
+	lo, hi := w/4, w*4
+	if lo < 0.25 {
+		lo = 0.25
+	}
+	o := &objective{r: r, profile: profile, memo: map[string]float64{}}
+	at := func(x float64) Point {
+		pt := winner
+		pt.Index = -1
+		pt.Interval = formatNum(x)
+		return pt
+	}
+	f := func(x float64) float64 {
+		g := o.meanGoodput(at(x))
+		o.record([]float64{x}, g)
+		return -g
+	}
+	xStar, err := mathx.GoldenSection(f, lo, hi, 0.05)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: golden section: %w", err)
+	}
+	return o.finish("golden-section", at(xStar), winner)
+}
+
+// policyParams is the Nelder–Mead parameterization of the retry/fencing
+// space: log2 of the exponential-backoff base delay, the backoff factor
+// and the fencing K-strikes threshold. Bounds are enforced by clamping
+// plus a distance penalty so the simplex is steered back rather than
+// walled off.
+type policyParams struct{ log2Base, factor, strikes float64 }
+
+func clampPolicy(x []float64) (policyParams, float64) {
+	p := policyParams{log2Base: x[0], factor: x[1], strikes: x[2]}
+	var penalty float64
+	clamp := func(v *float64, lo, hi float64) {
+		if *v < lo {
+			penalty += lo - *v
+			*v = lo
+		} else if *v > hi {
+			penalty += *v - hi
+			*v = hi
+		}
+	}
+	clamp(&p.log2Base, -6, math.Log2(24))
+	clamp(&p.factor, 1.05, 8)
+	clamp(&p.strikes, 1, 6)
+	p.strikes = math.Round(p.strikes)
+	return p, penalty
+}
+
+// tokens renders the clamped parameters as sim spec tokens. The backoff
+// cap and jitter, and the fencing window geometry, are held fixed: the
+// search explores how fast to back off and how trigger-happy to fence,
+// not every knob at once.
+func (p policyParams) tokens() (retry, fence string) {
+	return fmt.Sprintf("expo:%s:24:0.5:%s", formatNum(math.Exp2(p.log2Base)), formatNum(p.factor)),
+		fmt.Sprintf("window:%d:72:24", int(p.strikes))
+}
+
+// refinePolicy runs Nelder–Mead over (backoff base, backoff factor,
+// K-strikes) around the grid winner, holding the winner's interval,
+// scenario and detection model fixed.
+func (r *runner) refinePolicy(profile SystemProfile, winner Point) (*RefineResult, error) {
+	x0 := policyStart(winner)
+	o := &objective{r: r, profile: profile, memo: map[string]float64{}}
+	at := func(p policyParams) Point {
+		pt := winner
+		pt.Index = -1
+		pt.Retry, pt.Fence = p.tokens()
+		return pt
+	}
+	f := func(x []float64) float64 {
+		p, penalty := clampPolicy(x)
+		g := o.meanGoodput(at(p))
+		o.record(x, g)
+		return -g + 0.05*penalty
+	}
+	xStar, _, err := mathx.NelderMead(f, x0, 0.75, 1e-3, 40)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: nelder-mead: %w", err)
+	}
+	p, _ := clampPolicy(xStar)
+	return o.finish("nelder-mead", at(p), winner)
+}
+
+// policyStart derives the Nelder–Mead start from the winner's tokens when
+// it already uses exponential backoff or window fencing, and from neutral
+// midpoints otherwise.
+func policyStart(winner Point) []float64 {
+	log2Base, factor, strikes := -1.0, 2.0, 2.0 // base 0.5h, doubling, 2 strikes
+	if rest, ok := strings.CutPrefix(winner.Retry, "expo:"); ok {
+		parts := strings.Split(rest, ":")
+		if len(parts) >= 3 {
+			if base, err := parseNum(parts[0]); err == nil && base > 0 {
+				log2Base = math.Log2(base)
+			}
+		}
+		if len(parts) >= 4 {
+			if fac, err := parseNum(parts[3]); err == nil && fac > 1 {
+				factor = fac
+			}
+		}
+	}
+	if rest, ok := strings.CutPrefix(winner.Fence, "window:"); ok {
+		if k, err := parseNum(strings.SplitN(rest, ":", 2)[0]); err == nil && k >= 1 {
+			strikes = k
+		}
+	}
+	return []float64{log2Base, factor, strikes}
+}

@@ -1,0 +1,113 @@
+package sweep
+
+import (
+	"math"
+	"testing"
+)
+
+// The acceptance claim behind the whole refinement stage: on a grid too
+// coarse to contain the checkpoint-interval optimum, golden-section
+// refinement must deliver strictly better goodput than the best grid
+// point, with a seeded bootstrap CI on the paired per-replicate
+// difference that excludes zero. The interval grid {0.5, 48} straddles
+// the optimum (~sqrt(2 * cost * MTBF) is a few hours for these profiles)
+// by an order of magnitude on each side, so both grid points burn
+// goodput — one on checkpoint overhead, one on rollback losses.
+func TestRefinementBeatsCoarseGrid(t *testing.T) {
+	g, err := ParseSweepSpec("scenario=calm interval=0.5,48")
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles, err := ProfilesByName([]string{"E-smp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Options{
+		Profiles: profiles, Grid: g,
+		Seeds: 3, Seed: 1, Workers: 4, BootstrapReps: 200, Refine: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := res.Profiles[0]
+	rr := pr.RefinedInterval
+	if rr == nil {
+		t.Fatal("no interval refinement ran")
+	}
+	winner := pr.Points[pr.BestIndex]
+	if rr.Goodput.Mean <= winner.Goodput.Mean {
+		t.Fatalf("refined goodput %g does not beat grid winner %g", rr.Goodput.Mean, winner.Goodput.Mean)
+	}
+	// The paired CI is the rigorous form of "demonstrably better": common
+	// random numbers make each replicate a matched pair, and the bootstrap
+	// interval on the mean difference must sit strictly above zero.
+	if rr.Delta.Lo <= 0 {
+		t.Fatalf("paired delta CI [%g, %g] does not exclude zero", rr.Delta.Lo, rr.Delta.Hi)
+	}
+	// And the refined interval should land between the two coarse points.
+	iv, err := parseNum(rr.Best.Interval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv <= 0.5 || iv >= 48 {
+		t.Fatalf("refined interval %g outside the bracketed gap (0.5, 48)", iv)
+	}
+}
+
+// Refinement evaluations are memoized by configuration tokens, so an
+// optimizer revisiting a corner must not re-run simulations.
+func TestObjectiveMemoization(t *testing.T) {
+	r := &runner{opts: Options{
+		Profiles: nil,
+		Seeds:    2, Seed: 1, Workers: 1, BootstrapReps: 10, Level: 0.9,
+	}.normalized()}
+	profile := SystemProfile{Name: "tiny", HW: "E", Nodes: 4, TBF: "weibull:0.7:120", TTR: "lognormal:0:1.2"}
+	r.opts.Base = BaseConfig{
+		Jobs: 4, NodesPerJob: 1, WorkHours: 50,
+		CheckpointCost: 0.25, RestartCost: 0.25,
+		HorizonHours: 500, Scheduler: "first-fit",
+	}
+	o := &objective{r: r, profile: profile, memo: map[string]float64{}}
+	pt := Point{Index: -1, Scenario: "calm", Interval: "8", Retry: "none", Fence: "none", Detect: "none"}
+	v1 := o.meanGoodput(pt)
+	simsAfterFirst := r.sims
+	v2 := o.meanGoodput(pt)
+	if r.sims != simsAfterFirst {
+		t.Fatalf("second evaluation re-ran simulations (%d -> %d)", simsAfterFirst, r.sims)
+	}
+	if v1 != v2 || math.IsInf(v1, 0) {
+		t.Fatalf("memoized value changed: %g vs %g", v1, v2)
+	}
+}
+
+func TestClampPolicy(t *testing.T) {
+	p, penalty := clampPolicy([]float64{-10, 0.5, 9.4})
+	if p.log2Base != -6 || p.factor != 1.05 || p.strikes != 6 {
+		t.Fatalf("clamped to %+v", p)
+	}
+	if penalty <= 0 {
+		t.Fatal("out-of-bounds point incurred no penalty")
+	}
+	p, penalty = clampPolicy([]float64{-1, 2, 2.4})
+	if penalty != 0 {
+		t.Fatalf("in-bounds point penalized %g", penalty)
+	}
+	if p.strikes != 2 {
+		t.Fatalf("strikes %g, want rounded 2", p.strikes)
+	}
+	retry, fence := p.tokens()
+	if retry != "expo:0.5:24:0.5:2" || fence != "window:2:72:24" {
+		t.Fatalf("tokens %q %q", retry, fence)
+	}
+}
+
+func TestPolicyStart(t *testing.T) {
+	x := policyStart(Point{Retry: "expo:2:24:0.5:3", Fence: "window:4:72:24"})
+	if x[0] != 1 || x[1] != 3 || x[2] != 4 {
+		t.Fatalf("start from winner tokens: %v", x)
+	}
+	x = policyStart(Point{Retry: "none", Fence: "none"})
+	if x[0] != -1 || x[1] != 2 || x[2] != 2 {
+		t.Fatalf("neutral start: %v", x)
+	}
+}

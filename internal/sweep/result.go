@@ -1,0 +1,110 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"hpcfail/internal/report"
+)
+
+// TSV renders the complete sweep — every grid point's aggregates and
+// every optimizer trajectory entry — as tab-separated lines with
+// shortest-round-trip float formatting. This is the byte-stable machine
+// form the golden harness pins: it contains everything that could vary if
+// determinism broke, and nothing that legitimately varies (worker count,
+// wall clock).
+func (r *Result) TSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# sweep seed=%d seeds=%d bootstrap=%d level=%s\n",
+		r.Seed, r.Seeds, r.BootstrapReps, formatNum(r.Level))
+	fmt.Fprintf(&b, "# grid %s\n", r.Grid.String())
+	b.WriteString("point\tprofile\tscenario\tinterval\tretry\tfence\tdetect\t" +
+		"goodput\tgoodput_lo\tgoodput_hi\tavail\tavail_lo\tavail_hi\t" +
+		"lost_h\tlost_lo\tlost_hi\tcompleted\tabandoned\tinjected\tbest\n")
+	for _, pr := range r.Profiles {
+		for i, p := range pr.Points {
+			best := ""
+			if i == pr.BestIndex {
+				best = "*"
+			}
+			fmt.Fprintf(&b, "%d\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
+				p.Index, pr.Profile.Name, p.Scenario, p.Interval, p.Retry, p.Fence, p.Detect,
+				formatNum(p.Goodput.Mean), formatNum(p.Goodput.Lo), formatNum(p.Goodput.Hi),
+				formatNum(p.Availability.Mean), formatNum(p.Availability.Lo), formatNum(p.Availability.Hi),
+				formatNum(p.LostWorkHours.Mean), formatNum(p.LostWorkHours.Lo), formatNum(p.LostWorkHours.Hi),
+				formatNum(p.CompletedMean), formatNum(p.AbandonedMean), formatNum(p.InjectedMean), best)
+		}
+	}
+	for _, pr := range r.Profiles {
+		for _, rr := range []*RefineResult{pr.RefinedInterval, pr.RefinedPolicy} {
+			if rr == nil {
+				continue
+			}
+			for i, ev := range rr.Trajectory {
+				params := make([]string, len(ev.Params))
+				for j, v := range ev.Params {
+					params[j] = formatNum(v)
+				}
+				fmt.Fprintf(&b, "traj\t%s\t%s\t%d\t%s\t%s\n",
+					pr.Profile.Name, rr.Method, i, strings.Join(params, ","), formatNum(ev.Goodput))
+			}
+			fmt.Fprintf(&b, "refined\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
+				pr.Profile.Name, rr.Method,
+				rr.Best.Interval, rr.Best.Retry, rr.Best.Fence, rr.Best.Detect,
+				formatNum(rr.Goodput.Mean), formatNum(rr.Goodput.Lo), formatNum(rr.Goodput.Hi),
+				formatNum(rr.Delta.Mean), formatNum(rr.Delta.Lo), formatNum(rr.Delta.Hi))
+		}
+	}
+	return b.String()
+}
+
+// WriteReport renders the human summary: per profile, the top grid points
+// by mean goodput and the optimizer refinements. Like TSV, the output
+// depends only on the sweep inputs, never on worker count.
+func (r *Result) WriteReport(w io.Writer) error {
+	fmt.Fprintf(w, "Sweep: %d profiles x %d grid points x %d seeds (%d simulations, seed %d)\n",
+		len(r.Profiles), r.Grid.Size(), r.Seeds, r.Simulations, r.Seed)
+	fmt.Fprintf(w, "Grid: %s\n", r.Grid.String())
+	for _, pr := range r.Profiles {
+		fmt.Fprintf(w, "\n=== %s (HW %s, %d nodes, TBF %s, TTR %s) ===\n",
+			pr.Profile.Name, pr.Profile.HW, pr.Profile.Nodes, pr.Profile.TBF, pr.Profile.TTR)
+		order := make([]int, len(pr.Points))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return pr.Points[order[a]].Goodput.Mean > pr.Points[order[b]].Goodput.Mean
+		})
+		top := len(order)
+		if top > 5 {
+			top = 5
+		}
+		t := report.NewTable("rank", "configuration", "goodput (95% CI)", "avail", "lost (h)")
+		for rank := 0; rank < top; rank++ {
+			p := pr.Points[order[rank]]
+			mark := ""
+			if order[rank] == pr.BestIndex {
+				mark = " *"
+			}
+			t.AddRow(fmt.Sprintf("%d%s", rank+1, mark), p.Label(),
+				ciCell(p.Goodput), fmt.Sprintf("%.4f", p.Availability.Mean),
+				fmt.Sprintf("%.1f", p.LostWorkHours.Mean))
+		}
+		fmt.Fprint(w, t.String())
+		for _, rr := range []*RefineResult{pr.RefinedInterval, pr.RefinedPolicy} {
+			if rr == nil {
+				continue
+			}
+			fmt.Fprintf(w, "%s refinement (%d evals): %s\n  goodput %s, delta vs grid winner %s\n",
+				rr.Method, len(rr.Trajectory), rr.Best.Label(), ciCell(rr.Goodput), ciCell(rr.Delta))
+		}
+	}
+	return nil
+}
+
+// ciCell formats an aggregate as "mean [lo, hi]" at report precision.
+func ciCell(a Aggregate) string {
+	return fmt.Sprintf("%.4f [%.4f, %.4f]", a.Mean, a.Lo, a.Hi)
+}

@@ -1,0 +1,185 @@
+package sweep
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hpcfail/internal/sim"
+)
+
+func TestParseSweepSpecDefaults(t *testing.T) {
+	g, err := ParseSweepSpec("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 1 {
+		t.Fatalf("empty spec: size %d, want 1", g.Size())
+	}
+	pts := g.Points()
+	want := Point{Index: 0, Scenario: "calm", Interval: "10", Retry: "none", Fence: "none", Detect: "none"}
+	if pts[0] != want {
+		t.Fatalf("default point %+v, want %+v", pts[0], want)
+	}
+}
+
+func TestParseSweepSpecAxes(t *testing.T) {
+	g, err := ParseSweepSpec("scenario=calm,bursts interval=2,8 retry=none,immediate,expo:0.5:24:0.5 fence=window:2:72:24 detect=fixed:0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 2*2*3*1*1 {
+		t.Fatalf("size %d, want 12", g.Size())
+	}
+	// Enumeration order: scenario outermost, detect innermost; indices
+	// must be sequential.
+	pts := g.Points()
+	for i, p := range pts {
+		if p.Index != i {
+			t.Fatalf("point %d has index %d", i, p.Index)
+		}
+	}
+	if pts[0].Scenario != "calm" || pts[len(pts)-1].Scenario != "bursts" {
+		t.Fatalf("scenario not outermost: first %+v last %+v", pts[0], pts[len(pts)-1])
+	}
+	if pts[0].Retry != "none" || pts[1].Retry != "immediate" || pts[2].Retry != "expo:0.5:24:0.5" {
+		t.Fatalf("retry not in declared order: %+v %+v %+v", pts[0], pts[1], pts[2])
+	}
+}
+
+func TestParseSweepSpecRanges(t *testing.T) {
+	g, err := ParseSweepSpec("interval=2..10/5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"2", "4", "6", "8", "10"}; !reflect.DeepEqual(g.Intervals, want) {
+		t.Fatalf("linear range: %v, want %v", g.Intervals, want)
+	}
+	g, err = ParseSweepSpec("interval=2..32/5L")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Intervals) != 5 || g.Intervals[0] != "2" || g.Intervals[4] != "32" {
+		t.Fatalf("log range endpoints: %v", g.Intervals)
+	}
+	// Log spacing: constant ratio between consecutive points.
+	prev := 2.0
+	for _, tok := range g.Intervals[1:] {
+		v, err := parseNum(tok)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ratio := v / prev; math.Abs(ratio-2) > 1e-9 {
+			t.Fatalf("log range ratio %g, want 2 (%v)", ratio, g.Intervals)
+		}
+		prev = v
+	}
+	// Mixed list and range on one axis.
+	g, err = ParseSweepSpec("interval=0.5,2..4/3,48")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"0.5", "2", "3", "4", "48"}; !reflect.DeepEqual(g.Intervals, want) {
+		t.Fatalf("mixed axis: %v, want %v", g.Intervals, want)
+	}
+}
+
+func TestParseSweepSpecErrors(t *testing.T) {
+	cases := []string{
+		"bogus",                 // not name=values
+		"flavor=a",              // unknown axis
+		"interval=2 interval=3", // duplicate axis
+		"interval=",             // empty values
+		"interval=2,,3",         // empty value
+		"interval=abc",          // unparseable number
+		"interval=-1",           // negative interval
+		"interval=2..1/4",       // hi <= lo
+		"interval=2..8/1",       // too few points
+		"interval=2..8/99999",   // too many points
+		"interval=0..8/4L",      // log range with lo = 0
+		"interval=2..8",         // range missing /n
+		"scenario=armageddon",   // unknown scenario
+		"retry=expo:1:8:2",      // jitter outside [0,1]
+		"retry=bogus",           // unknown retry policy
+		"fence=window:0:48:24",  // threshold < 1
+		"detect=uniform:2:1",    // min > max
+	}
+	for _, spec := range cases {
+		if _, err := ParseSweepSpec(spec); err == nil {
+			t.Errorf("spec %q: want error", spec)
+		}
+	}
+}
+
+func TestGridStringRoundTrip(t *testing.T) {
+	spec := "scenario=calm,bursts interval=2..8/4 retry=none,expo:0.5:24:0.5 fence=none detect=none"
+	g, err := ParseSweepSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// String() canonicalizes (ranges expanded, axes ordered); re-parsing
+	// it must reproduce the grid exactly.
+	g2, err := ParseSweepSpec(g.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", g.String(), err)
+	}
+	if !reflect.DeepEqual(g, g2) {
+		t.Fatalf("round trip changed the grid:\n%+v\n%+v", g, g2)
+	}
+	if g2.String() != g.String() {
+		t.Fatalf("canonical form unstable: %q vs %q", g.String(), g2.String())
+	}
+}
+
+func TestGridValidateBoundsProduct(t *testing.T) {
+	g := &Grid{Intervals: make([]string, 0, 2000)}
+	for i := 0; i < 2000; i++ {
+		g.Intervals = append(g.Intervals, "1")
+	}
+	g.Scenarios = []string{"calm", "bursts", "cascade", "slow-repair"}
+	g.Retries = []string{"none", "immediate"}
+	g.Fences = make([]string, 100)
+	for i := range g.Fences {
+		g.Fences[i] = "none"
+	}
+	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "1e6") {
+		t.Fatalf("1.6M-point grid: %v, want size error", err)
+	}
+}
+
+func TestProfilesByName(t *testing.T) {
+	ps, err := ProfilesByName([]string{"G-numa", "E-smp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 2 || ps[0].Name != "G-numa" || ps[1].Name != "E-smp" {
+		t.Fatalf("profiles %+v", ps)
+	}
+	if _, err := ProfilesByName([]string{"H-quantum"}); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+func TestScenarioSpecs(t *testing.T) {
+	for _, name := range ScenarioNames() {
+		bursts, inflate, cascade, err := scenarioSpec(name, 16, 2000)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// Every generated token must pass the sim validation it will be
+		// fed through.
+		spec := sim.RunSpec{
+			TBF: "weibull:0.7:150", TTR: "lognormal:0:1.2",
+			Nodes: 16, Jobs: 1, NodesPerJob: 1, WorkHours: 10,
+			Scheduler: "first-fit", HorizonHours: 2000,
+			Bursts: bursts, Inflate: inflate, Cascade: cascade,
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("%s: generated tokens rejected by sim: %v", name, err)
+		}
+	}
+	if _, _, _, err := scenarioSpec("armageddon", 16, 2000); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
