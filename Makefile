@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: check vet staticcheck build test race race-gen race-serve race-sweep fuzz fuzz-smoke bench bench-engine bench-stream bench-fit bench-gen bench-serve bench-sweep golden golden-sweep
+.PHONY: check vet staticcheck build test race race-gen race-serve race-sweep race-trace fuzz fuzz-smoke bench bench-engine bench-stream bench-fit bench-gen bench-serve bench-sweep bench-trace golden golden-sweep
 
 # The full gate: what CI runs — static checks, build, the race detector
 # over every test, focused race passes over the parallel generator, the
-# daemon and the sweep engine, and short fuzz smokes of the CSV reader,
-# the ingest endpoint and the sweep-spec parser.
-check: vet staticcheck build race race-gen race-serve race-sweep fuzz-smoke
+# daemon, the sweep engine and the binary trace pipeline, and short fuzz
+# smokes of the CSV reader, the ingest endpoint, the sweep-spec parser
+# and the binary trace round trip.
+check: vet staticcheck build race race-gen race-serve race-sweep race-trace fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -45,6 +46,14 @@ race-serve:
 race-sweep:
 	$(GO) test -race -run 'Workers|Golden' ./internal/sweep ./cmd/sweep
 
+# Race pass over the binary trace pipeline: the format round trip, the
+# parallel generator feeding the binary writer at workers 1/4/8 (the
+# byte-identity matrix in TestRunBinaryFormatMatchesCSV), and the
+# format-sniffing readers.
+race-trace:
+	$(GO) test -race ./internal/tracefmt
+	$(GO) test -race -run 'Binary|Workers|Stream' ./cmd/lanlgen ./cmd/failstat
+
 fuzz:
 	$(GO) test -fuzz=FuzzReadCSV -fuzztime=30s ./internal/failures
 
@@ -54,6 +63,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzReadCSV -fuzztime=10s -run=^$$ ./internal/failures
 	$(GO) test -fuzz=FuzzIngestHandler -fuzztime=10s -run=^$$ ./internal/serve
 	$(GO) test -fuzz=FuzzParseSweepSpec -fuzztime=10s -run=^$$ ./internal/sweep
+	$(GO) test -fuzz=FuzzTraceRoundTrip -fuzztime=10s -run=^$$ ./internal/tracefmt
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
@@ -84,6 +94,12 @@ bench-serve:
 # before timing; refreshes BENCH_sweep.json.
 bench-sweep:
 	$(GO) run ./cmd/sweepbench
+
+# Trace I/O paths — fused generator->engine, CSV and binary write and
+# scan-analyze, and the materialized CSV baseline — with a streaming
+# result-identity check before reporting; refreshes BENCH_trace.json.
+bench-trace:
+	$(GO) run ./cmd/tracebench
 
 # Rewrite the cmd/reproduce golden file after a reviewed output change.
 golden:

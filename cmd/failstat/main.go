@@ -1,5 +1,7 @@
 // Command failstat runs a single analysis from the paper against a failure
-// trace in the repository's CSV format.
+// trace in the repository's CSV format or the columnar binary trace
+// format (lanlgen -format bin); the format is detected from the file's
+// leading bytes, not its name.
 //
 // Usage:
 //
@@ -42,6 +44,7 @@ import (
 	"hpcfail/internal/lanl"
 	"hpcfail/internal/report"
 	"hpcfail/internal/stats"
+	"hpcfail/internal/tracefmt"
 	"hpcfail/internal/trend"
 )
 
@@ -82,13 +85,22 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	defer f.Close()
+	binary, err := sniffBinary(f)
+	if err != nil {
+		return fmt.Errorf("read %s: %w", *dataPath, err)
+	}
 	if *stream {
 		if *which != "fleet" {
 			return fmt.Errorf("-stream supports only -analysis fleet, got %q", *which)
 		}
-		return streamFleet(ctx, eng, f, w, *epsilon, *reservoir)
+		return streamFleet(ctx, eng, f, binary, w, *epsilon, *reservoir)
 	}
-	dataset, err := failures.ReadCSV(f)
+	var dataset *failures.Dataset
+	if binary {
+		dataset, err = tracefmt.ReadDataset(f)
+	} else {
+		dataset, err = failures.ReadCSV(f)
+	}
 	if err != nil {
 		return fmt.Errorf("read %s: %w", *dataPath, err)
 	}
@@ -307,16 +319,43 @@ func run(args []string, w io.Writer) error {
 	return nil
 }
 
-// streamFleet is the -stream path: one bounded-memory pass over the CSV
+// sniffBinary peeks at a trace file's first bytes to decide between the
+// binary and CSV readers, then rewinds, so either format works at any
+// file name.
+func sniffBinary(f *os.File) (bool, error) {
+	var prefix [tracefmt.HeaderLen]byte
+	n, err := io.ReadFull(f, prefix[:])
+	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+		return false, err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return false, err
+	}
+	return tracefmt.SniffMagic(prefix[:n]), nil
+}
+
+// streamFleet is the -stream path: one bounded-memory pass over the trace
 // through the streaming engine, record by record, without ever building a
 // Dataset. The report is the same fleet table; summaries carry the
 // documented sketch/reservoir accuracy trade instead of being exact.
-func streamFleet(ctx context.Context, eng *engine.Engine, f io.Reader, w io.Writer, epsilon float64, reservoir int) error {
-	sc, err := failures.NewScanner(f, failures.ReadCSVOptions{SkipMalformed: true})
-	if err != nil {
-		return err
+func streamFleet(ctx context.Context, eng *engine.Engine, f io.Reader, binary bool, w io.Writer, epsilon float64, reservoir int) error {
+	var src engine.RecordSource
+	var sc *failures.Scanner
+	if binary {
+		bs, err := tracefmt.NewScanner(f, tracefmt.ScanOptions{})
+		if err != nil {
+			return err
+		}
+		src = bs
+	} else {
+		var err error
+		sc, err = failures.NewScanner(f, failures.ReadCSVOptions{SkipMalformed: true})
+		if err != nil {
+			return err
+		}
+		src = sc
 	}
-	fleet, info, err := eng.AnalyzeStream(ctx, sc, engine.StreamOptions{
+	fleet, info, err := eng.AnalyzeStream(ctx, src, engine.StreamOptions{
 		Spec: engine.ShardSpec{
 			IncludeFleet: true,
 			CIFamilies:   []dist.Family{dist.FamilyWeibull, dist.FamilyLogNormal},
@@ -334,8 +373,10 @@ func streamFleet(ctx context.Context, eng *engine.Engine, f io.Reader, w io.Writ
 		eng.Workers(), eng.BootstrapReps(), hits, misses)
 	fmt.Fprintf(w, "stream: %d records in one pass, sketch eps %g, reservoir %d/shard",
 		info.RecordsScanned, info.SketchEpsilon, info.ReservoirSize)
-	if n := len(sc.RowErrors()); n > 0 {
-		fmt.Fprintf(w, ", %d malformed rows skipped", n)
+	if sc != nil {
+		if n := len(sc.RowErrors()); n > 0 {
+			fmt.Fprintf(w, ", %d malformed rows skipped", n)
+		}
 	}
 	if info.OutOfOrder > 0 {
 		fmt.Fprintf(w, ", %d out-of-order records (interarrivals unreliable)", info.OutOfOrder)

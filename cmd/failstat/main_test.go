@@ -10,6 +10,7 @@ import (
 
 	"hpcfail/internal/failures"
 	"hpcfail/internal/lanl"
+	"hpcfail/internal/tracefmt"
 )
 
 var (
@@ -77,6 +78,72 @@ func TestAnalyses(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// binaryTrace re-encodes the shared test trace as a columnar binary file
+// whose name still says .csv: failstat must identify the format by its
+// magic bytes, never by the extension.
+func binaryTrace(t *testing.T) string {
+	t.Helper()
+	src, err := os.Open(testTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	d, err := failures.ReadCSV(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w, err := tracefmt.NewWriter(f, tracefmt.WriterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < d.Len(); i++ {
+		if err := w.Write(d.At(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBinaryInputMatchesCSV(t *testing.T) {
+	csvPath := testTrace(t)
+	binPath := binaryTrace(t)
+	for _, analysis := range []string{"rootcause", "rates", "repair"} {
+		var fromCSV, fromBin bytes.Buffer
+		if err := run([]string{"-data", csvPath, "-analysis", analysis}, &fromCSV); err != nil {
+			t.Fatal(err)
+		}
+		if err := run([]string{"-data", binPath, "-analysis", analysis}, &fromBin); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(fromCSV.Bytes(), fromBin.Bytes()) {
+			t.Fatalf("%s output differs between CSV and binary input:\n--- csv ---\n%s\n--- bin ---\n%s",
+				analysis, fromCSV.String(), fromBin.String())
+		}
+	}
+
+	// The streaming fleet path reads both formats through the same
+	// RecordSource seam; outputs must match byte for byte.
+	var csvStream, binStream bytes.Buffer
+	if err := run([]string{"-data", csvPath, "-analysis", "fleet", "-stream", "-bootstrap", "8"}, &csvStream); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-data", binPath, "-analysis", "fleet", "-stream", "-bootstrap", "8"}, &binStream); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(csvStream.Bytes(), binStream.Bytes()) {
+		t.Fatal("streaming fleet output differs between CSV and binary input")
 	}
 }
 

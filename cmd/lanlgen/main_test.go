@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"hpcfail/internal/failures"
+	"hpcfail/internal/tracefmt"
 )
 
 func TestRunWritesCSVToStdout(t *testing.T) {
@@ -89,6 +90,65 @@ func TestRunBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-workers", "-2"}, &out); err == nil {
 		t.Fatal("negative -workers: want error")
+	}
+	if err := run([]string{"-format", "parquet"}, &out); err == nil {
+		t.Fatal("unknown -format: want error")
+	}
+	if err := run([]string{"-format", "bin"}, &out); err == nil {
+		t.Fatal("-format bin without -out: want error")
+	}
+}
+
+func TestRunBinaryFormatMatchesCSV(t *testing.T) {
+	// The binary trace holds exactly the records of the CSV trace for the
+	// same seed, independent of worker count. The file deliberately has a
+	// .csv extension: readers must identify the format by its magic
+	// bytes, never by the name.
+	var csvOut bytes.Buffer
+	if err := run([]string{"-seed", "4", "-systems", "5,6", "-workers", "1"}, &csvOut); err != nil {
+		t.Fatal(err)
+	}
+	want, err := failures.ReadCSV(&csvOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var prev []byte
+	for _, workers := range []string{"1", "4", "8"} {
+		path := filepath.Join(t.TempDir(), "trace.csv")
+		var out bytes.Buffer
+		if err := run([]string{"-seed", "4", "-systems", "5,6", "-format", "bin",
+			"-workers", workers, "-out", path}, &out); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tracefmt.SniffMagic(raw[:tracefmt.HeaderLen]) {
+			t.Fatalf("workers %s: output does not start with the trace magic", workers)
+		}
+		if prev != nil && !bytes.Equal(raw, prev) {
+			t.Fatalf("binary output differs between worker counts (workers %s)", workers)
+		}
+		prev = raw
+		got, err := tracefmt.ReadDataset(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != want.Len() {
+			t.Fatalf("workers %s: binary trace has %d records, CSV %d", workers, got.Len(), want.Len())
+		}
+		for i := 0; i < want.Len(); i++ {
+			g, w := got.At(i), want.At(i)
+			if !g.Start.Equal(w.Start) || !g.End.Equal(w.End) {
+				t.Fatalf("workers %s: record %d times differ", workers, i)
+			}
+			g.Start, g.End = w.Start, w.End
+			if g != w {
+				t.Fatalf("workers %s: record %d: got %+v, want %+v", workers, i, g, w)
+			}
+		}
 	}
 }
 

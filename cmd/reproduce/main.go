@@ -7,15 +7,18 @@
 //
 //	reproduce [-seed N] [-data trace.csv] [-workers N] [-bootstrap B]
 //
-// With -data, an existing CSV trace is analyzed instead of generating one.
+// With -data, an existing trace is analyzed instead of generating one;
+// CSV and the columnar binary format are both accepted and told apart by
+// their leading bytes, never by file extension.
 // All distribution fitting runs through the concurrent analysis engine:
 // -workers bounds its worker pool (0 = GOMAXPROCS) and -bootstrap sets the
 // resample count behind every confidence interval (negative disables CIs).
 // The output is byte-identical at any worker count.
 //
 // With -stream (requires -data), only the fleet sweep is run, in a single
-// bounded-memory pass over the CSV — the mode for traces larger than RAM.
-// The per-figure experiments need the materialized trace and are skipped.
+// bounded-memory pass over the trace — the mode for traces larger than
+// RAM. The per-figure experiments need the materialized trace and are
+// skipped.
 package main
 
 import (
@@ -35,6 +38,7 @@ import (
 	"hpcfail/internal/lanl"
 	"hpcfail/internal/maintenance"
 	"hpcfail/internal/report"
+	"hpcfail/internal/tracefmt"
 	"hpcfail/internal/trend"
 )
 
@@ -66,22 +70,30 @@ func run(args []string, w io.Writer) error {
 	}
 
 	var dataset *failures.Dataset
-	var err error
 	if *dataPath != "" {
 		f, err := os.Open(*dataPath)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		dataset, err = failures.ReadCSV(f)
+		binary, err := sniffBinary(f)
+		if err != nil {
+			return fmt.Errorf("read %s: %w", *dataPath, err)
+		}
+		if binary {
+			dataset, err = tracefmt.ReadDataset(f)
+		} else {
+			dataset, err = failures.ReadCSV(f)
+		}
 		if err != nil {
 			return fmt.Errorf("read %s: %w", *dataPath, err)
 		}
 	} else {
-		dataset, err = lanl.NewGenerator(lanl.Config{Seed: *seed}).Generate()
+		d, err := lanl.NewGenerator(lanl.Config{Seed: *seed}).Generate()
 		if err != nil {
 			return fmt.Errorf("generate: %w", err)
 		}
+		dataset = d
 	}
 
 	catalog := lanl.Catalog()
@@ -358,20 +370,31 @@ func run(args []string, w io.Writer) error {
 	return nil
 }
 
-// streamFleet runs the engine's one-pass fleet sweep over a CSV trace
-// without building a Dataset: exact streaming moments, sketched medians,
-// fits on seeded reservoir subsamples.
+// streamFleet runs the engine's one-pass fleet sweep over a CSV or
+// binary trace without building a Dataset: exact streaming moments,
+// sketched medians, fits on seeded reservoir subsamples.
 func streamFleet(ctx context.Context, eng *engine.Engine, path string, w io.Writer) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	sc, err := failures.NewScanner(f, failures.ReadCSVOptions{SkipMalformed: true})
+	binary, err := sniffBinary(f)
 	if err != nil {
 		return err
 	}
-	fleet, info, err := eng.AnalyzeStream(ctx, sc, engine.StreamOptions{
+	var src engine.RecordSource
+	var sc *failures.Scanner
+	if binary {
+		src, err = tracefmt.NewScanner(f, tracefmt.ScanOptions{})
+	} else {
+		sc, err = failures.NewScanner(f, failures.ReadCSVOptions{SkipMalformed: true})
+		src = sc
+	}
+	if err != nil {
+		return err
+	}
+	fleet, info, err := eng.AnalyzeStream(ctx, src, engine.StreamOptions{
 		Spec: engine.ShardSpec{
 			IncludeFleet: true,
 			CIFamilies:   []dist.Family{dist.FamilyWeibull, dist.FamilyLogNormal},
@@ -385,14 +408,30 @@ func streamFleet(ctx context.Context, eng *engine.Engine, path string, w io.Writ
 	fmt.Fprint(w, report.FleetTable(fleet, eng.Level()))
 	fmt.Fprintf(w, "stream: %d records in one pass, sketch eps %g, reservoir %d/shard",
 		info.RecordsScanned, info.SketchEpsilon, info.ReservoirSize)
-	if n := len(sc.RowErrors()); n > 0 {
-		fmt.Fprintf(w, ", %d malformed rows skipped", n)
+	if sc != nil {
+		if n := len(sc.RowErrors()); n > 0 {
+			fmt.Fprintf(w, ", %d malformed rows skipped", n)
+		}
 	}
 	if info.OutOfOrder > 0 {
 		fmt.Fprintf(w, ", %d out-of-order records (interarrivals unreliable)", info.OutOfOrder)
 	}
 	fmt.Fprintln(w)
 	return nil
+}
+
+// sniffBinary peeks at the leading bytes of f and reports whether they
+// carry the binary-trace magic, rewinding f either way.
+func sniffBinary(f *os.File) (bool, error) {
+	var prefix [tracefmt.HeaderLen]byte
+	n, err := io.ReadFull(f, prefix[:])
+	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+		return false, err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return false, err
+	}
+	return tracefmt.SniffMagic(prefix[:n]), nil
 }
 
 func graphicsFailureShare(d *failures.Dataset) float64 {

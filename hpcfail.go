@@ -37,6 +37,7 @@ import (
 	"hpcfail/internal/stats"
 	"hpcfail/internal/streamstats"
 	"hpcfail/internal/sweep"
+	"hpcfail/internal/tracefmt"
 	"hpcfail/internal/trend"
 )
 
@@ -119,6 +120,48 @@ var (
 	NewCSVWriter = failures.NewCSVWriter
 )
 
+// ---- Columnar binary trace format (internal/tracefmt) ----
+
+// Binary trace codec types.
+type (
+	// TraceWriter encodes records into the columnar binary trace format:
+	// CRC-framed blocks of fixed-width column segments with
+	// dictionary-encoded labels and per-block time indexes. ~2.5x smaller
+	// than CSV and over an order of magnitude faster to scan.
+	TraceWriter        = tracefmt.Writer
+	TraceWriterOptions = tracefmt.WriterOptions
+	// TraceScanner yields records from a binary trace one at a time with
+	// no per-record allocation; it implements RecordSource, so it plugs
+	// straight into Engine.AnalyzeStream.
+	TraceScanner     = tracefmt.Scanner
+	TraceScanOptions = tracefmt.ScanOptions
+	// TraceFile is the random-access view of a binary trace: footer
+	// index, label dictionaries, and time-range scans that skip
+	// non-overlapping blocks without reading them.
+	TraceFile = tracefmt.File
+	// TraceBlockInfo describes one block of a TraceFile's footer index.
+	TraceBlockInfo = tracefmt.BlockInfo
+)
+
+// Binary trace codec entry points.
+var (
+	// NewTraceWriter opens a streaming binary trace writer; NewTraceScanner
+	// opens the sequential reader. OpenTraceFile opens a trace on disk for
+	// indexed time-range scans.
+	NewTraceWriter  = tracefmt.NewWriter
+	NewTraceScanner = tracefmt.NewScanner
+	OpenTraceFile   = tracefmt.OpenFile
+	// ReadTrace decodes an entire binary trace into a Dataset — the
+	// binary counterpart of ReadCSV.
+	ReadTrace = tracefmt.ReadDataset
+	// SniffTraceMagic reports whether a file's first TraceHeaderLen bytes
+	// mark it as a binary trace, for format auto-detection.
+	SniffTraceMagic = tracefmt.SniffMagic
+)
+
+// TraceHeaderLen is how many leading bytes SniffTraceMagic needs.
+const TraceHeaderLen = tracefmt.HeaderLen
+
 // ---- LANL environment and synthetic trace generation (internal/lanl) ----
 
 // Catalog and generator types.
@@ -137,6 +180,8 @@ type (
 	// RecordStream is the pull-style record iterator returned by
 	// Generator.Stream — Scan/Record/Err/Close, like Scanner.
 	RecordStream = lanl.RecordStream
+	// Era is one hardware generation of the extrapolated catalog.
+	Era = lanl.Era
 )
 
 // Catalog access and generation.
@@ -147,6 +192,15 @@ var (
 	SystemByID = lanl.SystemByID
 	// NewGenerator builds a trace generator.
 	NewGenerator = lanl.NewGenerator
+	// ExtrapolatedCatalog returns the projected 10k/50k/100k-node
+	// petascale-to-exascale systems (IDs 101-303); Eras and ScaleClasses
+	// are its axes and ExtrapolatedID maps (era, class) to a system ID.
+	// ValidateCatalog checks any replacement catalog for GeneratorConfig.
+	ExtrapolatedCatalog = lanl.ExtrapolatedCatalog
+	Eras                = lanl.Eras
+	ScaleClasses        = lanl.ScaleClasses
+	ExtrapolatedID      = lanl.ExtrapolatedID
+	ValidateCatalog     = lanl.ValidateCatalog
 )
 
 // Collection period boundaries of the LANL data.

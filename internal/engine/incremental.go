@@ -71,7 +71,7 @@ func (inc *Incremental) Options() StreamOptions { return inc.opts }
 // fold sends one record through the same shard fanout as AnalyzeStream.
 // Callers hold inc.mu.
 func (inc *Incremental) fold(r failures.Record) error {
-	keys, n := shardKeysFor(inc.opts.Spec, r)
+	keys, n := shardKeysFor(inc.opts.Spec, &r)
 	for _, key := range keys[:n] {
 		a, ok := inc.accums[key]
 		if !ok {
@@ -82,7 +82,7 @@ func (inc *Incremental) fold(r failures.Record) error {
 			inc.accums[key] = a
 		}
 		before := a.outOfOrder
-		a.add(r)
+		a.add(&r)
 		inc.outOfOrder += a.outOfOrder - before
 		inc.seq[key]++
 	}

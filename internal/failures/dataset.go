@@ -420,12 +420,16 @@ func Merge(ds ...*Dataset) *Dataset {
 }
 
 // OffsetHours returns each record's start time as hours since origin,
-// keeping only strictly positive offsets — the event-time form consumed by
-// trend tests and power-law fits.
+// keeping only non-negative offsets — the event-time form consumed by
+// trend tests and power-law fits. A record starting exactly at origin is
+// an event at time zero, not a record to drop: production windows start
+// at UTC midnights, so real traces do land failures on the origin
+// itself. Records starting before origin are outside the observation
+// window and are excluded.
 func (d *Dataset) OffsetHours(origin time.Time) []float64 {
 	out := make([]float64, 0, len(d.records))
 	for _, r := range d.records {
-		if h := r.Start.Sub(origin).Hours(); h > 0 {
+		if h := r.Start.Sub(origin).Hours(); h >= 0 {
 			out = append(out, h)
 		}
 	}

@@ -352,7 +352,7 @@ func TestFilterPreservesOrderProperty(t *testing.T) {
 func TestOffsetHours(t *testing.T) {
 	d, err := NewDataset([]Record{
 		rec(1, 0, -60, 5, CauseHardware), // before origin: dropped
-		rec(1, 0, 0, 5, CauseHardware),   // exactly at origin: dropped
+		rec(1, 0, 0, 5, CauseHardware),   // exactly at origin: kept as offset 0
 		rec(1, 0, 120, 5, CauseHardware),
 		rec(1, 0, 600, 5, CauseHardware),
 	})
@@ -360,8 +360,27 @@ func TestOffsetHours(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := d.OffsetHours(t0)
-	if len(got) != 2 || got[0] != 2 || got[1] != 10 {
-		t.Fatalf("offsets = %v", got)
+	if len(got) != 3 || got[0] != 0 || got[1] != 2 || got[2] != 10 {
+		t.Fatalf("offsets = %v, want [0 2 10]", got)
+	}
+}
+
+// TestOffsetHoursOriginBoundary pins the boundary fix in isolation: a
+// record starting exactly at origin is an observed failure at offset
+// zero, not a record to silently drop — dropping it biased every trend
+// test and event count fed from OffsetHours.
+func TestOffsetHoursOriginBoundary(t *testing.T) {
+	d, err := NewDataset([]Record{rec(3, 1, 0, 5, CauseSoftware)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := d.OffsetHours(t0)
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("offsets of a record starting at origin = %v, want [0]", got)
+	}
+	// One nanosecond earlier is before the observation window: dropped.
+	if got := d.OffsetHours(t0.Add(time.Nanosecond)); len(got) != 0 {
+		t.Fatalf("offsets with origin after the record = %v, want none", got)
 	}
 }
 

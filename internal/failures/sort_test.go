@@ -111,6 +111,93 @@ func TestMergeSortedBlocksMatchesStableSortOfConcatenation(t *testing.T) {
 	}
 }
 
+func TestMergeSortedBlocksEdgeCases(t *testing.T) {
+	// No blocks and all-empty blocks: an empty, non-nil-safe result.
+	if got := MergeSortedBlocks(nil); len(got) != 0 {
+		t.Fatalf("merge of no blocks produced %d records", len(got))
+	}
+	if got := MergeSortedBlocks([][]Record{nil, {}, nil}); len(got) != 0 {
+		t.Fatalf("merge of empty blocks produced %d records", len(got))
+	}
+
+	// Single-record blocks interleaved with empties: the heap degenerates
+	// to selection over one head per block.
+	singles := [][]Record{
+		{rec(1, 0, 30, 1, CauseHardware)},
+		{},
+		{rec(1, 1, 10, 1, CauseSoftware)},
+		{rec(1, 2, 20, 1, CauseUnknown)},
+		nil,
+	}
+	got := MergeSortedBlocks(singles)
+	if len(got) != 3 || got[0].Node != 1 || got[1].Node != 2 || got[2].Node != 0 {
+		t.Fatalf("single-record merge order: %v", got)
+	}
+
+	// All-equal keys across blocks: ties must resolve by block order, then
+	// by position within the block — the same stability contract as
+	// SortByStart on the concatenation.
+	eq := make([][]Record, 4)
+	pos := 0
+	var concat []Record
+	for bi := range eq {
+		b := make([]Record, 5)
+		for i := range b {
+			b[i] = rec(2, pos, 42, 1, CauseNetwork) // identical start everywhere
+			pos++
+		}
+		eq[bi] = b
+		concat = append(concat, b...)
+	}
+	assertStableSorted(t, "all-equal", MergeSortedBlocks(eq), concat)
+}
+
+func TestCSVWriterEdgeCases(t *testing.T) {
+	// Zero records: the streamed file is exactly the header line.
+	var empty bytes.Buffer
+	cw, err := NewCSVWriter(&empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if cw.Count() != 0 {
+		t.Fatalf("Count = %d, want 0", cw.Count())
+	}
+	if lines := bytes.Count(empty.Bytes(), []byte("\n")); lines != 1 {
+		t.Fatalf("empty stream wrote %d lines, want header only:\n%q", lines, empty.String())
+	}
+
+	// A single record, flushed twice: Flush is idempotent and the row is
+	// not duplicated.
+	var one bytes.Buffer
+	cw, err = NewCSVWriter(&one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Write(rec(1, 7, 5, 3, CauseHardware)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if lines := bytes.Count(one.Bytes(), []byte("\n")); lines != 2 {
+		t.Fatalf("single-record stream wrote %d lines, want header + 1 row:\n%q", lines, one.String())
+	}
+	// The written row must read back as the same record.
+	d, err := ReadCSV(bytes.NewReader(one.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 1 || d.At(0).Node != 7 || d.At(0).Cause != CauseHardware {
+		t.Fatalf("read-back of single streamed row: %v", d.Records())
+	}
+}
+
 func TestNewDatasetSorted(t *testing.T) {
 	sorted := []Record{rec(1, 0, 1, 1, CauseHardware), rec(1, 1, 5, 1, CauseSoftware)}
 	d, err := NewDatasetSorted(sorted)

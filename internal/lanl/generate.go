@@ -18,8 +18,15 @@ type Config struct {
 	// dataset. Seed 1 is the reference dataset of EXPERIMENTS.md.
 	Seed int64
 	// Systems optionally restricts generation to a subset of system IDs;
-	// empty means all 22 systems.
+	// empty means every system of the catalog.
 	Systems []int
+	// Catalog optionally replaces the Table 1 catalog — e.g. with
+	// ExtrapolatedCatalog() for projected 10k–100k-node machines. Empty
+	// means Catalog(), whose seed-1 output is the frozen oracle of
+	// EXPERIMENTS.md; replacement catalogs get their own randomness
+	// stream layout (one child source per catalog entry, in order), so
+	// they cannot perturb the default catalog's traces.
+	Catalog []System
 	// RateScale scales every system's failure rate; 0 means 1.0. It exists
 	// for workload-size sweeps in benchmarks.
 	RateScale float64
@@ -89,9 +96,13 @@ func (g *Generator) systemTasks() []systemTask {
 	for _, id := range g.cfg.Systems {
 		want[id] = true
 	}
+	catalog := g.cfg.Catalog
+	if len(catalog) == 0 {
+		catalog = Catalog()
+	}
 	root := randx.NewSource(g.cfg.Seed)
 	var tasks []systemTask
-	for _, sys := range Catalog() {
+	for _, sys := range catalog {
 		// Every system consumes one child source whether selected or not,
 		// so a subset run reproduces the full run's records exactly.
 		src := root.Split()
@@ -155,6 +166,11 @@ func (g *Generator) generateBlocks(tasks []systemTask) ([][]failures.Record, err
 // unique — is record-for-record the dataset the sequential reference
 // path produces.
 func (g *Generator) Generate() (*failures.Dataset, error) {
+	if len(g.cfg.Catalog) > 0 {
+		if err := ValidateCatalog(g.cfg.Catalog); err != nil {
+			return nil, err
+		}
+	}
 	tasks := g.systemTasks()
 	blocks, err := g.generateBlocks(tasks)
 	if err != nil {

@@ -35,6 +35,11 @@ var errStreamClosed = errors.New("lanl: record stream closed")
 // goroutine; returning a non-nil error stops generation and propagates
 // the error.
 func (g *Generator) GenerateStream(emit func(failures.Record) error) error {
+	if len(g.cfg.Catalog) > 0 {
+		if err := ValidateCatalog(g.cfg.Catalog); err != nil {
+			return err
+		}
+	}
 	tasks := g.systemTasks()
 	if g.workers(len(tasks)) == 1 {
 		for _, t := range tasks {

@@ -30,6 +30,7 @@ type Client struct {
 	retry resilience.RetryPolicy
 	src   *randx.Source
 	sleep func(context.Context, time.Duration) error
+	now   func() time.Time
 }
 
 // Options configures a Client; the zero value of each field selects the
@@ -67,6 +68,7 @@ func New(base string, opts Options) *Client {
 		retry: retry,
 		src:   randx.NewSource(opts.Seed),
 		sleep: sleepCtx,
+		now:   time.Now,
 	}
 }
 
@@ -161,6 +163,31 @@ func retryAfterHint(err error) time.Duration {
 	return 0
 }
 
+// parseRetryAfter decodes a Retry-After header in both RFC 9110 forms:
+// delay-seconds ("120", where "0" means retry immediately and negative
+// values clamp to zero) and HTTP-date ("Fri, 31 Dec 1999 23:59:59 GMT",
+// converted to a delay relative to now; dates in the past clamp to
+// zero). ok is false when the header is absent or unparseable.
+func parseRetryAfter(value string, now time.Time) (time.Duration, bool) {
+	if value == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(value); err == nil {
+		if secs < 0 {
+			secs = 0
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if at, err := http.ParseTime(value); err == nil {
+		d := at.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
+}
+
 func (c *Client) ingestOnce(ctx context.Context, url, ingestID string, body []byte) (*serve.IngestResult, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
@@ -183,8 +210,8 @@ func (c *Client) ingestOnce(ctx context.Context, url, ingestID string, body []by
 		se := &statusErrWithHint{
 			StatusError: StatusError{Status: resp.StatusCode, Body: string(bytes.TrimSpace(data))},
 		}
-		if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
-			se.retryAfter = time.Duration(ra) * time.Second
+		if ra, ok := parseRetryAfter(resp.Header.Get("Retry-After"), c.now()); ok {
+			se.retryAfter = ra
 		}
 		return nil, se
 	}

@@ -116,6 +116,99 @@ func TestIngestHonorsRetryAfter(t *testing.T) {
 	}
 }
 
+// TestIngestHonorsRetryAfterDate is the regression test for the hint
+// parser ignoring RFC 9110's HTTP-date form: the server names an
+// absolute time and the client must wait until it, not fall back to the
+// policy's 1ms delay.
+func TestIngestHonorsRetryAfterDate(t *testing.T) {
+	var attempts atomic.Int32
+	var slept []time.Duration
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	c := newStub(t, func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) == 1 {
+			w.Header().Set("Retry-After", now.Add(30*time.Second).Format(http.TimeFormat))
+			http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+			return
+		}
+		fmt.Fprint(w, `{"accepted":2,"quarantined":0}`)
+	})
+	c.now = func() time.Time { return now }
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return nil
+	}
+	if _, err := c.Ingest(context.Background(), "alpha", "id-1", []byte(csvBatch)); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	if len(slept) != 1 || slept[0] < 30*time.Second {
+		t.Fatalf("slept %v, want one wait of at least the 30s HTTP-date hint", slept)
+	}
+}
+
+// TestIngestRetryAfterEdgeCases pins the boundary forms: "0" and
+// negative delays mean retry immediately (the policy delay still
+// applies), a past HTTP-date clamps to zero, and garbage is ignored —
+// none of them may inflate or break the retry schedule.
+func TestIngestRetryAfterEdgeCases(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		value string
+	}{
+		{"zero seconds", "0"},
+		{"negative seconds", "-5"},
+		{"past date", "Fri, 31 Dec 1999 23:59:59 GMT"},
+		{"garbage", "soon"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var attempts atomic.Int32
+			var slept []time.Duration
+			c := newStub(t, func(w http.ResponseWriter, r *http.Request) {
+				if attempts.Add(1) == 1 {
+					w.Header().Set("Retry-After", tc.value)
+					http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+					return
+				}
+				fmt.Fprint(w, `{"accepted":2,"quarantined":0}`)
+			})
+			c.sleep = func(ctx context.Context, d time.Duration) error {
+				slept = append(slept, d)
+				return nil
+			}
+			if _, err := c.Ingest(context.Background(), "alpha", "id-1", []byte(csvBatch)); err != nil {
+				t.Fatalf("ingest: %v", err)
+			}
+			// The 1ms policy delay governs; the hint must neither push the
+			// wait up nor drag it negative.
+			if len(slept) != 1 || slept[0] != time.Millisecond {
+				t.Fatalf("slept %v, want exactly the 1ms policy delay", slept)
+			}
+		})
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	for _, tc := range []struct {
+		value string
+		want  time.Duration
+		ok    bool
+	}{
+		{"", 0, false},
+		{"120", 2 * time.Minute, true},
+		{"0", 0, true},
+		{"-30", 0, true},
+		{now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second, true},
+		{now.Add(-time.Hour).Format(http.TimeFormat), 0, true},
+		{"not-a-hint", 0, false},
+		{"1.5", 0, false},
+	} {
+		got, ok := parseRetryAfter(tc.value, now)
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("parseRetryAfter(%q) = (%v, %v), want (%v, %v)", tc.value, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
 func TestIngestStopsOnContextCancel(t *testing.T) {
 	c := newStub(t, func(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)

@@ -19,6 +19,95 @@ func bothNaNOrClose(got, want, tol float64) bool {
 	return math.Abs(got-want) <= tol*math.Max(1, math.Abs(want))
 }
 
+// TestSketchBucketProperty is the regression test for the unbounded
+// bucket keys: any positive finite value — subnormals and near-MaxFloat
+// magnitudes included — must land in a key inside the sketch's clamped
+// range with a finite, positive representative, and values inside the
+// normal range must round-trip within the eps relative-error guarantee.
+// Pre-fix, subnormal inputs minted keys near -37000 whose representative
+// underflowed to 0 (relative error 1) and huge inputs overflowed to +Inf.
+func TestSketchBucketProperty(t *testing.T) {
+	for _, eps := range []float64{0.001, 0.01, 0.1} {
+		s, err := NewQuantileSketch(eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check := func(x float64) {
+			t.Helper()
+			k := s.bucket(x)
+			if k < s.minKey || k > s.maxKey {
+				t.Fatalf("eps %g: bucket(%g) = %d outside clamp [%d, %d]", eps, x, k, s.minKey, s.maxKey)
+			}
+			rep := s.value(k)
+			if math.IsInf(rep, 0) || rep <= 0 {
+				t.Fatalf("eps %g: representative of bucket(%g) is %g, want finite positive", eps, x, rep)
+			}
+			// Inside the clamp's guaranteed range the representative must
+			// stay within eps relative error (1e-9 slack for the edges).
+			if k > s.minKey && k < s.maxKey {
+				if rel := math.Abs(rep-x) / x; rel > eps*(1+1e-9) {
+					t.Fatalf("eps %g: |value(bucket(%g)) - x|/x = %g > eps %g", eps, x, rel, eps)
+				}
+			}
+		}
+		// Deterministic sweep over the full exponent range, subnormals and
+		// overflow-adjacent magnitudes included.
+		for e := -1074; e <= 1023; e++ {
+			x := math.Ldexp(1, e)
+			check(x)
+			check(x * 1.37)
+		}
+		// Exact bucket boundaries and their fp neighbors: the log division
+		// must not push an edge value into the wrong bucket.
+		for _, k := range []int{s.minKey + 1, -1000, -17, -1, 0, 1, 17, 1000, s.maxKey - 1} {
+			edge := math.Pow(s.gamma, float64(k))
+			for _, x := range []float64{
+				edge, math.Nextafter(edge, 0), math.Nextafter(edge, math.Inf(1)),
+			} {
+				if x > 0 && !math.IsInf(x, 0) {
+					check(x)
+				}
+			}
+		}
+		check(math.SmallestNonzeroFloat64)
+		check(math.MaxFloat64)
+	}
+}
+
+// TestSketchTinyValuesBoundMapGrowth pins the memory half of the bucket
+// clamp: a stream sweeping the subnormal range must not mint a map key
+// per magnitude, and the resulting quantiles must stay positive (the
+// collapsed bucket's representative), never 0 or negative.
+func TestSketchTinyValuesBoundMapGrowth(t *testing.T) {
+	s, err := NewQuantileSketch(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for x := math.SmallestNonzeroFloat64; x < 0x1p-1022; x *= 2 {
+		s.Add(x)
+		s.Add(-x)
+		n++
+	}
+	for k := range s.pos {
+		if k < s.minKey || k > s.maxKey {
+			t.Fatalf("subnormal stream minted out-of-range key %d", k)
+		}
+	}
+	if len(s.pos) > 2 || len(s.neg) > 2 {
+		t.Fatalf("subnormal stream grew %d pos / %d neg buckets, want them collapsed at the clamp edge",
+			len(s.pos), len(s.neg))
+	}
+	q, err := s.Quantile(0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(q > 0) || math.IsInf(q, 0) {
+		t.Fatalf("quantile of positive subnormal observations = %g, want finite positive", q)
+	}
+	t.Logf("%d subnormal magnitudes -> %d pos buckets", n, len(s.pos))
+}
+
 // TestAccumulatorAgreesWithSummarize is the streaming layer's accuracy
 // contract as a property: on any sample — NaN, ±Inf and single-observation
 // edges included — the one-pass Accumulator reproduces stats.Summarize's

@@ -24,13 +24,20 @@ type QuantileSketch struct {
 	eps     float64
 	lnGamma float64
 	gamma   float64
-	pos     map[int]uint64
-	neg     map[int]uint64
-	zero    uint64
-	posInf  uint64
-	negInf  uint64
-	nan     uint64
-	n       uint64
+	// minKey and maxKey bound the bucket index range: outside it the
+	// representative value would underflow to 0 or overflow past
+	// MaxFloat64, and unclamped subnormal inputs would mint tens of
+	// thousands of distinct map keys. Magnitudes beyond the range
+	// collapse into the edge buckets instead.
+	minKey int
+	maxKey int
+	pos    map[int]uint64
+	neg    map[int]uint64
+	zero   uint64
+	posInf uint64
+	negInf uint64
+	nan    uint64
+	n      uint64
 }
 
 // DefaultSketchEpsilon is the relative accuracy used when
@@ -47,10 +54,18 @@ func NewQuantileSketch(eps float64) (*QuantileSketch, error) {
 		return nil, fmt.Errorf("streamstats: sketch epsilon %g outside (0, 1)", eps)
 	}
 	gamma := (1 + eps) / (1 - eps)
+	lnGamma := math.Log(gamma)
+	// Smallest key whose representative stays a positive normal float
+	// (gamma^k >= 2^-1022), largest whose representative's 2*gamma^k
+	// numerator stays finite (gamma^k <= MaxFloat64/2).
+	minKey := int(math.Ceil(math.Log(0x1p-1022) / lnGamma))
+	maxKey := int(math.Floor(math.Log(math.MaxFloat64/2) / lnGamma))
 	return &QuantileSketch{
 		eps:     eps,
 		gamma:   gamma,
-		lnGamma: math.Log(gamma),
+		lnGamma: lnGamma,
+		minKey:  minKey,
+		maxKey:  maxKey,
 		pos:     make(map[int]uint64),
 		neg:     make(map[int]uint64),
 	}, nil
@@ -62,9 +77,25 @@ func (s *QuantileSketch) Epsilon() float64 { return s.eps }
 // N returns the number of observations absorbed, NaN included.
 func (s *QuantileSketch) N() int { return int(s.n) }
 
-// bucket returns the geometric bucket index of a positive finite value.
+// bucket returns the geometric bucket index of a positive finite value:
+// the k with x in (gamma^(k-1), gamma^k], clamped to [minKey, maxKey].
 func (s *QuantileSketch) bucket(x float64) int {
-	return int(math.Ceil(math.Log(x) / s.lnGamma))
+	k := int(math.Ceil(math.Log(x) / s.lnGamma))
+	// The log division carries rounding error, so a value sitting on (or
+	// within an ulp of) a bucket edge can land one bucket off; settle
+	// edge cases against the actual bucket boundaries.
+	if math.Pow(s.gamma, float64(k)) < x {
+		k++
+	} else if math.Pow(s.gamma, float64(k-1)) >= x {
+		k--
+	}
+	if k < s.minKey {
+		return s.minKey
+	}
+	if k > s.maxKey {
+		return s.maxKey
+	}
+	return k
 }
 
 // value returns the representative value of a bucket: the midpoint of

@@ -1,0 +1,37 @@
+package tracefmt
+
+import (
+	"io"
+
+	"hpcfail/internal/failures"
+)
+
+// SniffMagic reports whether prefix begins with the binary-trace magic.
+// Callers feed it the first HeaderLen bytes of a file to decide between
+// the binary reader and the CSV reader without trusting extensions.
+func SniffMagic(prefix []byte) bool {
+	return len(prefix) >= len(magic) && string(prefix[:len(magic)]) == magic
+}
+
+// HeaderLen is how many leading bytes SniffMagic needs.
+const HeaderLen = len(magic)
+
+// ReadDataset decodes an entire binary trace into a Dataset — the
+// binary counterpart of failures.ReadCSV, for the in-memory analyses.
+// Like ReadCSV it sorts on load, so a trace written in any record order
+// loads into the identical dataset. Use a Scanner instead when the
+// trace may not fit in memory.
+func ReadDataset(r io.Reader) (*failures.Dataset, error) {
+	s, err := NewScanner(r, ScanOptions{})
+	if err != nil {
+		return nil, err
+	}
+	var records []failures.Record
+	for s.Scan() {
+		records = append(records, s.Record())
+	}
+	if err := s.Err(); err != nil {
+		return nil, err
+	}
+	return failures.NewDataset(records)
+}

@@ -1,0 +1,204 @@
+package tracefmt
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"hpcfail/internal/failures"
+)
+
+// File is a binary trace opened for random access: the footer's block
+// index and complete dictionaries are loaded once, after which scans
+// seek straight to the blocks a time range can touch and skip the rest
+// unread. Any io.ReaderAt works — an *os.File, an mmap'd byte slice
+// wrapped in bytes.NewReader, an in-memory buffer.
+type File struct {
+	ra      io.ReaderAt
+	closer  io.Closer
+	blocks  []BlockInfo
+	records uint64
+	hwDict  []failures.HWType
+	detDict []string
+}
+
+// OpenFile opens a trace file on disk; Close releases it.
+func OpenFile(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	tf, err := NewFile(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	tf.closer = f
+	return tf, nil
+}
+
+// NewFile opens a trace held by any random-access reader of the given
+// size, verifying the header, trailer and footer frame before returning.
+func NewFile(ra io.ReaderAt, size int64) (*File, error) {
+	var hdr [headerSize]byte
+	if size < int64(headerSize+trailerSize) {
+		return nil, fmt.Errorf("%w: %d bytes is too short for a trace file", ErrTruncated, size)
+	}
+	if _, err := ra.ReadAt(hdr[:], 0); err != nil {
+		return nil, fmt.Errorf("tracefmt: read header: %w", err)
+	}
+	if string(hdr[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadMagic, hdr[:len(magic)])
+	}
+	if v := le.Uint16(hdr[len(magic):]); v != Version {
+		return nil, fmt.Errorf("%w: file version %d, reader supports %d", ErrVersion, v, Version)
+	}
+	var tr [trailerSize]byte
+	if _, err := ra.ReadAt(tr[:], size-int64(trailerSize)); err != nil {
+		return nil, fmt.Errorf("tracefmt: read trailer: %w", err)
+	}
+	if string(tr[8:]) != trailerMagic {
+		return nil, fmt.Errorf("%w: bad trailer magic %q (file truncated or not Closed)", ErrBadMagic, tr[8:])
+	}
+	footOff := int64(le.Uint64(tr[:]))
+	if footOff < int64(headerSize) || footOff >= size-int64(trailerSize) {
+		return nil, fmt.Errorf("%w: footer offset %d outside file", ErrFormat, footOff)
+	}
+	kind, payload, err := readFrameAt(ra, footOff, nil)
+	if err != nil {
+		return nil, err
+	}
+	if kind != frameFooter {
+		return nil, fmt.Errorf("%w: trailer points at frame kind %d, want footer", ErrFormat, kind)
+	}
+	f := &File{ra: ra}
+	if err := f.parseFooter(payload, footOff); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (f *File) parseFooter(p []byte, footOff int64) error {
+	fr := fieldReader{buf: p}
+	f.records = fr.u64("record total")
+	nBlocks := int(fr.u32("block count"))
+	if nBlocks < 0 || nBlocks > maxFramePayload/28 {
+		return fmt.Errorf("%w: footer block count %d", ErrFormat, nBlocks)
+	}
+	var sum uint64
+	for i := 0; i < nBlocks && fr.err == nil; i++ {
+		b := BlockInfo{
+			Offset:   int64(fr.u64("block offset")),
+			Records:  int(fr.u32("block records")),
+			MinStart: fr.i64("block min start"),
+			MaxStart: fr.i64("block max start"),
+		}
+		if b.Offset < int64(headerSize) || b.Offset >= footOff || b.Records <= 0 {
+			return fmt.Errorf("%w: footer block %d: offset %d records %d", ErrFormat, i, b.Offset, b.Records)
+		}
+		sum += uint64(b.Records)
+		f.blocks = append(f.blocks, b)
+	}
+	nHW := int(fr.u16("hw dict count"))
+	for i := 0; i < nHW && fr.err == nil; i++ {
+		l := int(fr.u16("hw label length"))
+		f.hwDict = append(f.hwDict, failures.HWType(fr.bytes(l, "hw label")))
+	}
+	nDet := int(fr.u32("detail dict count"))
+	if nDet > maxDetailDict {
+		return fmt.Errorf("%w: detail dictionary count %d", ErrFormat, nDet)
+	}
+	for i := 0; i < nDet && fr.err == nil; i++ {
+		l := int(fr.u16("detail label length"))
+		f.detDict = append(f.detDict, string(fr.bytes(l, "detail label")))
+	}
+	if fr.err != nil {
+		return fr.err
+	}
+	if fr.off != len(p) {
+		return fmt.Errorf("%w: %d trailing footer bytes", ErrFormat, len(p)-fr.off)
+	}
+	if sum != f.records {
+		return fmt.Errorf("%w: footer total %d, blocks sum to %d", ErrFormat, f.records, sum)
+	}
+	return nil
+}
+
+// readFrameAt reads and CRC-verifies the frame at a file offset.
+func readFrameAt(ra io.ReaderAt, off int64, buf []byte) (byte, []byte, error) {
+	var hdr [frameSize]byte
+	if _, err := ra.ReadAt(hdr[:], off); err != nil {
+		return 0, nil, fmt.Errorf("%w: frame at %d: %v", ErrTruncated, off, err)
+	}
+	n := int(le.Uint32(hdr[1:]))
+	if n > maxFramePayload {
+		return 0, nil, fmt.Errorf("%w: frame payload %d bytes exceeds the %d cap", ErrFormat, n, maxFramePayload)
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	p := buf[:n]
+	if _, err := ra.ReadAt(p, off+int64(frameSize)); err != nil {
+		return 0, nil, fmt.Errorf("%w: frame body at %d: %v", ErrTruncated, off, err)
+	}
+	if got, want := crc32Checksum(p), le.Uint32(hdr[5:]); got != want {
+		return 0, nil, fmt.Errorf("%w: payload CRC %08x, frame says %08x", ErrChecksum, got, want)
+	}
+	return hdr[0], p, nil
+}
+
+// Records returns the total number of records in the trace.
+func (f *File) Records() int { return int(f.records) }
+
+// Blocks returns the footer's block index (shared slice; do not mutate).
+func (f *File) Blocks() []BlockInfo { return f.blocks }
+
+// HWTypes returns the hardware-label dictionary in first-appearance
+// order (shared slice; do not mutate).
+func (f *File) HWTypes() []failures.HWType { return f.hwDict }
+
+// Close releases the underlying file when the File owns one (OpenFile);
+// for a caller-supplied ReaderAt it is a no-op.
+func (f *File) Close() error {
+	if f.closer != nil {
+		return f.closer.Close()
+	}
+	return nil
+}
+
+// Scan returns a Scanner over the records in the options' time window.
+// Blocks whose footer index proves them disjoint from the window are
+// never read from the underlying reader — a narrow window over a long
+// trace touches O(matching blocks), not O(file).
+func (f *File) Scan(opts ScanOptions) *Scanner {
+	s := newScanner(opts, true)
+	s.hwDict = f.hwDict
+	s.detDict = f.detDict
+	i := 0
+	var buf []byte
+	s.next = func() ([]byte, error) {
+		for i < len(f.blocks) {
+			b := f.blocks[i]
+			i++
+			if !b.overlaps(s.fromN, s.toN) {
+				continue
+			}
+			kind, p, err := readFrameAt(f.ra, b.Offset, buf)
+			if err != nil {
+				return nil, err
+			}
+			buf = p[:0]
+			if kind != frameBlock {
+				return nil, fmt.Errorf("%w: index points at frame kind %d, want block", ErrFormat, kind)
+			}
+			return p, nil
+		}
+		return nil, nil
+	}
+	return s
+}

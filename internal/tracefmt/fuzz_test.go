@@ -1,0 +1,91 @@
+package tracefmt
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"hpcfail/internal/failures"
+)
+
+// recordsFromBytes derives a record stream deterministically from fuzz
+// input, 16 bytes per record, covering varied labels, systems, nodes and
+// non-monotonic sub-second timestamps. All derived records are within the
+// format's representable ranges, so encoding must always succeed.
+func recordsFromBytes(data []byte) []failures.Record {
+	const stride = 16
+	n := len(data) / stride
+	if n > 512 {
+		n = 512
+	}
+	base := time.Date(2001, 3, 1, 0, 0, 0, 0, time.UTC)
+	recs := make([]failures.Record, n)
+	for i := range recs {
+		b := data[i*stride : (i+1)*stride]
+		start := base.
+			Add(time.Duration(int64(b[0])|int64(b[1])<<8|int64(b[2])<<16) * time.Second).
+			Add(time.Duration(b[3]) * time.Nanosecond)
+		recs[i] = failures.Record{
+			System:   int(b[4]),
+			Node:     int(b[5]) | int(b[6])<<8,
+			HW:       failures.HWType(fmt.Sprintf("hw-%d", b[7]%31)),
+			Workload: failures.Workload(b[8]),
+			Cause:    failures.RootCause(b[9]),
+			Detail:   fmt.Sprintf("detail-%d", int(b[10])|int(b[11])<<8),
+			Start:    start,
+			End:      start.Add(time.Duration(1+int(b[12])) * time.Minute),
+		}
+	}
+	return recs
+}
+
+// FuzzTraceRoundTrip drives the format from both ends. The fuzz input is
+// first decoded into a record stream that must survive an encode/decode
+// round trip field-exactly at a fuzzed block size; the same raw bytes are
+// then scanned directly as a (usually corrupt) trace, which must fail
+// with an error — never a panic, hang, or fabricated records.
+func FuzzTraceRoundTrip(f *testing.F) {
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte("HPCTRC"), uint8(1))
+	f.Add(bytes.Repeat([]byte{0x5a}, 96), uint8(7))
+	f.Add(encode(f, synthRecords(64), WriterOptions{BlockRecords: 8}), uint8(3))
+	f.Fuzz(func(t *testing.T, data []byte, blockN uint8) {
+		recs := recordsFromBytes(data)
+		raw := encode(t, recs, WriterOptions{BlockRecords: int(blockN) % 33})
+		s, err := NewScanner(bytes.NewReader(raw), ScanOptions{})
+		if err != nil {
+			t.Fatalf("NewScanner on fresh encoding: %v", err)
+		}
+		got := scanAll(t, s)
+		if len(got) != len(recs) {
+			t.Fatalf("round trip yielded %d records, want %d", len(got), len(recs))
+		}
+		for i := range recs {
+			if !got[i].Start.Equal(recs[i].Start) || !got[i].End.Equal(recs[i].End) {
+				t.Fatalf("record %d times: got [%v, %v], want [%v, %v]",
+					i, got[i].Start, got[i].End, recs[i].Start, recs[i].End)
+			}
+			got[i].Start, got[i].End = recs[i].Start, recs[i].End
+			if got[i] != recs[i] {
+				t.Fatalf("record %d: got %+v, want %+v", i, got[i], recs[i])
+			}
+		}
+
+		// The raw fuzz bytes as a trace: a scanner that accepts them must
+		// terminate and surface any corruption through Err(), and the
+		// random-access reader must never index more records than the
+		// stream scan can actually produce.
+		if s2, err := NewScanner(bytes.NewReader(data), ScanOptions{}); err == nil {
+			streamed := 0
+			for s2.Scan() {
+				streamed++
+			}
+			if f2, err := NewFile(bytes.NewReader(data), int64(len(data))); err == nil && s2.Err() == nil {
+				if f2.Records() != streamed {
+					t.Fatalf("file header claims %d records, stream scan yielded %d", f2.Records(), streamed)
+				}
+			}
+		}
+	})
+}

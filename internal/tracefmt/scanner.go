@@ -1,0 +1,278 @@
+package tracefmt
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"hpcfail/internal/failures"
+)
+
+// ScanOptions configures a Scanner.
+type ScanOptions struct {
+	// From and To bound the start times of the yielded records to
+	// [From, To), like failures.Dataset.Between. A zero time leaves
+	// that end open. Blocks whose [min, max] start-time index falls
+	// entirely outside the window are skipped without decoding a
+	// single record — and, when scanning through a File, without even
+	// being read.
+	From, To time.Time
+}
+
+// Scanner yields failure records from a binary trace one at a time,
+// implementing the same Scan/Record/Err shape as failures.Scanner, so
+// it plugs directly into engine.AnalyzeStream as a RecordSource.
+//
+// Records decode straight out of the current block's column buffer —
+// eight fixed-width loads and two dictionary lookups — with no per-record
+// allocation; the only steady-state allocations are one payload buffer
+// reused across blocks and the dictionary strings, shared by every
+// record that carries them.
+type Scanner struct {
+	next func() ([]byte, error) // yields CRC-verified block payloads; nil at end
+
+	// Current block state: column base offsets into payload.
+	payload                  []byte
+	n, i                     int
+	oStart, oEnd, oSys, oNod int
+	oHW, oWL, oCause, oDet   int
+
+	hwDict  []failures.HWType
+	detDict []string
+	// dictFixed marks dictionaries preloaded from a footer (File
+	// scans): block dictionary deltas are then skipped, not appended,
+	// since skipped blocks may already have contributed entries.
+	dictFixed bool
+
+	fromN, toN int64
+	rec        failures.Record
+	scanned    int
+	err        error
+	done       bool
+}
+
+// NewScanner reads a binary trace sequentially from r — a file, a pipe,
+// anything — without needing random access: dictionaries build
+// incrementally from the per-block deltas and the footer is only used
+// to confirm the file is complete. The reader must be positioned at the
+// start of the trace.
+func NewScanner(r io.Reader, opts ScanOptions) (*Scanner, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading header: %v", ErrBadMagic, err)
+	}
+	if string(hdr[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadMagic, hdr[:len(magic)])
+	}
+	if v := le.Uint16(hdr[len(magic):]); v != Version {
+		return nil, fmt.Errorf("%w: file version %d, reader supports %d", ErrVersion, v, Version)
+	}
+	s := newScanner(opts, false)
+	var buf []byte
+	s.next = func() ([]byte, error) {
+		for {
+			kind, payload, err := readFrame(r, &buf)
+			if err != nil {
+				return nil, err
+			}
+			switch kind {
+			case frameBlock:
+				return payload, nil
+			case frameFooter:
+				// The stream ends here; verify the trailer and EOF so
+				// a truncated or over-long file cannot pass silently.
+				var tr [trailerSize]byte
+				if _, err := io.ReadFull(r, tr[:]); err != nil {
+					return nil, fmt.Errorf("%w: reading trailer: %v", ErrTruncated, err)
+				}
+				if string(tr[8:]) != trailerMagic {
+					return nil, fmt.Errorf("%w: bad trailer magic %q", ErrBadMagic, tr[8:])
+				}
+				if n, err := r.Read(make([]byte, 1)); n != 0 || err != io.EOF {
+					return nil, fmt.Errorf("%w: data after trailer", ErrFormat)
+				}
+				return nil, nil
+			default:
+				return nil, fmt.Errorf("%w: unknown frame kind %d", ErrFormat, kind)
+			}
+		}
+	}
+	return s, nil
+}
+
+func newScanner(opts ScanOptions, dictFixed bool) *Scanner {
+	s := &Scanner{
+		fromN:     math.MinInt64,
+		toN:       math.MaxInt64,
+		dictFixed: dictFixed,
+	}
+	if !opts.From.IsZero() {
+		if n, err := epochNanos(opts.From, "range from"); err == nil {
+			s.fromN = n
+		} else if opts.From.Unix() > 0 {
+			// Beyond the representable range: nothing can match.
+			s.fromN = math.MaxInt64
+		}
+	}
+	if !opts.To.IsZero() {
+		if n, err := epochNanos(opts.To, "range to"); err == nil {
+			s.toN = n
+		} else if opts.To.Unix() < 0 {
+			s.toN = math.MinInt64
+		}
+	}
+	return s
+}
+
+// readFrame reads one frame from r into *buf (grown as needed, reused
+// across calls) and returns its kind and CRC-verified payload.
+func readFrame(r io.Reader, buf *[]byte) (byte, []byte, error) {
+	var hdr [frameSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return 0, nil, fmt.Errorf("%w: file ends before the footer", ErrTruncated)
+		}
+		return 0, nil, fmt.Errorf("tracefmt: read frame: %w", err)
+	}
+	n := int(le.Uint32(hdr[1:]))
+	if n > maxFramePayload {
+		return 0, nil, fmt.Errorf("%w: frame payload %d bytes exceeds the %d cap", ErrFormat, n, maxFramePayload)
+	}
+	if cap(*buf) < n {
+		*buf = make([]byte, n)
+	}
+	p := (*buf)[:n]
+	if _, err := io.ReadFull(r, p); err != nil {
+		return 0, nil, fmt.Errorf("%w: frame body: %v", ErrTruncated, err)
+	}
+	if got, want := crc32Checksum(p), le.Uint32(hdr[5:]); got != want {
+		return 0, nil, fmt.Errorf("%w: payload CRC %08x, frame says %08x", ErrChecksum, got, want)
+	}
+	return hdr[0], p, nil
+}
+
+// loadBlock parses a block payload: prefix, dictionary deltas, column
+// offsets. It returns false when the block's start-time index proves no
+// record can fall inside the scan window, leaving the column section
+// undecoded.
+func (s *Scanner) loadBlock(p []byte) (bool, error) {
+	fr := fieldReader{buf: p}
+	n := int(fr.u32("record count"))
+	minStart := fr.i64("min start")
+	maxStart := fr.i64("max start")
+	nHW := int(fr.u16("hw dict count"))
+	for i := 0; i < nHW; i++ {
+		l := int(fr.u16("hw label length"))
+		b := fr.bytes(l, "hw label")
+		if !s.dictFixed && fr.err == nil {
+			if len(s.hwDict) >= maxHWDict {
+				return false, fmt.Errorf("%w: hardware dictionary overflow", ErrFormat)
+			}
+			s.hwDict = append(s.hwDict, failures.HWType(b))
+		}
+	}
+	nDet := int(fr.u32("detail dict count"))
+	if nDet > maxDetailDict {
+		return false, fmt.Errorf("%w: detail dictionary count %d", ErrFormat, nDet)
+	}
+	for i := 0; i < nDet; i++ {
+		l := int(fr.u16("detail label length"))
+		b := fr.bytes(l, "detail label")
+		if !s.dictFixed && fr.err == nil {
+			if len(s.detDict) >= maxDetailDict {
+				return false, fmt.Errorf("%w: detail dictionary overflow", ErrFormat)
+			}
+			s.detDict = append(s.detDict, string(b))
+		}
+	}
+	if fr.err != nil {
+		return false, fr.err
+	}
+	if n < 0 || n > maxFramePayload/recordWidth {
+		return false, fmt.Errorf("%w: block record count %d", ErrFormat, n)
+	}
+	if want := fr.off + n*recordWidth; want != len(p) {
+		return false, fmt.Errorf("%w: block is %d bytes, columns need %d", ErrFormat, len(p), want)
+	}
+	if !(BlockInfo{MinStart: minStart, MaxStart: maxStart}).overlaps(s.fromN, s.toN) {
+		return false, nil
+	}
+	s.payload = p
+	s.n = n
+	s.i = 0
+	s.oStart = fr.off
+	s.oEnd = s.oStart + 8*n
+	s.oSys = s.oEnd + 8*n
+	s.oNod = s.oSys + 4*n
+	s.oHW = s.oNod + 4*n
+	s.oWL = s.oHW + 2*n
+	s.oCause = s.oWL + n
+	s.oDet = s.oCause + n
+	return n > 0, nil
+}
+
+// Scan advances to the next record in the scan window, reporting false
+// at the end of the trace or on the first error (see Err).
+func (s *Scanner) Scan() bool {
+	if s.done || s.err != nil {
+		return false
+	}
+	for {
+		for s.i < s.n {
+			i := s.i
+			s.i++
+			p := s.payload
+			startN := int64(le.Uint64(p[s.oStart+8*i:]))
+			if startN < s.fromN || startN >= s.toN {
+				continue
+			}
+			endD := int64(le.Uint64(p[s.oEnd+8*i:]))
+			hw := int(le.Uint16(p[s.oHW+2*i:]))
+			det := int(le.Uint32(p[s.oDet+4*i:]))
+			if hw >= len(s.hwDict) || det >= len(s.detDict) {
+				s.err = fmt.Errorf("%w: dictionary index out of range (hw %d/%d, detail %d/%d)",
+					ErrFormat, hw, len(s.hwDict), det, len(s.detDict))
+				s.done = true
+				return false
+			}
+			s.rec = failures.Record{
+				System:   int(int32(le.Uint32(p[s.oSys+4*i:]))),
+				Node:     int(int32(le.Uint32(p[s.oNod+4*i:]))),
+				HW:       s.hwDict[hw],
+				Workload: failures.Workload(p[s.oWL+i]),
+				Cause:    failures.RootCause(p[s.oCause+i]),
+				Detail:   s.detDict[det],
+				Start:    time.Unix(0, startN).UTC(),
+				End:      time.Unix(0, startN+endD).UTC(),
+			}
+			s.scanned++
+			return true
+		}
+		p, err := s.next()
+		if err != nil {
+			s.err = err
+			s.done = true
+			return false
+		}
+		if p == nil {
+			s.done = true
+			return false
+		}
+		if _, err := s.loadBlock(p); err != nil {
+			s.err = err
+			s.done = true
+			return false
+		}
+	}
+}
+
+// Record returns the record produced by the last successful Scan.
+func (s *Scanner) Record() failures.Record { return s.rec }
+
+// Scanned returns how many records have been yielded.
+func (s *Scanner) Scanned() int { return s.scanned }
+
+// Err returns the error that stopped the scan, if any. A clean end of
+// trace is not an error.
+func (s *Scanner) Err() error { return s.err }

@@ -1,0 +1,486 @@
+package tracefmt
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+	"time"
+
+	"hpcfail/internal/failures"
+)
+
+// synthRecords builds n records with varied labels and non-monotonic
+// times so dictionary growth and min/max indexing are both exercised.
+func synthRecords(n int) []failures.Record {
+	base := time.Date(1996, 8, 1, 0, 0, 0, 0, time.UTC)
+	recs := make([]failures.Record, n)
+	for i := range recs {
+		// Jump around in time so blocks get distinct, unsorted windows.
+		start := base.Add(time.Duration((i*7919)%(n+1)) * time.Hour).Add(time.Duration(i%997) * time.Nanosecond)
+		recs[i] = failures.Record{
+			System:   i % 23,
+			Node:     i % 4096,
+			HW:       failures.HWType(fmt.Sprintf("hw-%d", i%13)),
+			Workload: failures.Workload(1 + i%3),
+			Cause:    failures.RootCause(1 + i%6),
+			Detail:   fmt.Sprintf("detail-%d", i%257),
+			Start:    start,
+			End:      start.Add(time.Duration(1+i%300) * time.Minute),
+		}
+	}
+	return recs
+}
+
+func encode(t testing.TB, recs []failures.Record, opts WriterOptions) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, opts)
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	for i, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatalf("Write record %d: %v", i, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if got := w.Count(); got != len(recs) {
+		t.Fatalf("Count() = %d, want %d", got, len(recs))
+	}
+	return buf.Bytes()
+}
+
+func scanAll(t testing.TB, s *Scanner) []failures.Record {
+	t.Helper()
+	var out []failures.Record
+	for s.Scan() {
+		out = append(out, s.Record())
+	}
+	if err := s.Err(); err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, blockN := range []int{0, 1, 2, 7, 1000} {
+		t.Run(fmt.Sprintf("block=%d", blockN), func(t *testing.T) {
+			recs := synthRecords(1203)
+			raw := encode(t, recs, WriterOptions{BlockRecords: blockN})
+
+			s, err := NewScanner(bytes.NewReader(raw), ScanOptions{})
+			if err != nil {
+				t.Fatalf("NewScanner: %v", err)
+			}
+			got := scanAll(t, s)
+			if len(got) != len(recs) {
+				t.Fatalf("stream scan yielded %d records, want %d", len(got), len(recs))
+			}
+			for i := range recs {
+				if !got[i].Start.Equal(recs[i].Start) || !got[i].End.Equal(recs[i].End) {
+					t.Fatalf("record %d times: got [%v, %v], want [%v, %v]",
+						i, got[i].Start, got[i].End, recs[i].Start, recs[i].End)
+				}
+				got[i].Start, got[i].End = recs[i].Start, recs[i].End
+				if got[i] != recs[i] {
+					t.Fatalf("record %d: got %+v, want %+v", i, got[i], recs[i])
+				}
+			}
+			if s.Scanned() != len(recs) {
+				t.Fatalf("Scanned() = %d, want %d", s.Scanned(), len(recs))
+			}
+
+			f, err := NewFile(bytes.NewReader(raw), int64(len(raw)))
+			if err != nil {
+				t.Fatalf("NewFile: %v", err)
+			}
+			if f.Records() != len(recs) {
+				t.Fatalf("File.Records() = %d, want %d", f.Records(), len(recs))
+			}
+			got2 := scanAll(t, f.Scan(ScanOptions{}))
+			if len(got2) != len(recs) {
+				t.Fatalf("file scan yielded %d records, want %d", len(got2), len(recs))
+			}
+			for i := range recs {
+				if got2[i].Detail != recs[i].Detail || !got2[i].Start.Equal(recs[i].Start) {
+					t.Fatalf("file scan record %d mismatch", i)
+				}
+			}
+		})
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	raw := encode(t, nil, WriterOptions{})
+	s, err := NewScanner(bytes.NewReader(raw), ScanOptions{})
+	if err != nil {
+		t.Fatalf("NewScanner: %v", err)
+	}
+	if got := scanAll(t, s); len(got) != 0 {
+		t.Fatalf("empty trace yielded %d records", len(got))
+	}
+	f, err := NewFile(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		t.Fatalf("NewFile: %v", err)
+	}
+	if f.Records() != 0 || len(f.Blocks()) != 0 {
+		t.Fatalf("empty trace: Records=%d Blocks=%d", f.Records(), len(f.Blocks()))
+	}
+	if got := scanAll(t, f.Scan(ScanOptions{})); len(got) != 0 {
+		t.Fatalf("empty file scan yielded %d records", len(got))
+	}
+}
+
+func TestBlockIndex(t *testing.T) {
+	recs := synthRecords(500)
+	raw := encode(t, recs, WriterOptions{BlockRecords: 64})
+	f, err := NewFile(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		t.Fatalf("NewFile: %v", err)
+	}
+	blocks := f.Blocks()
+	if want := (500 + 63) / 64; len(blocks) != want {
+		t.Fatalf("got %d blocks, want %d", len(blocks), want)
+	}
+	total := 0
+	for bi, b := range blocks {
+		lo, hi := bi*64, bi*64+b.Records
+		min, max := recs[lo].Start.UnixNano(), recs[lo].Start.UnixNano()
+		for _, r := range recs[lo:hi] {
+			if n := r.Start.UnixNano(); n < min {
+				min = n
+			} else if n > max {
+				max = n
+			}
+		}
+		if b.MinStart != min || b.MaxStart != max {
+			t.Fatalf("block %d index [%d, %d], want [%d, %d]", bi, b.MinStart, b.MaxStart, min, max)
+		}
+		total += b.Records
+	}
+	if total != len(recs) {
+		t.Fatalf("blocks sum to %d records, want %d", total, len(recs))
+	}
+}
+
+// countingReaderAt counts ReadAt calls so tests can prove block skipping
+// touches the underlying file only for blocks inside the window.
+type countingReaderAt struct {
+	r     *bytes.Reader
+	reads int
+}
+
+func (c *countingReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	c.reads++
+	return c.r.ReadAt(p, off)
+}
+
+func TestTimeRangeScan(t *testing.T) {
+	// Mostly time-ordered with local jitter, like a real merged trace:
+	// blocks get tight, distinct time windows, so some fall wholly
+	// outside the scan range and must be skipped.
+	recs := synthRecords(2000)
+	base := time.Date(1996, 8, 1, 0, 0, 0, 0, time.UTC)
+	for i := range recs {
+		recs[i].Start = base.Add(time.Duration(i)*time.Hour - time.Duration(i%7)*time.Minute)
+		recs[i].End = recs[i].Start.Add(time.Duration(1+i%90) * time.Minute)
+	}
+	raw := encode(t, recs, WriterOptions{BlockRecords: 50})
+
+	from := time.Date(1996, 8, 20, 0, 0, 0, 0, time.UTC)
+	to := time.Date(1996, 9, 10, 0, 0, 0, 0, time.UTC)
+	var want []failures.Record
+	for _, r := range recs {
+		if !r.Start.Before(from) && r.Start.Before(to) {
+			want = append(want, r)
+		}
+	}
+	if len(want) == 0 || len(want) == len(recs) {
+		t.Fatalf("degenerate window: %d of %d records", len(want), len(recs))
+	}
+
+	check := func(name string, got []failures.Record) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d records in window, want %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Detail != want[i].Detail || !got[i].Start.Equal(want[i].Start) {
+				t.Fatalf("%s: record %d mismatch: got %v, want %v", name, i, got[i].Start, want[i].Start)
+			}
+		}
+	}
+
+	s, err := NewScanner(bytes.NewReader(raw), ScanOptions{From: from, To: to})
+	if err != nil {
+		t.Fatalf("NewScanner: %v", err)
+	}
+	check("stream", scanAll(t, s))
+
+	cra := &countingReaderAt{r: bytes.NewReader(raw)}
+	f, err := NewFile(cra, int64(len(raw)))
+	if err != nil {
+		t.Fatalf("NewFile: %v", err)
+	}
+	overlapping := 0
+	fromN, toN := from.UnixNano(), to.UnixNano()
+	for _, b := range f.Blocks() {
+		if b.overlaps(fromN, toN) {
+			overlapping++
+		}
+	}
+	if overlapping == len(f.Blocks()) {
+		t.Fatalf("degenerate: every block overlaps the window")
+	}
+	openReads := cra.reads
+	check("file", scanAll(t, f.Scan(ScanOptions{From: from, To: to})))
+	scanReads := cra.reads - openReads
+	// Two ReadAt calls per block frame (header + body); skipped blocks
+	// must cost zero reads.
+	if maxReads := 2 * overlapping; scanReads > maxReads {
+		t.Fatalf("range scan issued %d reads for %d overlapping blocks (max %d): skipping is broken",
+			scanReads, overlapping, maxReads)
+	}
+
+	// Half-open semantics: From alone, To alone.
+	s2, _ := NewScanner(bytes.NewReader(raw), ScanOptions{From: from})
+	nFrom := len(scanAll(t, s2))
+	s3, _ := NewScanner(bytes.NewReader(raw), ScanOptions{To: from})
+	nTo := len(scanAll(t, s3))
+	if nFrom+nTo != len(recs) {
+		t.Fatalf("[From,∞) has %d + (-∞,From) has %d, want total %d", nFrom, nTo, len(recs))
+	}
+
+	// A record starting exactly at From is included; exactly at To is not.
+	exact := recs[0]
+	exact.Start = from
+	exact.End = from.Add(time.Hour)
+	raw2 := encode(t, []failures.Record{exact}, WriterOptions{})
+	s4, _ := NewScanner(bytes.NewReader(raw2), ScanOptions{From: from, To: from.Add(1)})
+	if got := scanAll(t, s4); len(got) != 1 {
+		t.Fatalf("record starting exactly at From dropped")
+	}
+	s5, _ := NewScanner(bytes.NewReader(raw2), ScanOptions{To: from})
+	if got := scanAll(t, s5); len(got) != 0 {
+		t.Fatalf("record starting exactly at To included; window must be half-open")
+	}
+}
+
+func TestCorruptionDetection(t *testing.T) {
+	recs := synthRecords(300)
+	raw := encode(t, recs, WriterOptions{BlockRecords: 100})
+
+	scanErr := func(b []byte) error {
+		s, err := NewScanner(bytes.NewReader(b), ScanOptions{})
+		if err != nil {
+			return err
+		}
+		for s.Scan() {
+		}
+		return s.Err()
+	}
+
+	t.Run("bit flip", func(t *testing.T) {
+		bad := append([]byte(nil), raw...)
+		bad[len(bad)/2] ^= 0x40
+		err := scanErr(bad)
+		if !errors.Is(err, ErrChecksum) && !errors.Is(err, ErrFormat) && !errors.Is(err, ErrTruncated) {
+			t.Fatalf("corrupted byte not detected: %v", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		if err := scanErr(raw[:len(raw)-trailerSize-3]); !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrBadMagic) {
+			t.Fatalf("truncation not detected: %v", err)
+		}
+		if _, err := NewFile(bytes.NewReader(raw[:len(raw)-2]), int64(len(raw)-2)); err == nil {
+			t.Fatalf("NewFile accepted a truncated trailer")
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte(nil), raw...)
+		bad[0] = 'X'
+		if err := scanErr(bad); !errors.Is(err, ErrBadMagic) {
+			t.Fatalf("want ErrBadMagic, got %v", err)
+		}
+		if _, err := NewFile(bytes.NewReader(bad), int64(len(bad))); !errors.Is(err, ErrBadMagic) {
+			t.Fatalf("NewFile: want ErrBadMagic, got %v", err)
+		}
+	})
+	t.Run("future version", func(t *testing.T) {
+		bad := append([]byte(nil), raw...)
+		le.PutUint16(bad[len(magic):], Version+1)
+		if err := scanErr(bad); !errors.Is(err, ErrVersion) {
+			t.Fatalf("want ErrVersion, got %v", err)
+		}
+		if _, err := NewFile(bytes.NewReader(bad), int64(len(bad))); !errors.Is(err, ErrVersion) {
+			t.Fatalf("NewFile: want ErrVersion, got %v", err)
+		}
+	})
+	t.Run("data after trailer", func(t *testing.T) {
+		bad := append(append([]byte(nil), raw...), 0)
+		if err := scanErr(bad); !errors.Is(err, ErrFormat) {
+			t.Fatalf("want ErrFormat, got %v", err)
+		}
+	})
+}
+
+func TestWriterRejectsUnrepresentable(t *testing.T) {
+	r0 := synthRecords(1)[0]
+	cases := []struct {
+		name string
+		mut  func(*failures.Record)
+	}{
+		{"start beyond epoch range", func(r *failures.Record) { r.Start = time.Date(2500, 1, 1, 0, 0, 0, 0, time.UTC) }},
+		{"end beyond epoch range", func(r *failures.Record) { r.End = time.Date(2500, 1, 1, 0, 0, 0, 0, time.UTC) }},
+		{"negative system", func(r *failures.Record) { r.System = -1 }},
+		{"huge node", func(r *failures.Record) { r.Node = 1 << 40 }},
+		{"workload out of byte", func(r *failures.Record) { r.Workload = 300 }},
+		{"cause out of byte", func(r *failures.Record) { r.Cause = -2 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			w, err := NewWriter(&buf, WriterOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := r0
+			tc.mut(&r)
+			if err := w.Write(r); err == nil {
+				t.Fatalf("Write accepted unrepresentable record %+v", r)
+			}
+			if err := w.Close(); err == nil {
+				t.Fatalf("Close succeeded on a poisoned writer")
+			}
+		})
+	}
+}
+
+func TestWriteAfterClose(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, WriterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := w.Write(synthRecords(1)[0]); err == nil {
+		t.Fatalf("Write after Close succeeded")
+	}
+}
+
+func TestOpenFileRoundTrip(t *testing.T) {
+	recs := synthRecords(100)
+	raw := encode(t, recs, WriterOptions{BlockRecords: 32})
+	path := t.TempDir() + "/trace.bin"
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := OpenFile(path)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	defer f.Close()
+	if got := scanAll(t, f.Scan(ScanOptions{})); len(got) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(got), len(recs))
+	}
+	if len(f.HWTypes()) == 0 {
+		t.Fatalf("HWTypes dictionary empty")
+	}
+}
+
+// TestScanSteadyStateAllocs pins the zero-copy claim: once the payload
+// buffer and dictionaries are warm, Scan allocates nothing per record.
+func TestScanSteadyStateAllocs(t *testing.T) {
+	recs := synthRecords(60000)
+	raw := encode(t, recs, WriterOptions{BlockRecords: 4096})
+	s, err := NewScanner(bytes.NewReader(raw), ScanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up past the first blocks so the frame buffer has grown and
+	// every dictionary entry has been seen.
+	for i := 0; i < 10000; i++ {
+		if !s.Scan() {
+			t.Fatalf("trace exhausted during warmup at %d", i)
+		}
+	}
+	var sink failures.Record
+	avg := testing.AllocsPerRun(40, func() {
+		for i := 0; i < 1000; i++ {
+			if !s.Scan() {
+				t.Fatalf("trace exhausted mid-measurement")
+			}
+			sink = s.Record()
+		}
+	})
+	_ = sink
+	if perRecord := avg / 1000; perRecord > 0.001 {
+		t.Fatalf("steady-state Scan allocates %.4f allocs/record, want 0", perRecord)
+	}
+}
+
+var errShortWrite = errors.New("synthetic write failure")
+
+type failingWriter struct{ after int }
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if f.after <= 0 {
+		return 0, errShortWrite
+	}
+	f.after--
+	return len(p), nil
+}
+
+func TestWriterPropagatesIOErrors(t *testing.T) {
+	w, err := NewWriter(&failingWriter{after: 1}, WriterOptions{BlockRecords: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := synthRecords(64)
+	var sawErr error
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			sawErr = err
+			break
+		}
+	}
+	if sawErr == nil {
+		sawErr = w.Close()
+	}
+	if !errors.Is(sawErr, errShortWrite) {
+		t.Fatalf("write error not propagated: %v", sawErr)
+	}
+}
+
+// Ensure io.Reader streaming works through a pipe-like reader that
+// returns short reads (exercises io.ReadFull paths).
+type oneByteReader struct{ r io.Reader }
+
+func (o oneByteReader) Read(p []byte) (int, error) {
+	if len(p) > 1 {
+		p = p[:1]
+	}
+	return o.r.Read(p)
+}
+
+func TestScannerShortReads(t *testing.T) {
+	recs := synthRecords(50)
+	raw := encode(t, recs, WriterOptions{BlockRecords: 8})
+	s, err := NewScanner(oneByteReader{bytes.NewReader(raw)}, ScanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := scanAll(t, s); len(got) != len(recs) {
+		t.Fatalf("got %d records through short reads, want %d", len(got), len(recs))
+	}
+}

@@ -1,0 +1,335 @@
+package tracefmt
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"hpcfail/internal/failures"
+)
+
+// WriterOptions configures a Writer; the zero value selects every
+// default.
+type WriterOptions struct {
+	// BlockRecords is the number of records per block; <= 0 uses
+	// DefaultBlockRecords.
+	BlockRecords int
+}
+
+// A Writer encodes failure records into the columnar binary trace
+// format, one record at a time, so a producer (a CSV scanner, the LANL
+// generator's streaming emitter) can write traces of any size in
+// bounded memory. The header goes out at construction; Close flushes
+// the final block, the footer and the trailer, and must be called for
+// the file to be readable.
+//
+// Write's signature matches the emit callback of lanl.GenerateStream,
+// so the fused pipeline is literally gen.GenerateStream(w.Write).
+//
+// The per-record path appends fixed-width words to reusable column
+// buffers: after the first few blocks it allocates only when a
+// never-before-seen label enters a dictionary.
+type Writer struct {
+	w      io.Writer
+	blockN int
+
+	// Column buffers for the block under construction.
+	count    int
+	starts   []byte
+	endDs    []byte
+	systems  []byte
+	nodes    []byte
+	hws      []byte
+	wls      []byte
+	causes   []byte
+	details  []byte
+	minStart int64
+	maxStart int64
+
+	// Dictionaries, global across the file; hwNew/detNew hold the
+	// entries first seen in the current block, flushed with it.
+	hwIdx  map[failures.HWType]uint16
+	hwAll  []failures.HWType
+	hwNew  []failures.HWType
+	detIdx map[string]uint32
+	detAll []string
+	detNew []string
+
+	// File assembly state.
+	offset  int64 // bytes written so far
+	index   []BlockInfo
+	total   uint64
+	scratch []byte // frame assembly buffer, reused across flushes
+	closed  bool
+	err     error
+}
+
+// NewWriter writes the file header to w and returns a Writer.
+func NewWriter(w io.Writer, opts WriterOptions) (*Writer, error) {
+	n := opts.BlockRecords
+	if n <= 0 {
+		n = DefaultBlockRecords
+	}
+	tw := &Writer{
+		w:      w,
+		blockN: n,
+		hwIdx:  make(map[failures.HWType]uint16),
+		detIdx: make(map[string]uint32),
+	}
+	hdr := append([]byte(magic), 0, 0)
+	le.PutUint16(hdr[len(magic):], Version)
+	if err := tw.writeRaw(hdr); err != nil {
+		return nil, fmt.Errorf("tracefmt: write header: %w", err)
+	}
+	return tw, nil
+}
+
+func (w *Writer) writeRaw(b []byte) error {
+	n, err := w.w.Write(b)
+	w.offset += int64(n)
+	if err != nil {
+		w.err = err
+	}
+	return err
+}
+
+// Count returns the number of records written so far.
+func (w *Writer) Count() int { return int(w.total) + w.count }
+
+// Write appends one record. Records are stored exactly as given — the
+// format neither sorts nor validates beyond what it can represent: times
+// within the int64 epoch-nanosecond range, system and node within
+// int32, workload and cause within their enum ranges.
+func (w *Writer) Write(r failures.Record) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return fmt.Errorf("tracefmt: write after Close")
+	}
+	startN, err := epochNanos(r.Start, "start")
+	if err != nil {
+		return w.poison(err)
+	}
+	endN, err := epochNanos(r.End, "end")
+	if err != nil {
+		return w.poison(err)
+	}
+	if r.System < 0 || int64(r.System) > math.MaxInt32 {
+		return w.poison(fmt.Errorf("tracefmt: system ID %d outside int32", r.System))
+	}
+	if r.Node < 0 || int64(r.Node) > math.MaxInt32 {
+		return w.poison(fmt.Errorf("tracefmt: node ID %d outside int32", r.Node))
+	}
+	if r.Workload < 0 || r.Workload > 255 {
+		return w.poison(fmt.Errorf("tracefmt: workload %d outside byte range", int(r.Workload)))
+	}
+	if r.Cause < 0 || r.Cause > 255 {
+		return w.poison(fmt.Errorf("tracefmt: cause %d outside byte range", int(r.Cause)))
+	}
+	hw, err := w.hwIndex(r.HW)
+	if err != nil {
+		return w.poison(err)
+	}
+	det, err := w.detIndex(r.Detail)
+	if err != nil {
+		return w.poison(err)
+	}
+
+	if w.count == 0 {
+		w.minStart, w.maxStart = startN, startN
+	} else {
+		if startN < w.minStart {
+			w.minStart = startN
+		}
+		if startN > w.maxStart {
+			w.maxStart = startN
+		}
+	}
+	w.starts = appendI64(w.starts, startN)
+	w.endDs = appendI64(w.endDs, endN-startN)
+	w.systems = appendU32(w.systems, uint32(r.System))
+	w.nodes = appendU32(w.nodes, uint32(r.Node))
+	w.hws = appendU16(w.hws, hw)
+	w.wls = append(w.wls, byte(r.Workload))
+	w.causes = append(w.causes, byte(r.Cause))
+	w.details = appendU32(w.details, det)
+	w.count++
+	if w.count >= w.blockN {
+		return w.flushBlock()
+	}
+	return nil
+}
+
+func (w *Writer) poison(err error) error {
+	w.err = err
+	return err
+}
+
+// epochNanos converts a time to epoch nanoseconds, rejecting instants
+// the int64 range cannot represent (UnixNano would silently wrap).
+func epochNanos(t time.Time, what string) (int64, error) {
+	n := t.UnixNano()
+	if !time.Unix(0, n).Equal(t) {
+		return 0, fmt.Errorf("tracefmt: %s time %v outside the epoch-nanosecond range", what, t)
+	}
+	return n, nil
+}
+
+func (w *Writer) hwIndex(hw failures.HWType) (uint16, error) {
+	if i, ok := w.hwIdx[hw]; ok {
+		return i, nil
+	}
+	if len(hw) > maxLabelLen {
+		return 0, fmt.Errorf("tracefmt: hardware label %d bytes long, max %d", len(hw), maxLabelLen)
+	}
+	if len(w.hwAll) >= maxHWDict {
+		return 0, fmt.Errorf("tracefmt: more than %d distinct hardware labels", maxHWDict)
+	}
+	i := uint16(len(w.hwAll))
+	w.hwIdx[hw] = i
+	w.hwAll = append(w.hwAll, hw)
+	w.hwNew = append(w.hwNew, hw)
+	return i, nil
+}
+
+func (w *Writer) detIndex(det string) (uint32, error) {
+	if i, ok := w.detIdx[det]; ok {
+		return i, nil
+	}
+	if len(det) > maxLabelLen {
+		return 0, fmt.Errorf("tracefmt: detail label %d bytes long, max %d", len(det), maxLabelLen)
+	}
+	if len(w.detAll) >= maxDetailDict {
+		return 0, fmt.Errorf("tracefmt: more than %d distinct detail labels", maxDetailDict)
+	}
+	i := uint32(len(w.detAll))
+	w.detIdx[det] = i
+	w.detAll = append(w.detAll, det)
+	w.detNew = append(w.detNew, det)
+	return i, nil
+}
+
+// flushBlock frames and writes the block under construction.
+func (w *Writer) flushBlock() error {
+	if w.count == 0 {
+		return nil
+	}
+	p := w.scratch[:0]
+	p = appendU32(p, uint32(w.count))
+	p = appendI64(p, w.minStart)
+	p = appendI64(p, w.maxStart)
+	p = appendU16(p, uint16(len(w.hwNew)))
+	for _, hw := range w.hwNew {
+		p = appendU16(p, uint16(len(hw)))
+		p = append(p, hw...)
+	}
+	p = appendU32(p, uint32(len(w.detNew)))
+	for _, det := range w.detNew {
+		p = appendU16(p, uint16(len(det)))
+		p = append(p, det...)
+	}
+	p = append(p, w.starts...)
+	p = append(p, w.endDs...)
+	p = append(p, w.systems...)
+	p = append(p, w.nodes...)
+	p = append(p, w.hws...)
+	p = append(p, w.wls...)
+	p = append(p, w.causes...)
+	p = append(p, w.details...)
+
+	info := BlockInfo{
+		Offset:   w.offset,
+		Records:  w.count,
+		MinStart: w.minStart,
+		MaxStart: w.maxStart,
+	}
+	if err := w.writeFrame(frameBlock, p); err != nil {
+		return err
+	}
+	w.scratch = p[:0]
+	w.index = append(w.index, info)
+	w.total += uint64(w.count)
+	w.count = 0
+	w.starts = w.starts[:0]
+	w.endDs = w.endDs[:0]
+	w.systems = w.systems[:0]
+	w.nodes = w.nodes[:0]
+	w.hws = w.hws[:0]
+	w.wls = w.wls[:0]
+	w.causes = w.causes[:0]
+	w.details = w.details[:0]
+	w.hwNew = w.hwNew[:0]
+	w.detNew = w.detNew[:0]
+	return nil
+}
+
+// writeFrame frames a payload with its kind, length and CRC-32C.
+func (w *Writer) writeFrame(kind byte, payload []byte) error {
+	if len(payload) > maxFramePayload {
+		return w.poison(fmt.Errorf("tracefmt: frame payload %d bytes exceeds the %d cap (lower BlockRecords)",
+			len(payload), maxFramePayload))
+	}
+	var hdr [frameSize]byte
+	hdr[0] = kind
+	le.PutUint32(hdr[1:], uint32(len(payload)))
+	le.PutUint32(hdr[5:], crc32Checksum(payload))
+	if err := w.writeRaw(hdr[:]); err != nil {
+		return fmt.Errorf("tracefmt: write frame: %w", err)
+	}
+	if err := w.writeRaw(payload); err != nil {
+		return fmt.Errorf("tracefmt: write frame: %w", err)
+	}
+	return nil
+}
+
+func crc32Checksum(p []byte) uint32 { return crc32Update(0, p) }
+
+// Close flushes the final partial block, then writes the footer (total
+// count, block index, complete dictionaries) and the trailer that lets
+// a random-access reader locate the footer from the end of the file.
+// Close does not close the underlying writer.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return nil
+	}
+	if err := w.flushBlock(); err != nil {
+		return err
+	}
+	footerOffset := w.offset
+	p := w.scratch[:0]
+	p = appendU64(p, w.total)
+	p = appendU32(p, uint32(len(w.index)))
+	for _, b := range w.index {
+		p = appendU64(p, uint64(b.Offset))
+		p = appendU32(p, uint32(b.Records))
+		p = appendI64(p, b.MinStart)
+		p = appendI64(p, b.MaxStart)
+	}
+	p = appendU16(p, uint16(len(w.hwAll)))
+	for _, hw := range w.hwAll {
+		p = appendU16(p, uint16(len(hw)))
+		p = append(p, hw...)
+	}
+	p = appendU32(p, uint32(len(w.detAll)))
+	for _, det := range w.detAll {
+		p = appendU16(p, uint16(len(det)))
+		p = append(p, det...)
+	}
+	if err := w.writeFrame(frameFooter, p); err != nil {
+		return err
+	}
+	w.scratch = p[:0]
+	var tr [trailerSize]byte
+	le.PutUint64(tr[:], uint64(footerOffset))
+	copy(tr[8:], trailerMagic)
+	if err := w.writeRaw(tr[:]); err != nil {
+		return fmt.Errorf("tracefmt: write trailer: %w", err)
+	}
+	w.closed = true
+	return nil
+}

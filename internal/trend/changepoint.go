@@ -18,7 +18,7 @@ type ChangePoint struct {
 }
 
 // FindChangePoint locates the single most likely rate-change time of an
-// event series on (0, horizon], by maximizing the Poisson-process
+// event series on [0, horizon], by maximizing the Poisson-process
 // likelihood over all candidate split points (evaluated at event times).
 // It quantifies lifecycle statements like the paper's "the fraction of
 // failures with unknown root cause dropped within 2 years": the returned
@@ -33,8 +33,8 @@ func FindChangePoint(eventTimes []float64, horizon float64) (ChangePoint, error)
 	}
 	prev := 0.0
 	for i, t := range eventTimes {
-		if t <= 0 || t > horizon {
-			return ChangePoint{}, fmt.Errorf("trend: event %d at %g outside (0, %g]", i, t, horizon)
+		if t < 0 || t > horizon {
+			return ChangePoint{}, fmt.Errorf("trend: event %d at %g outside [0, %g]", i, t, horizon)
 		}
 		if t < prev {
 			return ChangePoint{}, fmt.Errorf("trend: event %d out of order", i)

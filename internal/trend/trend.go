@@ -59,9 +59,11 @@ type LaplaceResult struct {
 	Verdict Verdict
 }
 
-// Laplace runs the Laplace trend test on event times in (0, horizon],
+// Laplace runs the Laplace trend test on event times in [0, horizon],
 // using significance level alpha (e.g. 0.05) for the verdict. Event times
-// are offsets from the start of observation, in any consistent unit.
+// are offsets from the start of observation, in any consistent unit; an
+// event at time zero — a failure at the very start of observation — is
+// valid and simply contributes zero to the statistic's mean.
 func Laplace(eventTimes []float64, horizon, alpha float64) (LaplaceResult, error) {
 	n := len(eventTimes)
 	if n < 4 {
@@ -72,8 +74,8 @@ func Laplace(eventTimes []float64, horizon, alpha float64) (LaplaceResult, error
 	}
 	var sum float64
 	for i, t := range eventTimes {
-		if t <= 0 || t > horizon {
-			return LaplaceResult{}, fmt.Errorf("trend: event %d at %g outside (0, %g]", i, t, horizon)
+		if t < 0 || t > horizon {
+			return LaplaceResult{}, fmt.Errorf("trend: event %d at %g outside [0, %g]", i, t, horizon)
 		}
 		sum += t
 	}
@@ -107,21 +109,29 @@ type PowerLaw struct {
 }
 
 // FitPowerLaw computes the time-truncated MLE of the Crow–AMSAA model:
-// β = n / Σ ln(T / t_i), η = T / n^{1/β}.
+// β = n / Σ ln(T / t_i), η = T / n^{1/β}. Events at time zero are
+// dropped rather than rejected: ln(T/t) diverges there, so an event at
+// the observation origin carries no information for this MLE (the
+// Laplace test, which has no such singularity, does count it). N in the
+// result is the number of events the fit actually used.
 func FitPowerLaw(eventTimes []float64, horizon float64) (PowerLaw, error) {
-	n := len(eventTimes)
-	if n < 3 {
-		return PowerLaw{}, fmt.Errorf("trend: %d events, need >= 3: %w", n, ErrInsufficientData)
-	}
 	if horizon <= 0 {
 		return PowerLaw{}, fmt.Errorf("trend: horizon %g invalid", horizon)
 	}
 	var sumLog float64
+	n := 0
 	for i, t := range eventTimes {
-		if t <= 0 || t > horizon {
-			return PowerLaw{}, fmt.Errorf("trend: event %d at %g outside (0, %g]", i, t, horizon)
+		if t < 0 || t > horizon {
+			return PowerLaw{}, fmt.Errorf("trend: event %d at %g outside [0, %g]", i, t, horizon)
+		}
+		if t == 0 {
+			continue
 		}
 		sumLog += math.Log(horizon / t)
+		n++
+	}
+	if n < 3 {
+		return PowerLaw{}, fmt.Errorf("trend: %d usable events, need >= 3: %w", n, ErrInsufficientData)
 	}
 	if sumLog == 0 {
 		return PowerLaw{}, fmt.Errorf("trend: all events at the horizon: %w", ErrInsufficientData)

@@ -78,7 +78,44 @@ func TestLaplaceErrors(t *testing.T) {
 		t.Fatal("event beyond horizon: want error")
 	}
 	if _, err := Laplace([]float64{-1, 2, 3, 4}, 10, 0.05); err == nil {
-		t.Fatal("non-positive event: want error")
+		t.Fatal("negative event: want error")
+	}
+}
+
+// TestZeroEventTimeBoundary pins how each trend tool treats an event at
+// the observation origin — the offset a Dataset.OffsetHours caller now
+// receives for a record starting exactly at the system's start time.
+// Laplace and FindChangePoint accept it as a real event; FitPowerLaw
+// drops it (ln(T/0) diverges) and reports N as the events actually used.
+func TestZeroEventTimeBoundary(t *testing.T) {
+	withZero := []float64{0, 1, 2, 4, 5, 6, 7, 8, 9}
+
+	res, err := Laplace(withZero, 10, 0.05)
+	if err != nil {
+		t.Fatalf("Laplace rejected a zero event time: %v", err)
+	}
+	want, err := Laplace([]float64{1e-12, 1, 2, 4, 5, 6, 7, 8, 9}, 10, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.U-want.U) > 1e-9 {
+		t.Fatalf("Laplace U with zero event = %g, want ~%g (zero contributes zero to the mean)", res.U, want.U)
+	}
+
+	if _, err := FindChangePoint(withZero, 10); err != nil {
+		t.Fatalf("FindChangePoint rejected a zero event time: %v", err)
+	}
+
+	fit, err := FitPowerLaw(withZero, 10)
+	if err != nil {
+		t.Fatalf("FitPowerLaw with a zero event time: %v", err)
+	}
+	ref, err := FitPowerLaw(withZero[1:], 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.N != len(withZero)-1 || fit.Beta != ref.Beta || fit.Eta != ref.Eta {
+		t.Fatalf("FitPowerLaw with zero = %+v, want the zero dropped: %+v", fit, ref)
 	}
 }
 
@@ -142,8 +179,13 @@ func TestFitPowerLawErrors(t *testing.T) {
 	if _, err := FitPowerLaw([]float64{10, 10, 10}, 10); !errors.Is(err, ErrInsufficientData) {
 		t.Fatal("all at horizon: want error")
 	}
-	if _, err := FitPowerLaw([]float64{0, 1, 2}, 10); err == nil {
-		t.Fatal("zero event time: want error")
+	// Zero event times are dropped, not rejected: with only two usable
+	// events left, the fit still (correctly) refuses for lack of data.
+	if _, err := FitPowerLaw([]float64{0, 1, 2}, 10); !errors.Is(err, ErrInsufficientData) {
+		t.Fatal("zero event dropped leaving too few: want ErrInsufficientData")
+	}
+	if _, err := FitPowerLaw([]float64{-1, 1, 2, 3}, 10); err == nil {
+		t.Fatal("negative event time: want error")
 	}
 }
 
