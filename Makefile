@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check vet staticcheck build test race race-gen race-serve race-sweep race-trace fuzz fuzz-smoke bench bench-engine bench-stream bench-fit bench-gen bench-serve bench-sweep bench-trace golden golden-sweep
+.PHONY: check vet staticcheck build test race race-gen race-serve race-sweep race-trace race-engine fuzz fuzz-smoke bench bench-engine bench-stream bench-fit bench-gen bench-serve bench-sweep bench-trace bench-scale golden golden-sweep
 
 # The full gate: what CI runs — static checks, build, the race detector
 # over every test, focused race passes over the parallel generator, the
-# daemon, the sweep engine and the binary trace pipeline, and short fuzz
-# smokes of the CSV reader, the ingest endpoint, the sweep-spec parser
-# and the binary trace round trip.
-check: vet staticcheck build race race-gen race-serve race-sweep race-trace fuzz-smoke
+# daemon, the sweep engine, the binary trace pipeline and the sub-shard
+# analysis pipeline, and short fuzz smokes of the CSV reader, the ingest
+# endpoint, the sweep-spec parser and the binary trace round trip.
+check: vet staticcheck build race race-gen race-serve race-sweep race-trace race-engine fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -53,6 +53,12 @@ race-sweep:
 race-trace:
 	$(GO) test -race ./internal/tracefmt
 	$(GO) test -race -run 'Binary|Workers|Stream' ./cmd/lanlgen ./cmd/failstat
+
+# Race pass over the sub-shard analysis pipeline: the workers x seeds
+# byte-identity matrix for fleet and stream, the grain and dispatch-order
+# identities, and the counter-seeded bootstrap partition-invariance tests.
+race-engine:
+	$(GO) test -race -run 'SubShard|Grain|DispatchOrder|Partition|RepSeed' ./internal/engine ./internal/dist
 
 fuzz:
 	$(GO) test -fuzz=FuzzReadCSV -fuzztime=30s ./internal/failures
@@ -100,6 +106,20 @@ bench-sweep:
 # result-identity check before reporting; refreshes BENCH_trace.json.
 bench-trace:
 	$(GO) run ./cmd/tracebench
+
+# The scaling sweep: all four parallel benchmarks at GOMAXPROCS 1, 2, 4
+# and 8. enginebench takes the whole list in one run (it records the
+# workers x GOMAXPROCS matrix itself); the other three are re-run per
+# GOMAXPROCS into bench_scale/ so the committed BENCH_*.json files keep
+# the default-configuration run.
+bench-scale:
+	mkdir -p bench_scale
+	$(GO) run ./cmd/enginebench -gomaxprocs 1,2,4,8 -out bench_scale/BENCH_engine_scale.json
+	for p in 1 2 4 8; do \
+		GOMAXPROCS=$$p $(GO) run ./cmd/fitbench -out bench_scale/BENCH_fit_p$$p.json && \
+		GOMAXPROCS=$$p $(GO) run ./cmd/genbench -out bench_scale/BENCH_gen_p$$p.json && \
+		GOMAXPROCS=$$p $(GO) run ./cmd/sweepbench -out bench_scale/BENCH_sweep_p$$p.json || exit 1; \
+	done
 
 # Rewrite the cmd/reproduce golden file after a reviewed output change.
 golden:

@@ -61,37 +61,50 @@ type ciResult struct {
 }
 
 type workloadResult struct {
+	GoMaxProcs   int     `json:"gomaxprocs"`
 	Workers      int     `json:"workers"`
 	Fits         uint64  `json:"fit_cache_misses"`
-	BeforeBestMs float64 `json:"slice_path_best_ms"`
-	BeforeMeanMs float64 `json:"slice_path_mean_ms"`
+	BeforeBestMs float64 `json:"slice_path_best_ms,omitempty"`
+	BeforeMeanMs float64 `json:"slice_path_mean_ms,omitempty"`
 	AfterBestMs  float64 `json:"kernel_best_ms"`
 	AfterMeanMs  float64 `json:"kernel_mean_ms"`
-	SpeedupX     float64 `json:"speedup_x"`
+	// SpeedupX is slice-path over kernel, recorded on the workers=1 point
+	// where the slice replay runs.
+	SpeedupX float64 `json:"speedup_x,omitempty"`
+	// ScalingX is the kernel's workers=1 best over this point's best.
+	ScalingX float64 `json:"speedup_vs_1_worker"`
+	// ParallelEfficiency is scaling over min(workers, gomaxprocs).
+	ParallelEfficiency float64 `json:"parallel_efficiency"`
 }
 
 type agreement struct {
 	Samples         int  `json:"samples"`
 	FitAllIdentical bool `json:"fit_all_bit_identical"`
-	FitCIIdentical  bool `json:"fit_ci_bit_identical"`
+	// FrozenCIIdentical: the frozen slice-path reference (RefFitCI) and the
+	// frozen sequential-stream reference (RefStreamFitCI) still agree bit
+	// for bit — the pre-rewrite history is pinned.
+	FrozenCIIdentical bool `json:"frozen_ci_pair_bit_identical"`
+	// CIPartitionInvariant: the live counter-seeded FitCISample equals a
+	// split-and-reordered rep-block merge of the same plan, bit for bit.
+	CIPartitionInvariant bool `json:"ci_partition_invariant"`
 }
 
 type benchReport struct {
-	Benchmark     string         `json:"benchmark"`
-	GOOS          string         `json:"goos"`
-	GOARCH        string         `json:"goarch"`
-	GoVersion     string         `json:"go_version"`
-	NumCPU        int            `json:"num_cpu"`
-	GOMAXPROCS    int            `json:"gomaxprocs"`
-	TraceRecords  int            `json:"trace_records"`
-	Shards        int            `json:"shards"`
-	BootstrapReps int            `json:"bootstrap_reps"`
-	RepsPerPoint  int            `json:"timing_reps_per_point"`
-	Agreement     agreement      `json:"agreement"`
-	Families      []familyResult `json:"families"`
-	FitCI         []ciResult     `json:"fit_ci"`
-	Workload      workloadResult `json:"engine_workload"`
-	Note          string         `json:"note"`
+	Benchmark     string           `json:"benchmark"`
+	GOOS          string           `json:"goos"`
+	GOARCH        string           `json:"goarch"`
+	GoVersion     string           `json:"go_version"`
+	NumCPU        int              `json:"num_cpu"`
+	GOMAXPROCS    int              `json:"gomaxprocs"`
+	TraceRecords  int              `json:"trace_records"`
+	Shards        int              `json:"shards"`
+	BootstrapReps int              `json:"bootstrap_reps"`
+	RepsPerPoint  int              `json:"timing_reps_per_point"`
+	Agreement     agreement        `json:"agreement"`
+	Families      []familyResult   `json:"families"`
+	FitCI         []ciResult       `json:"fit_ci"`
+	Workload      []workloadResult `json:"engine_workload"`
+	Note          string           `json:"note"`
 }
 
 func main() {
@@ -149,7 +162,8 @@ func run(args []string) error {
 		BootstrapReps: *bootstrap,
 		RepsPerPoint:  *reps,
 		Note: "slice path = frozen pre-kernel fitters (dist.RefFit*); " +
-			"kernel = Sample-transform fitters; results verified bit-identical before timing",
+			"kernel = Sample-transform fitters with counter-seeded bootstrap reps; " +
+			"fit results verified bit-identical and CI results partition-invariant before timing",
 	}
 
 	// Agreement pass: the kernels must reproduce the reference bits on
@@ -205,14 +219,21 @@ func run(args []string) error {
 			f, res.RefNsOp, res.KernelNsOp, res.SpeedupX, res.RefAllocsPerRep, res.KernAllocsPerRep)
 	}
 
-	// The engine workload: slice-path replay vs AnalyzeFleet at 1 worker.
+	// The engine workload: slice-path replay vs AnalyzeFleet, then the
+	// kernel path's worker scaling with per-point efficiency.
 	report.Workload, err = timeWorkload(dataset, ciFamilies, *bootstrap, *seed, *reps)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("engine workload (%d fits): slice=%.1fms kernel=%.1fms speedup=%.2fx\n",
-		report.Workload.Fits, report.Workload.BeforeBestMs, report.Workload.AfterBestMs,
-		report.Workload.SpeedupX)
+	for _, w := range report.Workload {
+		if w.Workers == 1 {
+			fmt.Printf("engine workload (%d fits): slice=%.1fms kernel=%.1fms speedup=%.2fx\n",
+				w.Fits, w.BeforeBestMs, w.AfterBestMs, w.SpeedupX)
+		} else {
+			fmt.Printf("engine workload workers=%d: kernel=%.1fms scaling=%.2fx efficiency=%.2f\n",
+				w.Workers, w.AfterBestMs, w.ScalingX, w.ParallelEfficiency)
+		}
+	}
 
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -227,7 +248,8 @@ func run(args []string) error {
 }
 
 func checkAgreement(samples [][]float64, ciFamilies []dist.Family, bootstrap int) (agreement, error) {
-	ag := agreement{Samples: len(samples), FitAllIdentical: true, FitCIIdentical: true}
+	ag := agreement{Samples: len(samples), FitAllIdentical: true,
+		FrozenCIIdentical: true, CIPartitionInvariant: true}
 	for i, xs := range samples {
 		s := dist.NewSample(xs)
 		ref, refErr := dist.RefFitAll(xs, dist.StandardFamilies()...)
@@ -240,29 +262,55 @@ func checkAgreement(samples [][]float64, ciFamilies []dist.Family, bootstrap int
 		}
 		for j, f := range ciFamilies {
 			seed := int64(1000*i + j)
+			// The frozen pair: slice-path and sequential-stream references
+			// pin the same historical bits.
 			refD, refCIs, refErr := dist.RefFitCI(f, xs, bootstrap, 0.95, seed)
+			frzD, frzCIs, frzErr := dist.RefStreamFitCI(f, s, bootstrap, 0.95, seed)
+			if (refErr == nil) != (frzErr == nil) {
+				return ag, fmt.Errorf("sample %d %v: frozen fit-CI error mismatch: %v vs %v", i, f, refErr, frzErr)
+			}
+			if refErr == nil && !ciEqual(refD, refCIs, frzD, frzCIs) {
+				ag.FrozenCIIdentical = false
+			}
+			// The live counter-seeded path: a one-block call must equal a
+			// split-and-reordered rep-block merge of the same plan.
 			kerD, kerCIs, kerErr := dist.FitCISample(f, s, bootstrap, 0.95, seed)
-			if (refErr == nil) != (kerErr == nil) {
-				return ag, fmt.Errorf("sample %d %v: fit-CI error mismatch: %v vs %v", i, f, refErr, kerErr)
-			}
-			if refErr != nil {
-				continue
-			}
-			if !paramsEqual(refD, kerD) || len(refCIs) != len(kerCIs) {
-				ag.FitCIIdentical = false
-				continue
-			}
-			for k := range refCIs {
-				if refCIs[k] != kerCIs[k] {
-					ag.FitCIIdentical = false
+			plan, planErr := dist.NewCIPlan(f, s, bootstrap, 0.95, seed)
+			if planErr != nil {
+				if kerErr == nil {
+					return ag, fmt.Errorf("sample %d %v: plan error %v but direct call succeeded", i, f, planErr)
 				}
+				continue
+			}
+			half := bootstrap / 2
+			pD, pCIs, pErr := plan.Merge([]dist.CIBlock{
+				plan.RunBlock(half, bootstrap), plan.RunBlock(0, half),
+			})
+			if (kerErr == nil) != (pErr == nil) {
+				ag.CIPartitionInvariant = false
+				continue
+			}
+			if kerErr == nil && !ciEqual(kerD, kerCIs, pD, pCIs) {
+				ag.CIPartitionInvariant = false
 			}
 		}
 	}
-	if !ag.FitAllIdentical || !ag.FitCIIdentical {
-		return ag, fmt.Errorf("kernel results are not bit-identical to the reference")
+	if !ag.FitAllIdentical || !ag.FrozenCIIdentical || !ag.CIPartitionInvariant {
+		return ag, fmt.Errorf("agreement pass failed: %+v", ag)
 	}
 	return ag, nil
+}
+
+func ciEqual(aD dist.Continuous, a []dist.ParamCI, bD dist.Continuous, b []dist.ParamCI) bool {
+	if !paramsEqual(aD, bD) || len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func comparisonsEqual(a, b *dist.Comparison) bool {
@@ -360,15 +408,16 @@ func allocsPerExtraRep(call func(reps int), reps int) int64 {
 	return per
 }
 
-// timeWorkload times the full engine workload both ways: a sequential
-// slice-path replay of every fit the engine performs (the pre-kernel cost),
-// and engine.AnalyzeFleet at one worker (the kernel cost, including sample
-// interning and result merging).
+// timeWorkload times the full engine workload: a sequential slice-path
+// replay of every fit the engine performs (the pre-kernel cost), then
+// engine.AnalyzeFleet at each worker count (the kernel cost, including
+// sample interning and result merging), each point carrying its
+// GOMAXPROCS and parallel efficiency.
 func timeWorkload(d *failures.Dataset, ciFamilies []dist.Family,
-	bootstrap int, seed int64, reps int) (workloadResult, error) {
-	res := workloadResult{Workers: 1}
+	bootstrap int, seed int64, reps int) ([]workloadResult, error) {
 	spec := engine.ShardSpec{IncludeFleet: true, CIFamilies: ciFamilies}
 	ctx := context.Background()
+	procs := runtime.GOMAXPROCS(0)
 
 	beforeBest, beforeMean := -1.0, 0.0
 	for r := 0; r < reps; r++ {
@@ -388,18 +437,18 @@ func timeWorkload(d *failures.Dataset, ciFamilies []dist.Family,
 					continue
 				}
 				if _, err := stats.Summarize(xs); err != nil {
-					return res, err
+					return nil, err
 				}
 				cmp, err := dist.RefFitAll(xs, dist.StandardFamilies()...)
 				if err != nil {
-					return res, err
+					return nil, err
 				}
 				for j, f := range ciFamilies {
 					if fr, ok := cmp.ByFamily(f); !ok || fr.Err != nil {
 						continue
 					}
 					if _, _, err := dist.RefFitCI(f, xs, bootstrap, 0.95, int64(1000*i+j)); err != nil {
-						return res, err
+						return nil, err
 					}
 				}
 				i++
@@ -412,28 +461,49 @@ func timeWorkload(d *failures.Dataset, ciFamilies []dist.Family,
 		}
 	}
 
-	afterBest, afterMean := -1.0, 0.0
-	for r := 0; r < reps; r++ {
-		// Fresh engine per repetition so the memo cache never hides work.
-		eng := engine.New(engine.Options{Workers: 1, BootstrapReps: bootstrap, Seed: seed})
-		start := time.Now()
-		if _, err := eng.AnalyzeFleet(ctx, d, spec); err != nil {
-			return res, err
+	var out []workloadResult
+	var base float64
+	for _, workers := range []int{1, 2, 4, 8} {
+		afterBest, afterMean := -1.0, 0.0
+		var fits uint64
+		for r := 0; r < reps; r++ {
+			// Fresh engine per repetition so the memo cache never hides work.
+			eng := engine.New(engine.Options{Workers: workers, BootstrapReps: bootstrap, Seed: seed})
+			start := time.Now()
+			if _, err := eng.AnalyzeFleet(ctx, d, spec); err != nil {
+				return nil, err
+			}
+			ms := float64(time.Since(start).Microseconds()) / 1000
+			afterMean += ms
+			if afterBest < 0 || ms < afterBest {
+				afterBest = ms
+			}
+			_, fits = eng.Stats()
 		}
-		ms := float64(time.Since(start).Microseconds()) / 1000
-		afterMean += ms
-		if afterBest < 0 || ms < afterBest {
-			afterBest = ms
+		if workers == 1 {
+			base = afterBest
 		}
-		_, res.Fits = eng.Stats()
+		usable := workers
+		if procs < usable {
+			usable = procs
+		}
+		res := workloadResult{
+			GoMaxProcs:         procs,
+			Workers:            workers,
+			Fits:               fits,
+			AfterBestMs:        round2(afterBest),
+			AfterMeanMs:        round2(afterMean / float64(reps)),
+			ScalingX:           round2(base / afterBest),
+			ParallelEfficiency: round2(base / afterBest / float64(usable)),
+		}
+		if workers == 1 {
+			res.BeforeBestMs = round2(beforeBest)
+			res.BeforeMeanMs = round2(beforeMean / float64(reps))
+			res.SpeedupX = round2(beforeBest / afterBest)
+		}
+		out = append(out, res)
 	}
-
-	res.BeforeBestMs = round2(beforeBest)
-	res.BeforeMeanMs = round2(beforeMean / float64(reps))
-	res.AfterBestMs = round2(afterBest)
-	res.AfterMeanMs = round2(afterMean / float64(reps))
-	res.SpeedupX = round2(beforeBest / afterBest)
-	return res, nil
+	return out, nil
 }
 
 func round2(v float64) float64 { return float64(int(v*100+0.5)) / 100 }

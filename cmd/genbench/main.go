@@ -39,29 +39,33 @@ type pathResult struct {
 }
 
 type benchReport struct {
-	Benchmark       string     `json:"benchmark"`
-	GOOS            string     `json:"goos"`
-	GOARCH          string     `json:"goarch"`
-	GoVersion       string     `json:"go_version"`
-	NumCPU          int        `json:"num_cpu"`
-	Seed            int64      `json:"seed"`
-	RateScale       float64    `json:"rate_scale"`
-	Workers         int        `json:"workers"`
-	Reps            int        `json:"reps"`
-	TraceRecords    int        `json:"trace_records"`
-	Reference       pathResult `json:"reference_sequential"`
-	Compiled1       pathResult `json:"compiled_workers_1"`
-	CompiledN       pathResult `json:"compiled_workers_n"`
-	Stream          pathResult `json:"stream_workers_n"`
-	Speedup1        float64    `json:"speedup_workers_1"`
-	SpeedupN        float64    `json:"speedup_workers_n"`
-	AllocsPerRecord float64    `json:"allocs_per_record_draw_path"`
-	StreamHeap1xMB  float64    `json:"stream_peak_heap_1x_mb"`
-	StreamHeap2xMB  float64    `json:"stream_peak_heap_2x_mb"`
-	MatHeap1xMB     float64    `json:"materialized_peak_heap_1x_mb"`
-	MatHeap2xMB     float64    `json:"materialized_peak_heap_2x_mb"`
-	IdentityChecked bool       `json:"identity_checked"`
-	Note            string     `json:"note"`
+	Benchmark    string     `json:"benchmark"`
+	GOOS         string     `json:"goos"`
+	GOARCH       string     `json:"goarch"`
+	GoVersion    string     `json:"go_version"`
+	NumCPU       int        `json:"num_cpu"`
+	GOMAXPROCS   int        `json:"gomaxprocs"`
+	Seed         int64      `json:"seed"`
+	RateScale    float64    `json:"rate_scale"`
+	Workers      int        `json:"workers"`
+	Reps         int        `json:"reps"`
+	TraceRecords int        `json:"trace_records"`
+	Reference    pathResult `json:"reference_sequential"`
+	Compiled1    pathResult `json:"compiled_workers_1"`
+	CompiledN    pathResult `json:"compiled_workers_n"`
+	Stream       pathResult `json:"stream_workers_n"`
+	Speedup1     float64    `json:"speedup_workers_1"`
+	SpeedupN     float64    `json:"speedup_workers_n"`
+	// ParallelEfficiencyN is the compiled path's workers-1-to-workers-N
+	// scaling over the usable parallelism min(workers, gomaxprocs).
+	ParallelEfficiencyN float64 `json:"parallel_efficiency_workers_n"`
+	AllocsPerRecord     float64 `json:"allocs_per_record_draw_path"`
+	StreamHeap1xMB      float64 `json:"stream_peak_heap_1x_mb"`
+	StreamHeap2xMB      float64 `json:"stream_peak_heap_2x_mb"`
+	MatHeap1xMB         float64 `json:"materialized_peak_heap_1x_mb"`
+	MatHeap2xMB         float64 `json:"materialized_peak_heap_2x_mb"`
+	IdentityChecked     bool    `json:"identity_checked"`
+	Note                string  `json:"note"`
 }
 
 func main() {
@@ -182,29 +186,31 @@ func run(args []string) error {
 	}
 
 	rep := benchReport{
-		Benchmark: "trace generation: frozen sequential reference vs compiled parallel vs streaming",
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		GoVersion: runtime.Version(),
-		NumCPU:    runtime.NumCPU(),
-		Seed:      *seed,
-		RateScale: *scale,
-		Workers:   *workers,
-		Reps:      *reps,
+		Benchmark:  "trace generation: frozen sequential reference vs compiled parallel vs streaming",
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:       *seed,
+		RateScale:  *scale,
+		Workers:    *workers,
+		Reps:       *reps,
 
-		TraceRecords:    ref.Len(),
-		Reference:       refRes,
-		Compiled1:       c1Res,
-		CompiledN:       cnRes,
-		Stream:          streamRes,
-		Speedup1:        round3(refRes.WallMs / c1Res.WallMs),
-		SpeedupN:        round3(refRes.WallMs / cnRes.WallMs),
-		AllocsPerRecord: round3(allocs),
-		StreamHeap1xMB:  streamRes.PeakHeapMB,
-		StreamHeap2xMB:  stream2x.PeakHeapMB,
-		MatHeap1xMB:     cnRes.PeakHeapMB,
-		MatHeap2xMB:     mat2x.PeakHeapMB,
-		IdentityChecked: true,
+		TraceRecords:        ref.Len(),
+		Reference:           refRes,
+		Compiled1:           c1Res,
+		CompiledN:           cnRes,
+		Stream:              streamRes,
+		Speedup1:            round3(refRes.WallMs / c1Res.WallMs),
+		SpeedupN:            round3(refRes.WallMs / cnRes.WallMs),
+		ParallelEfficiencyN: round3(c1Res.WallMs / cnRes.WallMs / float64(min(*workers, runtime.GOMAXPROCS(0)))),
+		AllocsPerRecord:     round3(allocs),
+		StreamHeap1xMB:      streamRes.PeakHeapMB,
+		StreamHeap2xMB:      stream2x.PeakHeapMB,
+		MatHeap1xMB:         cnRes.PeakHeapMB,
+		MatHeap2xMB:         mat2x.PeakHeapMB,
+		IdentityChecked:     true,
 		Note: "every path re-verified record-identical to lanl.RefGenerate before timing; " +
 			"best of reps reported. allocs_per_record isolates the cause/detail/repair draw " +
 			"path by differencing two trace sizes so fixed setup costs cancel. On a single-CPU " +
@@ -285,7 +291,14 @@ func allocsPerRecord(cfg lanl.Config) (float64, error) {
 	if n2 <= n1 {
 		return 0, fmt.Errorf("allocs probe: trace did not grow (%d -> %d records)", n1, n2)
 	}
-	return float64(m2-m1) / float64(n2-n1), nil
+	// Signed difference: runtime background allocations can make the
+	// smaller run measure more mallocs than the larger one, and unsigned
+	// subtraction would wrap that noise into an absurd positive figure.
+	per := (float64(m2) - float64(m1)) / float64(n2-n1)
+	if per < 0 {
+		per = 0
+	}
+	return per, nil
 }
 
 // best runs fn reps times and keeps the fastest wall clock, sampling

@@ -28,6 +28,9 @@ type pathResult struct {
 	SimsPerSec     float64 `json:"sims_per_sec"`
 	Configurations int     `json:"configurations"`
 	Simulations    int     `json:"simulations"`
+	// ParallelEfficiency is this path's configs/sec over the workers=1
+	// path's, divided by the usable parallelism min(workers, gomaxprocs).
+	ParallelEfficiency float64 `json:"parallel_efficiency"`
 }
 
 type benchReport struct {
@@ -36,6 +39,7 @@ type benchReport struct {
 	GOARCH          string     `json:"goarch"`
 	GoVersion       string     `json:"go_version"`
 	NumCPU          int        `json:"num_cpu"`
+	GOMAXPROCS      int        `json:"gomaxprocs"`
 	Seed            int64      `json:"seed"`
 	Seeds           int        `json:"seeds"`
 	Grid            string     `json:"grid"`
@@ -105,7 +109,8 @@ func run(args []string) error {
 		Benchmark: "sweep",
 		GOOS:      runtime.GOOS, GOARCH: runtime.GOARCH,
 		GoVersion: runtime.Version(), NumCPU: runtime.NumCPU(),
-		Seed: *seed, Seeds: *seeds,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:       *seed, Seeds: *seeds,
 		Grid: grid.String(), GridPoints: grid.Size(), Reps: *reps,
 		Workers1:        path(1, time1, res1),
 		WorkersN:        path(*workers, timeN, resN),
@@ -114,6 +119,8 @@ func run(args []string) error {
 			"multi-worker TSV matched the single-worker TSV byte-for-byte",
 	}
 	report.Scaling = report.WorkersN.ConfigsPerSec / report.Workers1.ConfigsPerSec
+	report.Workers1.ParallelEfficiency = 1
+	report.WorkersN.ParallelEfficiency = report.Scaling / float64(min(*workers, runtime.GOMAXPROCS(0)))
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

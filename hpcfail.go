@@ -309,6 +309,29 @@ var (
 	FitCISample            = dist.FitCISample
 	BootstrapKSTestSample  = dist.BootstrapKSTestSample
 	NegLogLikelihoodSample = dist.NegLogLikelihoodSample
+
+	// NewCIPlan and NewKSPlan expose the counter-seeded bootstrap as
+	// splittable work: a plan's rep blocks may run on any worker in any
+	// order and merge bit-identically to the one-shot calls above.
+	NewCIPlan = dist.NewCIPlan
+	NewKSPlan = dist.NewKSPlan
+
+	// RefStreamFitCI and RefStreamBootstrapKSTest freeze the pre-plan
+	// sequential-stream bootstrap for regression comparisons, the way
+	// RefFitCI freezes the slice path.
+	RefStreamFitCI           = dist.RefStreamFitCI
+	RefStreamBootstrapKSTest = dist.RefStreamBootstrapKSTest
+)
+
+// Splittable-bootstrap plan types.
+type (
+	// CIPlan partitions one bootstrap-CI computation into rep blocks;
+	// CIBlock is one block's resampled estimates.
+	CIPlan  = dist.CIPlan
+	CIBlock = dist.CIBlock
+	// KSPlan and KSBlock are the same split for the bootstrap KS test.
+	KSPlan  = dist.KSPlan
+	KSBlock = dist.KSBlock
 )
 
 // ---- Descriptive statistics (internal/stats) ----
@@ -513,8 +536,12 @@ type (
 	// confidence intervals for every fitted parameter.
 	Engine = engine.Engine
 	// EngineOptions configures worker count, bootstrap replication count,
-	// confidence level and base seed.
+	// confidence level, base seed and scheduling grain.
 	EngineOptions = engine.Options
+	// Grain selects the engine's unit of parallelism: sub-shard tasks
+	// (per-family fits plus per-rep-block bootstraps, the default) or
+	// whole shards; both grains merge to byte-identical results.
+	Grain = engine.Grain
 	// ShardKey identifies one (system, workload, root cause) shard of a
 	// fleet analysis; ShardSpec controls sharding and fitted families.
 	ShardKey  = engine.ShardKey
@@ -527,8 +554,15 @@ type (
 )
 
 // NewEngine builds an analysis engine; the zero Options give GOMAXPROCS
-// workers, 200 bootstrap resamples at the 95% level and seed 0.
+// workers, 200 bootstrap resamples at the 95% level, seed 0 and the
+// sub-shard grain.
 var NewEngine = engine.New
+
+// Scheduling grains for EngineOptions.Grain.
+const (
+	GrainSubShard = engine.GrainSubShard
+	GrainShard    = engine.GrainShard
+)
 
 // ---- Streaming one-pass statistics (internal/streamstats, internal/engine) ----
 

@@ -1,11 +1,7 @@
 package dist
 
 import (
-	"fmt"
 	"math"
-	"sort"
-
-	"hpcfail/internal/randx"
 )
 
 // KSTestResult is the outcome of a parametric-bootstrap Kolmogorov–Smirnov
@@ -38,90 +34,17 @@ func BootstrapKSTest(f Family, xs []float64, reps int, seed int64) (KSTestResult
 // replication generates into a scratch transform buffer, refits with the
 // family kernel, and evaluates the KS statistic with a direct
 // (devirtualized) CDF call over a reused sort buffer — no per-rep slice,
-// ECDF or interface allocation. The variate draw sequence, refit math and
-// KS loop match the historical slice path operation for operation, so the
-// p-value is bit-identical for the same (data, reps, seed).
+// ECDF or interface allocation. Each replication draws from its own
+// counter-derived seed, so this one-block call is bit-identical to any
+// partition of the same reps across workers via KSPlan.RunBlock — but NOT
+// to the historical single-stream draw order, frozen as
+// RefStreamBootstrapKSTest.
 func BootstrapKSTestSample(f Family, s *Sample, reps int, seed int64) (KSTestResult, error) {
-	if s.N() < 5 {
-		return KSTestResult{}, fmt.Errorf("bootstrap KS: need >= 5 observations: %w", ErrInsufficientData)
-	}
-	if reps <= 0 {
-		reps = 200
-	}
-	fitted, err := FitSample(f, s)
+	p, err := NewKSPlan(f, s, reps, seed)
 	if err != nil {
-		return KSTestResult{}, fmt.Errorf("bootstrap KS: %w", err)
+		return KSTestResult{}, err
 	}
-	ecdf, err := s.ECDF()
-	if err != nil {
-		return KSTestResult{}, fmt.Errorf("bootstrap KS: %w", err)
-	}
-	observed := ecdf.KolmogorovSmirnov(fitted.CDF)
-
-	src := randx.NewSource(seed)
-	var exceed, ok int
-	switch f {
-	case FamilyExponential:
-		exceed, ok = ksBootstrap(fitted.(Exponential), fitExponentialKernel, s.N(), reps, src, observed)
-	case FamilyWeibull:
-		sv := newWeibullSolver()
-		exceed, ok = ksBootstrap(fitted.(Weibull), sv.fit, s.N(), reps, src, observed)
-	case FamilyGamma:
-		sv := newGammaSolver()
-		exceed, ok = ksBootstrap(fitted.(Gamma), sv.fit, s.N(), reps, src, observed)
-	case FamilyLogNormal:
-		exceed, ok = ksBootstrap(fitted.(LogNormal), fitLogNormalKernel, s.N(), reps, src, observed)
-	case FamilyNormal:
-		exceed, ok = ksBootstrap(fitted.(Normal), fitNormalKernel, s.N(), reps, src, observed)
-	case FamilyPareto:
-		exceed, ok = ksBootstrap(fitted.(Pareto), fitParetoKernel, s.N(), reps, src, observed)
-	case FamilyHyperExp:
-		sv := &hyperExpSolver{}
-		refit := func(t *xform) (HyperExp, error) { return sv.fit(t, 0) }
-		exceed, ok = ksBootstrap(fitted.(HyperExp), refit, s.N(), reps, src, observed)
-	default:
-		return KSTestResult{}, fmt.Errorf("bootstrap KS: unknown family %v: %w", f, ErrBadParam)
-	}
-	if ok == 0 {
-		return KSTestResult{}, fmt.Errorf("bootstrap KS: every replication failed: %w", ErrInsufficientData)
-	}
-	p := float64(exceed) / float64(ok)
-	if math.IsNaN(p) {
-		return KSTestResult{}, fmt.Errorf("bootstrap KS: NaN p-value")
-	}
-	return KSTestResult{
-		Family:       f,
-		Dist:         fitted,
-		KS:           observed,
-		P:            p,
-		Replications: ok,
-	}, nil
-}
-
-// ksBootstrap runs the replication loop for one concrete family. The
-// generic instantiation lets Rand and CDF dispatch directly instead of
-// through the Continuous interface, and all buffers are allocated once.
-func ksBootstrap[D Continuous](fitted D, refit func(*xform) (D, error), n, reps int, src *randx.Source, observed float64) (exceed, ok int) {
-	var scratch xform
-	scratch.xs = growFloats(scratch.xs, n)
-	sorted := make([]float64, n)
-	for r := 0; r < reps; r++ {
-		for i := range scratch.xs {
-			scratch.xs[i] = fitted.Rand(src)
-		}
-		scratch.scan()
-		d, err := refit(&scratch)
-		if err != nil {
-			continue // a degenerate resample; skip it
-		}
-		copy(sorted, scratch.xs)
-		sort.Float64s(sorted)
-		ok++
-		if ksStat(d, sorted) >= observed {
-			exceed++
-		}
-	}
-	return exceed, ok
+	return p.Merge([]KSBlock{p.RunBlock(0, p.reps)})
 }
 
 // ksStat replicates stats.ECDF.KolmogorovSmirnov over an already-sorted

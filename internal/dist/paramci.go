@@ -2,10 +2,6 @@ package dist
 
 import (
 	"fmt"
-	"math"
-
-	"hpcfail/internal/randx"
-	"hpcfail/internal/stats"
 )
 
 // ParamCI is a bootstrap confidence interval for one fitted parameter.
@@ -117,76 +113,17 @@ func newRefitFn(f Family) refitFn {
 // index-resample that gathers values and cached logarithms from the
 // sample's transforms into scratch buffers owned by the loop — no
 // re-walking, no per-rep slice allocation, no interface boxing — and the
-// family kernels refit from the gathered transforms. Because the gathered
-// log of a value carries the same bits a fresh math.Log would produce, and
-// the randx draw sequence is unchanged, the intervals are bit-identical to
-// the historical slice path for the same (data, reps, level, seed).
+// family kernels refit from the gathered transforms. Each rep draws from
+// its own counter-derived seed (FNV-1a over the task seed and the rep
+// index), so this one-block call is bit-identical to any partition of the
+// same reps across workers via CIPlan.RunBlock — but NOT to the historical
+// single-stream draw order, which is frozen as RefStreamFitCI.
 func FitCISample(f Family, s *Sample, reps int, level float64, seed int64) (Continuous, []ParamCI, error) {
-	if level <= 0 || level >= 1 {
-		return nil, nil, fmt.Errorf("fit CI %v: level %g outside (0, 1): %w", f, level, ErrBadParam)
-	}
-	if reps <= 0 {
-		reps = 200
-	}
-	fitted, err := FitSample(f, s)
+	p, err := NewCIPlan(f, s, reps, level, seed)
 	if err != nil {
-		return nil, nil, fmt.Errorf("fit CI %v: %w", f, err)
+		return nil, nil, err
 	}
-	params, ok := fitted.(Parameterized)
-	if !ok {
-		return nil, nil, fmt.Errorf("fit CI %v: %T does not expose parameters: %w", f, fitted, ErrUnsupported)
-	}
-	names := params.ParamNames()
-	estimates := params.ParamValues()
-	if len(names) != len(estimates) {
-		return nil, nil, fmt.Errorf("fit CI %v: %d names vs %d values", f, len(names), len(estimates))
-	}
-	refit := newRefitFn(f)
-	if refit == nil {
-		return nil, nil, fmt.Errorf("fit CI %v: no bootstrap kernel: %w", f, ErrUnsupported)
-	}
-
-	src := randx.NewSource(seed)
-	resampled := make([][]float64, len(names))
-	for i := range resampled {
-		resampled[i] = make([]float64, 0, reps)
-	}
-	var scratch xform
-	vals := make([]float64, 0, len(names))
-	fitOK := 0
-	for r := 0; r < reps; r++ {
-		scratch.gather(&s.t, src)
-		var ok bool
-		vals, ok = refit(&scratch, vals[:0])
-		if !ok {
-			continue // degenerate resample
-		}
-		for i, v := range vals {
-			resampled[i] = append(resampled[i], v)
-		}
-		fitOK++
-	}
-	if fitOK < (reps+1)/2 {
-		return nil, nil, fmt.Errorf("fit CI %v: only %d of %d resamples fitted: %w",
-			f, fitOK, reps, ErrInsufficientData)
-	}
-	alpha := (1 - level) / 2
-	cis := make([]ParamCI, len(names))
-	for i, name := range names {
-		lo, err := stats.Quantile(resampled[i], alpha)
-		if err != nil {
-			return nil, nil, fmt.Errorf("fit CI %v %s: %w", f, name, err)
-		}
-		hi, err := stats.Quantile(resampled[i], 1-alpha)
-		if err != nil {
-			return nil, nil, fmt.Errorf("fit CI %v %s: %w", f, name, err)
-		}
-		if math.IsNaN(lo) || math.IsNaN(hi) {
-			return nil, nil, fmt.Errorf("fit CI %v: NaN bound for %s", f, name)
-		}
-		cis[i] = ParamCI{Name: name, Estimate: estimates[i], Lo: lo, Hi: hi}
-	}
-	return fitted, cis, nil
+	return p.Merge([]CIBlock{p.RunBlock(0, p.reps)})
 }
 
 // WeibullCI fits a Weibull and attaches percentile-bootstrap confidence

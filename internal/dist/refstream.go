@@ -1,0 +1,179 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hpcfail/internal/randx"
+	"hpcfail/internal/stats"
+)
+
+// This file freezes the sequential-stream bootstrap exactly as it shipped
+// before the counter-seeded rewrite: every rep draws from ONE randx.Source
+// advanced across the whole loop, so rep r's draws depend on reps 0..r-1
+// having run first. That coupling is what the live path removed (each rep
+// now reseeds independently), and it is why these bodies are kept: they are
+// the callable oracle that pins the historical interval and p-value bits,
+// the same role ref.go's RefFitCI plays for the pre-kernel slice fitters.
+//
+// Do not modernize these bodies; their value is that they do not change.
+
+// RefStreamFitCI is the frozen sequential-stream FitCISample: identical
+// prologue, gather/refit kernel and quantile epilogue, but all reps drawn
+// from a single sequential source seeded once. For the same (data, reps,
+// level, seed) it reproduces the pre-rewrite intervals bit for bit, and
+// it remains bit-identical to ref.go's RefFitCI (the slice-path oracle).
+func RefStreamFitCI(f Family, s *Sample, reps int, level float64, seed int64) (Continuous, []ParamCI, error) {
+	if level <= 0 || level >= 1 {
+		return nil, nil, fmt.Errorf("fit CI %v: level %g outside (0, 1): %w", f, level, ErrBadParam)
+	}
+	if reps <= 0 {
+		reps = 200
+	}
+	fitted, err := FitSample(f, s)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fit CI %v: %w", f, err)
+	}
+	params, ok := fitted.(Parameterized)
+	if !ok {
+		return nil, nil, fmt.Errorf("fit CI %v: %T does not expose parameters: %w", f, fitted, ErrUnsupported)
+	}
+	names := params.ParamNames()
+	estimates := params.ParamValues()
+	if len(names) != len(estimates) {
+		return nil, nil, fmt.Errorf("fit CI %v: %d names vs %d values", f, len(names), len(estimates))
+	}
+	refit := newRefitFn(f)
+	if refit == nil {
+		return nil, nil, fmt.Errorf("fit CI %v: no bootstrap kernel: %w", f, ErrUnsupported)
+	}
+
+	src := randx.NewSource(seed)
+	resampled := make([][]float64, len(names))
+	for i := range resampled {
+		resampled[i] = make([]float64, 0, reps)
+	}
+	var scratch xform
+	vals := make([]float64, 0, len(names))
+	fitOK := 0
+	for r := 0; r < reps; r++ {
+		scratch.gather(&s.t, src)
+		var ok bool
+		vals, ok = refit(&scratch, vals[:0])
+		if !ok {
+			continue // degenerate resample
+		}
+		for i, v := range vals {
+			resampled[i] = append(resampled[i], v)
+		}
+		fitOK++
+	}
+	if fitOK < (reps+1)/2 {
+		return nil, nil, fmt.Errorf("fit CI %v: only %d of %d resamples fitted: %w",
+			f, fitOK, reps, ErrInsufficientData)
+	}
+	alpha := (1 - level) / 2
+	cis := make([]ParamCI, len(names))
+	for i, name := range names {
+		lo, err := stats.Quantile(resampled[i], alpha)
+		if err != nil {
+			return nil, nil, fmt.Errorf("fit CI %v %s: %w", f, name, err)
+		}
+		hi, err := stats.Quantile(resampled[i], 1-alpha)
+		if err != nil {
+			return nil, nil, fmt.Errorf("fit CI %v %s: %w", f, name, err)
+		}
+		if math.IsNaN(lo) || math.IsNaN(hi) {
+			return nil, nil, fmt.Errorf("fit CI %v: NaN bound for %s", f, name)
+		}
+		cis[i] = ParamCI{Name: name, Estimate: estimates[i], Lo: lo, Hi: hi}
+	}
+	return fitted, cis, nil
+}
+
+// RefStreamBootstrapKSTest is the frozen sequential-stream
+// BootstrapKSTestSample: one source seeded once, every replication's
+// variates drawn in sequence from it. Reproduces the pre-rewrite p-values
+// bit for bit, and stays bit-identical to ref.go's refBootstrapKSTest.
+func RefStreamBootstrapKSTest(f Family, s *Sample, reps int, seed int64) (KSTestResult, error) {
+	if s.N() < 5 {
+		return KSTestResult{}, fmt.Errorf("bootstrap KS: need >= 5 observations: %w", ErrInsufficientData)
+	}
+	if reps <= 0 {
+		reps = 200
+	}
+	fitted, err := FitSample(f, s)
+	if err != nil {
+		return KSTestResult{}, fmt.Errorf("bootstrap KS: %w", err)
+	}
+	ecdf, err := s.ECDF()
+	if err != nil {
+		return KSTestResult{}, fmt.Errorf("bootstrap KS: %w", err)
+	}
+	observed := ecdf.KolmogorovSmirnov(fitted.CDF)
+
+	src := randx.NewSource(seed)
+	var exceed, ok int
+	switch f {
+	case FamilyExponential:
+		exceed, ok = refStreamKSBootstrap(fitted.(Exponential), fitExponentialKernel, s.N(), reps, src, observed)
+	case FamilyWeibull:
+		sv := newWeibullSolver()
+		exceed, ok = refStreamKSBootstrap(fitted.(Weibull), sv.fit, s.N(), reps, src, observed)
+	case FamilyGamma:
+		sv := newGammaSolver()
+		exceed, ok = refStreamKSBootstrap(fitted.(Gamma), sv.fit, s.N(), reps, src, observed)
+	case FamilyLogNormal:
+		exceed, ok = refStreamKSBootstrap(fitted.(LogNormal), fitLogNormalKernel, s.N(), reps, src, observed)
+	case FamilyNormal:
+		exceed, ok = refStreamKSBootstrap(fitted.(Normal), fitNormalKernel, s.N(), reps, src, observed)
+	case FamilyPareto:
+		exceed, ok = refStreamKSBootstrap(fitted.(Pareto), fitParetoKernel, s.N(), reps, src, observed)
+	case FamilyHyperExp:
+		sv := &hyperExpSolver{}
+		refit := func(t *xform) (HyperExp, error) { return sv.fit(t, 0) }
+		exceed, ok = refStreamKSBootstrap(fitted.(HyperExp), refit, s.N(), reps, src, observed)
+	default:
+		return KSTestResult{}, fmt.Errorf("bootstrap KS: unknown family %v: %w", f, ErrBadParam)
+	}
+	if ok == 0 {
+		return KSTestResult{}, fmt.Errorf("bootstrap KS: every replication failed: %w", ErrInsufficientData)
+	}
+	p := float64(exceed) / float64(ok)
+	if math.IsNaN(p) {
+		return KSTestResult{}, fmt.Errorf("bootstrap KS: NaN p-value")
+	}
+	return KSTestResult{
+		Family:       f,
+		Dist:         fitted,
+		KS:           observed,
+		P:            p,
+		Replications: ok,
+	}, nil
+}
+
+// refStreamKSBootstrap is the frozen sequential replication loop behind
+// RefStreamBootstrapKSTest.
+func refStreamKSBootstrap[D Continuous](fitted D, refit func(*xform) (D, error), n, reps int, src *randx.Source, observed float64) (exceed, ok int) {
+	var scratch xform
+	scratch.xs = growFloats(scratch.xs, n)
+	sorted := make([]float64, n)
+	for r := 0; r < reps; r++ {
+		for i := range scratch.xs {
+			scratch.xs[i] = fitted.Rand(src)
+		}
+		scratch.scan()
+		d, err := refit(&scratch)
+		if err != nil {
+			continue // a degenerate resample; skip it
+		}
+		copy(sorted, scratch.xs)
+		sort.Float64s(sorted)
+		ok++
+		if ksStat(d, sorted) >= observed {
+			exceed++
+		}
+	}
+	return exceed, ok
+}

@@ -155,9 +155,12 @@ func TestFitAllSampleBitIdenticalToReference(t *testing.T) {
 }
 
 // TestFitCIBitIdenticalToReference checks that the gather-based
-// zero-allocation bootstrap reproduces the frozen slice-path bootstrap
-// exactly: same fitted estimates and the same interval bounds, bit for bit,
-// at the same (reps, level, seed).
+// zero-allocation sequential-stream bootstrap (frozen as RefStreamFitCI
+// when the live path moved to counter-seeded reps) reproduces the frozen
+// slice-path bootstrap exactly: same fitted estimates and the same
+// interval bounds, bit for bit, at the same (reps, level, seed). The live
+// FitCI draws per-rep seeds and is pinned separately by the partition-
+// invariance tests in plan_test.go.
 func TestFitCIBitIdenticalToReference(t *testing.T) {
 	const (
 		reps  = 64
@@ -169,7 +172,7 @@ func TestFitCIBitIdenticalToReference(t *testing.T) {
 		for _, f := range identityFamilies {
 			t.Run(name+"/"+f.String(), func(t *testing.T) {
 				refD, refCIs, refErr := RefFitCI(f, xs, reps, level, seed)
-				kerD, kerCIs, kerErr := FitCI(f, xs, reps, level, seed)
+				kerD, kerCIs, kerErr := RefStreamFitCI(f, NewSample(xs), reps, level, seed)
 				if sameError(t, refErr, kerErr) {
 					return
 				}
@@ -188,9 +191,12 @@ func TestFitCIBitIdenticalToReference(t *testing.T) {
 	}
 }
 
-// TestBootstrapKSBitIdenticalToReference checks the parametric-bootstrap KS
-// test: same observed statistic, p-value and replication count as the
-// frozen reference at the same seed.
+// TestBootstrapKSBitIdenticalToReference checks the sequential-stream
+// parametric-bootstrap KS test (frozen as RefStreamBootstrapKSTest): same
+// observed statistic, p-value and replication count as the frozen
+// slice-path reference at the same seed. The live BootstrapKSTest draws
+// per-rep seeds and is pinned by plan_test.go's partition-invariance
+// tests.
 func TestBootstrapKSBitIdenticalToReference(t *testing.T) {
 	const (
 		reps = 50
@@ -201,7 +207,7 @@ func TestBootstrapKSBitIdenticalToReference(t *testing.T) {
 		for _, f := range identityFamilies {
 			t.Run(name+"/"+f.String(), func(t *testing.T) {
 				ref, refErr := refBootstrapKSTest(f, xs, reps, seed)
-				ker, kerErr := BootstrapKSTest(f, xs, reps, seed)
+				ker, kerErr := RefStreamBootstrapKSTest(f, NewSample(xs), reps, seed)
 				if sameError(t, refErr, kerErr) {
 					return
 				}

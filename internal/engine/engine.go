@@ -43,6 +43,11 @@ type Options struct {
 	// deterministically from (Seed, sample hash, family), so results do not
 	// depend on worker scheduling.
 	Seed int64
+	// Grain selects the unit of parallelism for fleet/stream analyses:
+	// GrainSubShard (default) fans out per-(sample, family) fits and
+	// per-rep-block bootstraps; GrainShard keeps the historical
+	// one-task-per-shard decomposition. Both produce identical bytes.
+	Grain Grain
 }
 
 // Engine is a concurrent, memoizing distribution-fitting pipeline. It is
@@ -52,6 +57,10 @@ type Engine struct {
 	reps    int
 	level   float64
 	seed    int64
+	grain   Grain
+	// enumOrder disables largest-first dispatch (tests only): shards are
+	// fed in enumeration order, proving ordering never changes output.
+	enumOrder bool
 
 	mu      sync.Mutex
 	fits    map[fitKey][]*fitEntry
@@ -98,6 +107,9 @@ type fitEntry struct {
 type ciEntry struct {
 	fp   fingerprint
 	once sync.Once
+	// done flips true after once ran, letting the sub-shard pipeline skip
+	// scheduling rep blocks for intervals an earlier analysis computed.
+	done atomic.Bool
 	dist dist.Continuous
 	cis  []dist.ParamCI
 	err  error
@@ -124,6 +136,7 @@ func New(opts Options) *Engine {
 		reps:    opts.BootstrapReps,
 		level:   opts.Level,
 		seed:    opts.Seed,
+		grain:   opts.Grain,
 		fits:    make(map[fitKey][]*fitEntry),
 		cis:     make(map[fitKey][]*ciEntry),
 		samples: make(map[uint64][]*sampleEntry),
@@ -306,6 +319,41 @@ func (e *Engine) FitCI(ctx context.Context, xs []float64, f dist.Family) (dist.C
 	return e.FitCISample(ctx, e.Intern(xs), f)
 }
 
+// lookupCI returns the memoized interval entry for (sample, family),
+// installing an empty one on first sight. count controls hit/miss
+// accounting: caller-facing lookups count, the sub-shard pipeline's
+// internal pre-pass does not (assembly re-looks the same entries up, and
+// double counting would skew the benchmark's cache-rate report).
+func (e *Engine) lookupCI(s *dist.Sample, f dist.Family, count bool) (ent *ciEntry, hit bool) {
+	key := fitKey{hash: s.Hash(), family: f}
+	fp := fingerprintOf(s.Values())
+	e.mu.Lock()
+	bucket := e.cis[key]
+	for _, c := range bucket {
+		if c.fp == fp {
+			ent = c
+			break
+		}
+	}
+	hit = ent != nil
+	if !hit {
+		if len(bucket) > 0 {
+			e.collisions.Add(1)
+		}
+		ent = &ciEntry{fp: fp}
+		e.cis[key] = append(bucket, ent)
+	}
+	e.mu.Unlock()
+	if count {
+		if hit {
+			e.hits.Add(1)
+		} else {
+			e.misses.Add(1)
+		}
+	}
+	return ent, hit
+}
+
 // FitCISample is FitCI over a shared precomputed sample, feeding the
 // zero-allocation bootstrap kernel directly from the sample's cached
 // transforms.
@@ -317,34 +365,10 @@ func (e *Engine) FitCISample(ctx context.Context, s *dist.Sample, f dist.Family)
 	if reps < 0 {
 		return nil, nil, fmt.Errorf("engine fit CI %v: bootstrap disabled (reps %d)", f, reps)
 	}
-	hash := s.Hash()
-	key := fitKey{hash: hash, family: f}
-	fp := fingerprintOf(s.Values())
-	e.mu.Lock()
-	var ent *ciEntry
-	bucket := e.cis[key]
-	for _, c := range bucket {
-		if c.fp == fp {
-			ent = c
-			break
-		}
-	}
-	hit := ent != nil
-	if !hit {
-		if len(bucket) > 0 {
-			e.collisions.Add(1)
-		}
-		ent = &ciEntry{fp: fp}
-		e.cis[key] = append(bucket, ent)
-	}
-	e.mu.Unlock()
-	if hit {
-		e.hits.Add(1)
-	} else {
-		e.misses.Add(1)
-	}
+	ent, _ := e.lookupCI(s, f, true)
 	ent.once.Do(func() {
-		ent.dist, ent.cis, ent.err = dist.FitCISample(f, s, reps, e.level, e.taskSeed(hash, f))
+		ent.dist, ent.cis, ent.err = dist.FitCISample(f, s, reps, e.level, e.taskSeed(s.Hash(), f))
+		ent.done.Store(true)
 	})
 	return ent.dist, ent.cis, ent.err
 }

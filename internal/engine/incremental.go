@@ -195,33 +195,33 @@ func (inc *Incremental) Result(ctx context.Context) (*FleetResult, *StreamInfo, 
 	info := inc.infoLocked()
 	inc.mu.Unlock()
 
-	// Fit the dirty shards on the worker pool, outside the lock.
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < inc.eng.workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range idx {
-				if ctx.Err() != nil {
-					return
-				}
-				out[jobs[j].i] = inc.eng.streamShardResult(ctx, jobs[j].key, jobs[j].acc, inc.opts.Spec)
-			}
-		}()
-	}
-feed:
-	for j := range jobs {
-		select {
-		case idx <- j:
-		case <-ctx.Done():
-			break feed
+	// Fit the dirty shards outside the lock, over the same sub-shard
+	// pipeline (or per-shard tasks under GrainShard) the one-shot paths
+	// use, largest dirty shard first.
+	if inc.eng.grain == GrainShard {
+		sizes := make([]int, len(jobs))
+		for j := range jobs {
+			sizes[j] = jobs[j].acc.records
 		}
-	}
-	close(idx)
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return nil, nil, err
+		ord := inc.eng.orderIndexes(sizes)
+		inc.eng.runPhase(ctx, len(ord), func(i int) {
+			j := ord[i]
+			out[jobs[j].i] = inc.eng.streamShardResult(ctx, jobs[j].key, jobs[j].acc, inc.opts.Spec)
+		})
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+	} else {
+		sjobs := make([]*shardJob, len(jobs))
+		for j := range jobs {
+			sjobs[j] = &shardJob{pos: jobs[j].i, key: jobs[j].key, size: jobs[j].acc.records, acc: jobs[j].acc}
+		}
+		if err := inc.eng.analyzeJobs(ctx, sjobs, nil, inc.opts.Spec); err != nil {
+			return nil, nil, err
+		}
+		for j := range jobs {
+			out[jobs[j].i] = sjobs[j].res
+		}
 	}
 
 	// Publish to the cache. A concurrent Result may have computed a

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"sync"
 
 	"hpcfail/internal/dist"
 	"hpcfail/internal/failures"
@@ -214,44 +213,42 @@ func slice(d *failures.Dataset, key ShardKey) *failures.Dataset {
 	})
 }
 
-// AnalyzeFleet shards the trace per spec and fans the per-shard fitting —
+// AnalyzeFleet shards the trace per spec and fans the fitting —
 // interarrival and repair-time model comparisons plus bootstrap confidence
-// intervals — out across the engine's worker pool. Results merge in shard
-// order, so the output is identical at any worker count. The context
-// cancels the run between shard tasks.
+// intervals — out across the engine's worker pool, at sub-shard
+// granularity by default (per-family fit tasks and per-rep-block
+// bootstrap tasks, largest shard dispatched first). Results merge in
+// shard order, so the output is identical at any worker count and any
+// grain. The context cancels the run between tasks.
 func (e *Engine) AnalyzeFleet(ctx context.Context, d *failures.Dataset, spec ShardSpec) (*FleetResult, error) {
 	if d.Len() == 0 {
 		return nil, fmt.Errorf("engine analyze fleet: %w", failures.ErrNoRecords)
 	}
 	keys := buildShards(d, spec)
+	sizes := fleetShardSizes(d, keys, spec)
 	results := make([]ShardResult, len(keys))
 
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < e.workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				if ctx.Err() != nil {
-					return
-				}
-				results[i] = e.analyzeShard(ctx, d, keys[i], spec)
-			}
-		}()
-	}
-feed:
-	for i := range keys {
-		select {
-		case idx <- i:
-		case <-ctx.Done():
-			break feed
+	if e.grain == GrainShard {
+		ord := e.orderIndexes(sizes)
+		e.runPhase(ctx, len(ord), func(i int) {
+			k := ord[i]
+			results[k] = e.analyzeShard(ctx, d, keys[k], spec)
+		})
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
+		return &FleetResult{Shards: results}, nil
 	}
-	close(idx)
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
+
+	jobs := make([]*shardJob, len(keys))
+	for i, key := range keys {
+		jobs[i] = &shardJob{pos: i, key: key, size: sizes[i]}
+	}
+	if err := e.analyzeJobs(ctx, jobs, d, spec); err != nil {
 		return nil, err
+	}
+	for i, j := range jobs {
+		results[i] = j.res
 	}
 	return &FleetResult{Shards: results}, nil
 }

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"sort"
-	"sync"
 	"time"
 
 	"hpcfail/internal/dist"
@@ -230,35 +229,36 @@ func (e *Engine) AnalyzeStream(ctx context.Context, src RecordSource, opts Strea
 
 	// Enumerate shard keys exactly as buildShards does on a materialized
 	// dataset, so the merged output is ordered identically to
-	// AnalyzeFleet's at any worker count.
+	// AnalyzeFleet's at any worker count and any grain.
 	keys := streamShardKeys(accums, spec)
 	results := make([]ShardResult, len(keys))
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < e.workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				if ctx.Err() != nil {
-					return
-				}
-				results[i] = e.streamShardResult(ctx, keys[i], accums[keys[i]], spec)
-			}
-		}()
-	}
-feed:
-	for i := range keys {
-		select {
-		case idx <- i:
-		case <-ctx.Done():
-			break feed
+
+	if e.grain == GrainShard {
+		sizes := make([]int, len(keys))
+		for i, key := range keys {
+			sizes[i] = accums[key].records
 		}
+		ord := e.orderIndexes(sizes)
+		e.runPhase(ctx, len(ord), func(i int) {
+			k := ord[i]
+			results[k] = e.streamShardResult(ctx, keys[k], accums[keys[k]], spec)
+		})
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		return &FleetResult{Shards: results}, info, nil
 	}
-	close(idx)
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
+
+	jobs := make([]*shardJob, len(keys))
+	for i, key := range keys {
+		a := accums[key]
+		jobs[i] = &shardJob{pos: i, key: key, size: a.records, acc: a}
+	}
+	if err := e.analyzeJobs(ctx, jobs, nil, spec); err != nil {
 		return nil, nil, err
+	}
+	for i, j := range jobs {
+		results[i] = j.res
 	}
 	return &FleetResult{Shards: results}, info, nil
 }

@@ -1,0 +1,421 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"hpcfail/internal/dist"
+	"hpcfail/internal/failures"
+	"hpcfail/internal/stats"
+	"hpcfail/internal/streamstats"
+)
+
+// Sub-shard parallelism.
+//
+// The original pipeline's unit of work was the whole shard: one worker
+// sliced it, fitted every family and ran every bootstrap rep before
+// touching the next shard. Shard sizes in the Schroeder & Gibson trace are
+// so skewed (one big system holds a large share of the records) that the
+// big shard alone set the critical path however many workers were free.
+//
+// analyzeJobs decomposes each shard into independently schedulable tasks —
+// prepare (slice + summarize + intern), one task per (sample, family)
+// point fit, one per bootstrap CI plan, one per counter-seeded rep block —
+// and runs each phase over the bounded pool, dispatching largest shard
+// first. Determinism is preserved by construction: every task's output
+// lands in a position-indexed slot, every bootstrap rep's draws depend
+// only on (task seed, rep index) via dist.CIPlan, and the merge walks the
+// enumeration order. The workers only decide *when* a value is computed,
+// never *what* it is.
+
+// Grain selects the unit of parallelism for AnalyzeFleet, AnalyzeStream
+// and Incremental.Result.
+type Grain int
+
+const (
+	// GrainSubShard (the default) decomposes shards into per-(sample,
+	// family) fit tasks and per-rep-block bootstrap tasks, so one big
+	// shard spreads across every free worker.
+	GrainSubShard Grain = iota
+	// GrainShard runs one task per shard — the historical decomposition,
+	// kept callable for scheduling comparisons. Output is byte-identical
+	// to GrainSubShard; only the critical path differs.
+	GrainShard
+)
+
+// sampleState is one shard sample (interarrival or repair) after the
+// prepare phase: its size, summary and interned Sample, or the reason it
+// is not studied.
+type sampleState struct {
+	n       int
+	summary stats.Summary
+	sample  *dist.Sample
+	// skip marks a sample below the spec's minimum size — not studied,
+	// not an error.
+	skip bool
+	err  error
+}
+
+// shardJob carries one shard through the phases. Exactly one of the
+// dataset path (sub, filled by prepare from d) and the streaming path
+// (acc) applies.
+type shardJob struct {
+	pos  int
+	key  ShardKey
+	size int
+	acc  *shardAccum
+
+	records int
+	inter   sampleState
+	repair  sampleState
+	res     ShardResult
+}
+
+// runPhase executes fn(0..n-1) over the engine's bounded worker pool,
+// feeding indexes in order (callers pre-sort for largest-first dispatch).
+// Each index owns its output slot, so phases need no locking beyond the
+// engine's own memo maps. Cancellation stops the feed; callers check
+// ctx.Err() between phases.
+func (e *Engine) runPhase(ctx context.Context, n int, fn func(int)) {
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if ctx.Err() != nil {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// orderJobs returns the jobs in dispatch order: largest first (stable on
+// position for equal sizes), so the skewed big shard starts immediately
+// instead of serializing behind the tail. The enumOrder test knob keeps
+// enumeration order, proving ordering is scheduling-only.
+func (e *Engine) orderJobs(jobs []*shardJob) []*shardJob {
+	ord := make([]*shardJob, len(jobs))
+	copy(ord, jobs)
+	if e.enumOrder {
+		return ord
+	}
+	sort.SliceStable(ord, func(a, b int) bool { return ord[a].size > ord[b].size })
+	return ord
+}
+
+// orderIndexes is orderJobs for the GrainShard path: indexes into keys,
+// largest shard first.
+func (e *Engine) orderIndexes(sizes []int) []int {
+	idx := make([]int, len(sizes))
+	for i := range idx {
+		idx[i] = i
+	}
+	if e.enumOrder {
+		return idx
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return sizes[idx[a]] > sizes[idx[b]] })
+	return idx
+}
+
+// fleetShardSizes counts each shard's records in one dataset pass, using
+// the same per-record fanout the streaming path folds with. Sizes only
+// order the dispatch; they never influence a result.
+func fleetShardSizes(d *failures.Dataset, keys []ShardKey, spec ShardSpec) []int {
+	counts := make(map[ShardKey]int, len(keys))
+	for i := 0; i < d.Len(); i++ {
+		r := d.At(i)
+		ks, n := shardKeysFor(spec, &r)
+		for _, k := range ks[:n] {
+			counts[k]++
+		}
+	}
+	sizes := make([]int, len(keys))
+	for i, k := range keys {
+		sizes[i] = counts[k]
+	}
+	return sizes
+}
+
+// prepareJob fills the job's sample states: slice + extract on the
+// dataset path, accumulator summary + reservoir on the streaming path.
+func (e *Engine) prepareJob(j *shardJob, d *failures.Dataset, spec ShardSpec) {
+	if j.acc != nil {
+		j.records = j.acc.records
+		e.prepStream(&j.inter, j.acc.inter, spec)
+		e.prepStream(&j.repair, j.acc.repair, spec)
+		return
+	}
+	sub := slice(d, j.key)
+	j.records = sub.Len()
+	e.prepMem(&j.inter, sub.PositiveInterarrivals(), spec)
+	e.prepMem(&j.repair, sub.RepairTimes(), spec)
+}
+
+func (e *Engine) prepMem(st *sampleState, xs []float64, spec ShardSpec) {
+	st.n = len(xs)
+	if st.n < spec.minN() {
+		st.skip = true
+		return
+	}
+	st.summary, st.err = stats.Summarize(xs)
+	if st.err != nil {
+		return
+	}
+	st.sample = e.Intern(xs)
+}
+
+func (e *Engine) prepStream(st *sampleState, acc *streamstats.Accumulator, spec ShardSpec) {
+	st.n = acc.N()
+	if st.n < spec.minN() {
+		st.skip = true
+		return
+	}
+	st.summary, st.err = acc.Summary()
+	if st.err != nil {
+		return
+	}
+	st.sample = e.Intern(acc.Sample())
+}
+
+// ciSpans partitions reps into contiguous rep blocks sized for the pool:
+// small enough that one shard's bootstrap spreads across idle workers
+// (about four blocks per worker), large enough that per-block reseed and
+// solver setup stay negligible.
+func ciSpans(reps, workers int) [][2]int {
+	if workers < 1 {
+		workers = 1
+	}
+	size := (reps + 4*workers - 1) / (4 * workers)
+	if size < 8 {
+		size = 8
+	}
+	var spans [][2]int
+	for lo := 0; lo < reps; lo += size {
+		hi := lo + size
+		if hi > reps {
+			hi = reps
+		}
+		spans = append(spans, [2]int{lo, hi})
+	}
+	return spans
+}
+
+// ciTarget is one (sample, family) confidence interval the pipeline owns:
+// the memo entry it will publish into, the plan, and its rep blocks.
+type ciTarget struct {
+	ent     *ciEntry
+	s       *dist.Sample
+	f       dist.Family
+	plan    *dist.CIPlan
+	planErr error
+	spans   [][2]int
+	blocks  []dist.CIBlock
+}
+
+// analyzeJobs runs the sub-shard pipeline over the jobs: prepare, point
+// fits, CI plans, counter-seeded rep blocks, then a sequential merge and
+// assembly in enumeration order. It fills each job's res field.
+func (e *Engine) analyzeJobs(ctx context.Context, jobs []*shardJob, d *failures.Dataset, spec ShardSpec) error {
+	ord := e.orderJobs(jobs)
+
+	// Phase 1: prepare (slice, summarize, intern), largest shard first.
+	e.runPhase(ctx, len(ord), func(i int) { e.prepareJob(ord[i], d, spec) })
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+
+	// Phase 2: point fits — one task per (sample, family), deduplicated
+	// through the interned sample pointer so shards sharing a sample do
+	// not queue the same fit twice.
+	type fitTask struct {
+		s *dist.Sample
+		f dist.Family
+	}
+	fams := spec.families()
+	var fitTasks []fitTask
+	seenFit := make(map[fitTask]bool)
+	for _, j := range ord {
+		for _, st := range [2]*sampleState{&j.inter, &j.repair} {
+			if st.skip || st.err != nil {
+				continue
+			}
+			for _, f := range fams {
+				t := fitTask{s: st.sample, f: f}
+				if seenFit[t] {
+					continue
+				}
+				seenFit[t] = true
+				fitTasks = append(fitTasks, t)
+			}
+		}
+	}
+	e.runPhase(ctx, len(fitTasks), func(i int) { e.fitOne(fitTasks[i].s, fitTasks[i].f) })
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+
+	// Phase 3: bootstrap intervals. Collect the CI targets assembly will
+	// ask for — same filter as the per-shard study: family requested,
+	// fitted, and not already in the memo — then fan the work out in two
+	// wavefronts (plan creation, rep blocks) and merge sequentially.
+	if e.reps >= 0 {
+		inFams := make(map[dist.Family]bool, len(fams))
+		for _, f := range fams {
+			inFams[f] = true
+		}
+		var targets []*ciTarget
+		seenCI := make(map[*ciEntry]bool)
+		for _, j := range ord {
+			for _, st := range [2]*sampleState{&j.inter, &j.repair} {
+				if st.skip || st.err != nil {
+					continue
+				}
+				for _, f := range spec.ciFamilies() {
+					if !inFams[f] || e.fitOne(st.sample, f).Err != nil {
+						continue
+					}
+					ent, _ := e.lookupCI(st.sample, f, false)
+					if seenCI[ent] || ent.done.Load() {
+						continue
+					}
+					seenCI[ent] = true
+					targets = append(targets, &ciTarget{ent: ent, s: st.sample, f: f})
+				}
+			}
+		}
+		e.runPhase(ctx, len(targets), func(i int) {
+			t := targets[i]
+			t.plan, t.planErr = dist.NewCIPlan(t.f, t.s, e.reps, e.level, e.taskSeed(t.s.Hash(), t.f))
+		})
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+
+		type blockTask struct {
+			t *ciTarget
+			b int
+		}
+		var btasks []blockTask
+		for _, t := range targets {
+			if t.planErr != nil {
+				continue
+			}
+			t.spans = ciSpans(t.plan.Reps(), e.workers)
+			t.blocks = make([]dist.CIBlock, len(t.spans))
+			for b := range t.spans {
+				btasks = append(btasks, blockTask{t: t, b: b})
+			}
+		}
+		e.runPhase(ctx, len(btasks), func(i int) {
+			bt := btasks[i]
+			sp := bt.t.spans[bt.b]
+			bt.t.blocks[bt.b] = bt.t.plan.RunBlock(sp[0], sp[1])
+		})
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+
+		// Merge in rep order and publish through the entry's once, so a
+		// racing direct FitCISample call sees either nothing (and
+		// computes) or the complete result — never a partial one.
+		for _, t := range targets {
+			t := t
+			t.ent.once.Do(func() {
+				if t.planErr != nil {
+					t.ent.err = t.planErr
+				} else {
+					t.ent.dist, t.ent.cis, t.ent.err = t.plan.Merge(t.blocks)
+				}
+				t.ent.done.Store(true)
+			})
+		}
+	}
+
+	// Phase 4: assemble per-shard results sequentially in enumeration
+	// order. Every fit and interval is a memo hit now; this phase only
+	// shapes output, replicating the per-shard study semantics exactly
+	// (including: an interarrival error suppresses the repair study).
+	for _, j := range jobs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		e.assembleJob(ctx, j, spec)
+	}
+	return ctx.Err()
+}
+
+func (e *Engine) assembleJob(ctx context.Context, j *shardJob, spec ShardSpec) {
+	j.res = ShardResult{Key: j.key, Records: j.records}
+	var err error
+	j.res.Interarrival, err = e.assembleStudy(ctx, &j.inter, spec)
+	if err != nil {
+		j.res.Err = fmt.Errorf("shard %s interarrival: %w", j.key, err)
+		return
+	}
+	j.res.Repair, err = e.assembleStudy(ctx, &j.repair, spec)
+	if err != nil {
+		j.res.Err = fmt.Errorf("shard %s repair: %w", j.key, err)
+	}
+}
+
+// assembleStudy is study/streamStudy over a prepared sample state. The
+// fits and intervals were computed by the phases above, so the calls here
+// resolve from the memo.
+func (e *Engine) assembleStudy(ctx context.Context, st *sampleState, spec ShardSpec) (*Study, error) {
+	if st.skip {
+		return nil, nil
+	}
+	if st.err != nil {
+		return nil, st.err
+	}
+	fits, err := e.FitAllSample(ctx, st.sample, spec.families()...)
+	if err != nil {
+		return nil, err
+	}
+	study := &Study{N: st.n, Summary: st.summary, Fits: fits}
+	if e.reps < 0 {
+		return study, nil
+	}
+	study.CIs = make(map[dist.Family][]dist.ParamCI)
+	for _, f := range spec.ciFamilies() {
+		r, ok := fits.ByFamily(f)
+		if !ok || r.Err != nil {
+			continue
+		}
+		if _, cis, err := e.FitCISample(ctx, st.sample, f); err == nil {
+			study.CIs[f] = cis
+		} else if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+	}
+	return study, nil
+}

@@ -14,11 +14,23 @@ import (
 // explicit seed so callers can never accidentally share global state.
 type Source struct {
 	rng *rand.Rand
+	src rand.Source
 }
 
 // NewSource returns a Source seeded deterministically.
 func NewSource(seed int64) *Source {
-	return &Source{rng: rand.New(rand.NewSource(seed))}
+	src := rand.NewSource(seed)
+	return &Source{rng: rand.New(src), src: src}
+}
+
+// Reseed resets the source in place to the exact state NewSource(seed)
+// would produce, without allocating. It is the primitive behind
+// counter-seeded loops (one deterministic seed per iteration, any
+// iteration order): reseeding the underlying rand.Source directly leaves
+// the wrapping *rand.Rand with no buffered state to clear, because
+// math/rand's NormFloat64 and ExpFloat64 are stateless ziggurat draws.
+func (s *Source) Reseed(seed int64) {
+	s.src.Seed(seed)
 }
 
 // Split derives an independent child source from this one. It is used to

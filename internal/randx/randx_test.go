@@ -240,3 +240,50 @@ func TestIntnRange(t *testing.T) {
 		}
 	}
 }
+
+// TestReseedMatchesNewSource pins the Reseed contract: after Reseed(seed)
+// a source must produce exactly the stream a fresh NewSource(seed) would,
+// across every draw kind the bootstrap kernels use — including the
+// stateless ziggurat draws behind Normal and Exponential — regardless of
+// how much the source was advanced beforehand.
+func TestReseedMatchesNewSource(t *testing.T) {
+	reused := NewSource(999)
+	for _, seed := range []int64{0, 1, -3, 42, 1 << 50} {
+		// Advance by a varying amount so stale state would be caught.
+		for i := 0; i < int(seed&31)+7; i++ {
+			reused.Float64()
+			reused.Normal(0, 1)
+			reused.Intn(100)
+		}
+		reused.Reseed(seed)
+		fresh := NewSource(seed)
+		for i := 0; i < 200; i++ {
+			if a, b := reused.Float64(), fresh.Float64(); a != b {
+				t.Fatalf("seed %d draw %d: Float64 %v vs %v", seed, i, a, b)
+			}
+			if a, b := reused.Intn(1000), fresh.Intn(1000); a != b {
+				t.Fatalf("seed %d draw %d: Intn %v vs %v", seed, i, a, b)
+			}
+			if a, b := reused.Normal(0, 1), fresh.Normal(0, 1); a != b {
+				t.Fatalf("seed %d draw %d: Normal %v vs %v", seed, i, a, b)
+			}
+			if a, b := reused.Exponential(1), fresh.Exponential(1); a != b {
+				t.Fatalf("seed %d draw %d: Exponential %v vs %v", seed, i, a, b)
+			}
+		}
+	}
+}
+
+// TestReseedZeroAlloc pins the property the per-rep bootstrap seeding
+// depends on: Reseed is allocation-free.
+func TestReseedZeroAlloc(t *testing.T) {
+	s := NewSource(1)
+	seed := int64(0)
+	if avg := testing.AllocsPerRun(200, func() {
+		s.Reseed(seed)
+		seed++
+		s.Float64()
+	}); avg != 0 {
+		t.Fatalf("Reseed allocated %.1f times on average; want 0", avg)
+	}
+}
