@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: check vet staticcheck build test race race-gen race-serve race-sweep race-trace race-engine fuzz fuzz-smoke bench bench-engine bench-stream bench-fit bench-gen bench-serve bench-sweep bench-trace bench-scale golden golden-sweep
+.PHONY: check vet staticcheck build test race race-gen race-serve race-sweep race-trace race-codec race-engine fuzz fuzz-smoke bench bench-engine bench-stream bench-fit bench-gen bench-serve bench-sweep bench-trace bench-scale prof-trace golden golden-sweep
 
 # The full gate: what CI runs — static checks, build, the race detector
 # over every test, focused race passes over the parallel generator, the
-# daemon, the sweep engine, the binary trace pipeline and the sub-shard
-# analysis pipeline, and short fuzz smokes of the CSV reader, the ingest
-# endpoint, the sweep-spec parser and the binary trace round trip.
-check: vet staticcheck build race race-gen race-serve race-sweep race-trace race-engine fuzz-smoke
+# daemon, the sweep engine, the binary trace pipeline, the parallel
+# trace codec and the sub-shard analysis pipeline, and short fuzz smokes
+# of the CSV reader, the ingest endpoint, the sweep-spec parser and the
+# binary trace round trip.
+check: vet staticcheck build race race-gen race-serve race-sweep race-trace race-codec race-engine fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -53,6 +54,15 @@ race-sweep:
 race-trace:
 	$(GO) test -race ./internal/tracefmt
 	$(GO) test -race -run 'Binary|Workers|Stream' ./cmd/lanlgen ./cmd/failstat
+
+# Race pass over the parallel trace codec specifically: the encode and
+# decode identity matrices (workers x block sizes, byte- and
+# record-exact vs the sequential paths), corruption injection under
+# parallel decode, pool poison/IO-error/early-close shutdown, and the
+# batched engine fan-in identity.
+race-codec:
+	$(GO) test -race -run 'Parallel|Window|Boundar|Truncated' ./internal/tracefmt
+	$(GO) test -race -run 'BatchIdentity' ./internal/engine
 
 # Race pass over the sub-shard analysis pipeline: the workers x seeds
 # byte-identity matrix for fleet and stream, the grain and dispatch-order
@@ -107,19 +117,30 @@ bench-sweep:
 bench-trace:
 	$(GO) run ./cmd/tracebench
 
-# The scaling sweep: all four parallel benchmarks at GOMAXPROCS 1, 2, 4
-# and 8. enginebench takes the whole list in one run (it records the
-# workers x GOMAXPROCS matrix itself); the other three are re-run per
+# The scaling sweep: the parallel benchmarks at GOMAXPROCS 1, 2, 4 and
+# 8. enginebench takes the whole list in one run (it records the
+# workers x GOMAXPROCS matrix itself); the others are re-run per
 # GOMAXPROCS into bench_scale/ so the committed BENCH_*.json files keep
-# the default-configuration run.
+# the default-configuration run. tracebench runs at a reduced scale per
+# point — the full default dataset takes minutes per GOMAXPROCS.
 bench-scale:
 	mkdir -p bench_scale
 	$(GO) run ./cmd/enginebench -gomaxprocs 1,2,4,8 -out bench_scale/BENCH_engine_scale.json
 	for p in 1 2 4 8; do \
 		GOMAXPROCS=$$p $(GO) run ./cmd/fitbench -out bench_scale/BENCH_fit_p$$p.json && \
 		GOMAXPROCS=$$p $(GO) run ./cmd/genbench -out bench_scale/BENCH_gen_p$$p.json && \
-		GOMAXPROCS=$$p $(GO) run ./cmd/sweepbench -out bench_scale/BENCH_sweep_p$$p.json || exit 1; \
+		GOMAXPROCS=$$p $(GO) run ./cmd/sweepbench -out bench_scale/BENCH_sweep_p$$p.json && \
+		GOMAXPROCS=$$p $(GO) run ./cmd/tracebench -scale 20 -out bench_scale/BENCH_trace_p$$p.json || exit 1; \
 	done
+
+# CPU and heap profiles of the trace pipeline (the parallel codec plus
+# the batched engine fan-in) into prof/; uses a scratch -out so the
+# committed BENCH_trace.json is not skewed by profiler overhead.
+prof-trace:
+	mkdir -p prof
+	$(GO) run ./cmd/tracebench -scale 20 -cpuprofile prof/trace_cpu.pprof \
+		-memprofile prof/trace_mem.pprof -out prof/BENCH_trace_prof.json
+	@echo "profiles in prof/: go tool pprof prof/trace_cpu.pprof"
 
 # Rewrite the cmd/reproduce golden file after a reviewed output change.
 golden:

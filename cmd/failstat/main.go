@@ -335,18 +335,33 @@ func sniffBinary(f *os.File) (bool, error) {
 }
 
 // streamFleet is the -stream path: one bounded-memory pass over the trace
-// through the streaming engine, record by record, without ever building a
-// Dataset. The report is the same fleet table; summaries carry the
-// documented sketch/reservoir accuracy trade instead of being exact.
-func streamFleet(ctx context.Context, eng *engine.Engine, f io.Reader, binary bool, w io.Writer, epsilon float64, reservoir int) error {
+// through the streaming engine without ever building a Dataset. The
+// report is the same fleet table; summaries carry the documented
+// sketch/reservoir accuracy trade instead of being exact. Binary traces
+// decode on a parallel block pool (-workers wide, like the engine) —
+// over the footer index for regular files, read-ahead for pipes — and
+// hand the engine whole blocks; the output is byte-identical to a
+// sequential decode at any worker count.
+func streamFleet(ctx context.Context, eng *engine.Engine, f *os.File, binary bool, w io.Writer, epsilon float64, reservoir int) error {
 	var src engine.RecordSource
 	var sc *failures.Scanner
 	if binary {
-		bs, err := tracefmt.NewScanner(f, tracefmt.ScanOptions{})
-		if err != nil {
-			return err
+		if st, err := f.Stat(); err == nil && st.Mode().IsRegular() {
+			tf, err := tracefmt.NewFile(f, st.Size())
+			if err != nil {
+				return err
+			}
+			ps := tf.ScanParallel(tracefmt.ScanOptions{}, eng.Workers())
+			defer ps.Close()
+			src = ps
+		} else {
+			ps, err := tracefmt.NewScannerParallel(f, tracefmt.ScanOptions{})
+			if err != nil {
+				return err
+			}
+			defer ps.Close()
+			src = ps
 		}
-		src = bs
 	} else {
 		var err error
 		sc, err = failures.NewScanner(f, failures.ReadCSVOptions{SkipMalformed: true})

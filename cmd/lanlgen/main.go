@@ -7,7 +7,8 @@
 //
 //	lanlgen [-seed N] [-systems 5,20] [-scale X] [-workers N] [-stream] [-format csv|bin] [-catalog lanl|exa] [-out trace]
 //
-// -workers bounds how many systems generate concurrently (0 means
+// -workers bounds how many systems generate concurrently and, with
+// -format bin, how many goroutines encode trace blocks (0 means
 // GOMAXPROCS); the output is identical at every worker count. -stream
 // writes each record as it is produced instead of building the dataset
 // in memory first — rows then arrive grouped by system in catalog order
@@ -30,6 +31,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -122,7 +124,11 @@ func run(args []string, stdout io.Writer) error {
 	var finish func() error
 	var count func() int
 	if *format == "bin" {
-		bw, err := tracefmt.NewWriter(w, tracefmt.WriterOptions{})
+		encWorkers := *workers
+		if encWorkers <= 0 {
+			encWorkers = runtime.GOMAXPROCS(0)
+		}
+		bw, err := tracefmt.NewWriter(w, tracefmt.WriterOptions{Workers: encWorkers})
 		if err != nil {
 			return fmt.Errorf("write: %w", err)
 		}

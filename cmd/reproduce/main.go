@@ -386,7 +386,23 @@ func streamFleet(ctx context.Context, eng *engine.Engine, path string, w io.Writ
 	var src engine.RecordSource
 	var sc *failures.Scanner
 	if binary {
-		src, err = tracefmt.NewScanner(f, tracefmt.ScanOptions{})
+		// Parallel block decode, -workers wide like the engine itself;
+		// results are byte-identical at any worker count because blocks
+		// re-emit in index order.
+		if st, serr := f.Stat(); serr == nil && st.Mode().IsRegular() {
+			var tf *tracefmt.File
+			if tf, err = tracefmt.NewFile(f, st.Size()); err == nil {
+				ps := tf.ScanParallel(tracefmt.ScanOptions{}, eng.Workers())
+				defer ps.Close()
+				src = ps
+			}
+		} else {
+			var ps *tracefmt.ParallelScanner
+			if ps, err = tracefmt.NewScannerParallel(f, tracefmt.ScanOptions{}); err == nil {
+				defer ps.Close()
+				src = ps
+			}
+		}
 	} else {
 		sc, err = failures.NewScanner(f, failures.ReadCSVOptions{SkipMalformed: true})
 		src = sc

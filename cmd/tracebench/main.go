@@ -3,26 +3,37 @@
 //
 // Measured windows, each with its own wall clock and sampled heap peak:
 //
-//	fused        generator streamed straight into the engine, no file
-//	csv_write    lanl.GenerateStream -> failures.CSVWriter -> file
-//	bin_write    lanl.GenerateStream -> tracefmt.Writer -> file
-//	csv_analyze  file -> failures.Scanner -> engine.AnalyzeStream
-//	bin_analyze  file -> tracefmt.Scanner -> engine.AnalyzeStream
-//	csv_inmem    file -> failures.ReadCSV -> engine.AnalyzeFleet
+//	fused            generator streamed straight into the engine, no file
+//	csv_write        lanl.GenerateStream -> failures.CSVWriter -> file
+//	bin_write        lanl.GenerateStream -> tracefmt.Writer -> file
+//	bin_write_par    the same, with -workers parallel block encoders
+//	csv_analyze      file -> failures.Scanner -> engine.AnalyzeStream
+//	bin_analyze      file -> tracefmt.Scanner -> engine.AnalyzeStream
+//	bin_analyze_par  file -> tracefmt.File.ScanParallel -> engine.AnalyzeStream
+//	csv_inmem        file -> failures.ReadCSV -> engine.AnalyzeFleet
 //
-// bin_analyze is the fused binary pipeline this format exists for;
-// csv_inmem is the classic CSV path (materialize the dataset, then
-// analyze) that failstat and reproduce use without -stream. The three
-// streaming windows consume the identical record sequence and must
-// produce DeepEqual fleet results or the benchmark fails: the formats
-// are interchangeable or they are wrong. The in-memory path fits on
-// full shard samples rather than reservoirs, so it is compared on
-// throughput and memory, not bit-identity (BENCH_stream.json pins the
-// statistical agreement of materialized vs streamed analysis).
+// bin_analyze is the fused binary pipeline this format exists for, and
+// bin_analyze_par its block-parallel decode; csv_inmem is the classic
+// CSV path (materialize the dataset, then analyze) that failstat and
+// reproduce use without -stream. The streaming windows consume the
+// identical record sequence and must produce DeepEqual fleet results or
+// the benchmark fails: the formats are interchangeable or they are
+// wrong. The parallel write window must additionally produce a
+// byte-identical file (the codec's worker-count-invariance guarantee);
+// the sequential-vs-parallel speedups and their parallel efficiency
+// over min(workers, GOMAXPROCS) are recorded like enginebench's. The
+// in-memory path fits on full shard samples rather than reservoirs, so
+// it is compared on throughput and memory, not bit-identity
+// (BENCH_stream.json pins the statistical agreement of materialized vs
+// streamed analysis).
 //
 // Usage:
 //
-//	tracebench [-out BENCH_trace.json] [-scale 100] [-seed 1] [-bootstrap -1] [-skip-inmem]
+//	tracebench [-out BENCH_trace.json] [-scale 100] [-seed 1] [-bootstrap -1]
+//	           [-workers N] [-skip-inmem] [-cpuprofile f] [-memprofile f]
+//
+// -cpuprofile and -memprofile capture pprof profiles of the whole run
+// (make prof-trace) for finding the fused pipeline's next serial term.
 //
 // -scale multiplies the reference failure rate; the trace grows linearly
 // with it (scale 1 is ~23k records, scale 100 ~2.1M, scale 5000 ~100M,
@@ -34,14 +45,17 @@ package main
 
 import (
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"path/filepath"
 	"reflect"
 	"runtime"
+	"runtime/pprof"
 	"sync/atomic"
 	"time"
 
@@ -62,20 +76,36 @@ type pathResult struct {
 }
 
 type benchReport struct {
-	Benchmark    string      `json:"benchmark"`
-	GOOS         string      `json:"goos"`
-	GOARCH       string      `json:"goarch"`
-	GoVersion    string      `json:"go_version"`
-	NumCPU       int         `json:"num_cpu"`
-	Scale        float64     `json:"rate_scale"`
-	TraceRecords int         `json:"trace_records"`
-	Shards       int         `json:"shards"`
-	Fused        pathResult  `json:"fused"`
-	CSVWrite     pathResult  `json:"csv_write"`
-	BinWrite     pathResult  `json:"bin_write"`
-	CSVAnalyze   pathResult  `json:"csv_analyze"`
-	BinAnalyze   pathResult  `json:"bin_analyze"`
-	CSVInMem     *pathResult `json:"csv_inmem,omitempty"`
+	Benchmark     string      `json:"benchmark"`
+	GOOS          string      `json:"goos"`
+	GOARCH        string      `json:"goarch"`
+	GoVersion     string      `json:"go_version"`
+	NumCPU        int         `json:"num_cpu"`
+	GOMAXPROCS    int         `json:"gomaxprocs"`
+	Workers       int         `json:"workers"`
+	Scale         float64     `json:"rate_scale"`
+	TraceRecords  int         `json:"trace_records"`
+	Shards        int         `json:"shards"`
+	Fused         pathResult  `json:"fused"`
+	CSVWrite      pathResult  `json:"csv_write"`
+	BinWrite      pathResult  `json:"bin_write"`
+	BinWritePar   pathResult  `json:"bin_write_par"`
+	CSVAnalyze    pathResult  `json:"csv_analyze"`
+	BinAnalyze    pathResult  `json:"bin_analyze"`
+	BinAnalyzePar pathResult  `json:"bin_analyze_par"`
+	CSVInMem      *pathResult `json:"csv_inmem,omitempty"`
+	// EncodeParSpeedup and DecodeParSpeedup are the sequential-vs-
+	// parallel codec head-to-head on wall clock (>1 means the parallel
+	// window was faster); the efficiency fields divide the speedup by
+	// the usable parallelism min(workers, GOMAXPROCS), matching
+	// enginebench's parallel_efficiency convention.
+	EncodeParSpeedup         float64 `json:"bin_write_parallel_speedup"`
+	DecodeParSpeedup         float64 `json:"bin_analyze_parallel_speedup"`
+	ParallelEfficiencyEncode float64 `json:"parallel_efficiency_encode"`
+	ParallelEfficiencyDecode float64 `json:"parallel_efficiency_decode"`
+	// ParallelEncodeBytesIdentical reports that the -workers encoder
+	// produced exactly the sequential writer's bytes.
+	ParallelEncodeBytesIdentical bool `json:"parallel_encode_bytes_identical"`
 	// BinOverCSVPipeline compares the full write+analyze round trips of
 	// the two formats on records/sec (generation cost included in both
 	// write windows, so the format advantage is understated).
@@ -104,9 +134,11 @@ func run(args []string) error {
 	scale := fs.Float64("scale", 100, "failure-rate scale for the generated trace")
 	seed := fs.Int64("seed", 1, "trace and engine seed")
 	bootstrap := fs.Int("bootstrap", -1, "bootstrap resamples per CI (negative disables, the default)")
-	workers := fs.Int("workers", 0, "engine worker-pool size (0 = GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "engine and codec worker-pool size (0 = GOMAXPROCS)")
 	dir := fs.String("dir", "", "directory for the temporary trace files (default: os.TempDir)")
 	skipInmem := fs.Bool("skip-inmem", false, "skip the materialized CSV path (mandatory beyond ~10M records)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -115,6 +147,32 @@ func run(args []string) error {
 	}
 	if *dir == "" {
 		*dir = os.TempDir()
+	}
+	effWorkers := *workers
+	if effWorkers <= 0 {
+		effWorkers = runtime.GOMAXPROCS(0)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			runtime.GC()
+			pprof.WriteHeapProfile(f)
+			f.Close()
+		}()
 	}
 
 	cfg := lanl.Config{Seed: *seed, RateScale: *scale}
@@ -179,10 +237,28 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	binParPath := filepath.Join(*dir, fmt.Sprintf("tracebench-%d-par.bin", os.Getpid()))
+	defer os.Remove(binParPath)
+	binWritePar, err := measure("bin_write_par", func() (int, error) {
+		return records, writeTrace(binParPath, cfg, func(f *os.File) (sink, error) {
+			bw, err := tracefmt.NewWriter(f, tracefmt.WriterOptions{Workers: effWorkers})
+			if err != nil {
+				return sink{}, err
+			}
+			return sink{write: bw.Write, finish: bw.Close}, nil
+		})
+	})
+	if err != nil {
+		return err
+	}
+	sameBytes, err := filesEqual(binPath, binParPath)
+	if err != nil {
+		return err
+	}
 	for _, p := range []struct {
 		res  *pathResult
 		path string
-	}{{&csvWrite, csvPath}, {&binWrite, binPath}} {
+	}{{&csvWrite, csvPath}, {&binWrite, binPath}, {&binWritePar, binParPath}} {
 		st, err := os.Stat(p.path)
 		if err != nil {
 			return err
@@ -236,6 +312,25 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	var binParFleet *engine.FleetResult
+	binAnalyzePar, err := measure("bin_analyze_par", func() (int, error) {
+		tf, err := tracefmt.OpenFile(binParPath)
+		if err != nil {
+			return 0, err
+		}
+		defer tf.Close()
+		ps := tf.ScanParallel(tracefmt.ScanOptions{}, effWorkers)
+		defer ps.Close()
+		fleet, info, err := newEngine().AnalyzeStream(ctx, ps, engine.StreamOptions{Spec: spec})
+		if err != nil {
+			return 0, err
+		}
+		binParFleet = fleet
+		return info.RecordsScanned, nil
+	})
+	if err != nil {
+		return err
+	}
 
 	// The classic CSV path: materialize the dataset, then AnalyzeFleet.
 	// This is what the fused binary pipeline replaces at scale.
@@ -265,32 +360,51 @@ func run(args []string) error {
 	// The streaming windows consumed the identical record sequence, so
 	// their fleet results must match exactly — not approximately. A
 	// mismatch means a format round trip corrupted a record.
-	identical := reflect.DeepEqual(fusedFleet, csvFleet) && reflect.DeepEqual(fusedFleet, binFleet)
+	identical := reflect.DeepEqual(fusedFleet, csvFleet) && reflect.DeepEqual(fusedFleet, binFleet) &&
+		reflect.DeepEqual(fusedFleet, binParFleet)
 
 	pipeline := func(write, analyze pathResult) float64 {
 		return float64(records) / ((write.WallMs + analyze.WallMs) / 1000)
 	}
+	usable := effWorkers
+	if p := runtime.GOMAXPROCS(0); usable > p {
+		usable = p
+	}
 	rep := benchReport{
 		Benchmark: "trace pipelines on one seed-1 record sequence: fused, CSV and binary " +
-			"write/analyze windows, and the materialized CSV path",
+			"write/analyze windows (sequential and block-parallel), and the materialized CSV path",
 		GOOS:               runtime.GOOS,
 		GOARCH:             runtime.GOARCH,
 		GoVersion:          runtime.Version(),
 		NumCPU:             runtime.NumCPU(),
+		GOMAXPROCS:         runtime.GOMAXPROCS(0),
+		Workers:            effWorkers,
 		Scale:              *scale,
 		TraceRecords:       records,
 		Shards:             len(fusedFleet.Shards),
 		Fused:              fused,
 		CSVWrite:           csvWrite,
 		BinWrite:           binWrite,
+		BinWritePar:        binWritePar,
 		CSVAnalyze:         csvAnalyze,
 		BinAnalyze:         binAnalyze,
+		BinAnalyzePar:      binAnalyzePar,
 		CSVInMem:           inmem,
 		BinOverCSVPipeline: round3(pipeline(binWrite, binAnalyze) / pipeline(csvWrite, csvAnalyze)),
 		CSVOverBinBytes:    round3(float64(csvWrite.FileBytes) / float64(binWrite.FileBytes)),
-		ResultsIdentical:   identical,
+
+		EncodeParSpeedup:             round3(binWrite.WallMs / binWritePar.WallMs),
+		DecodeParSpeedup:             round3(binAnalyze.WallMs / binAnalyzePar.WallMs),
+		ParallelEfficiencyEncode:     round3(binWrite.WallMs / binWritePar.WallMs / float64(usable)),
+		ParallelEfficiencyDecode:     round3(binAnalyze.WallMs / binAnalyzePar.WallMs / float64(usable)),
+		ParallelEncodeBytesIdentical: sameBytes,
+
+		ResultsIdentical: identical,
 		Note: "each window is measured separately with its own sampled HeapAlloc peak " +
 			"(not RSS). Write windows include generation, identically for both formats. " +
+			"The _par windows rerun the binary codec with -workers block encode/decode " +
+			"goroutines; their speedups are wall-clock and honest, so on a single-CPU " +
+			"box they sit at ~1.0x by physics (the matrix is for multicore capture). " +
 			"All streaming windows are bounded-memory, so -scale extends to the " +
 			"100M-1B-record regime without changing their peak heap; csv_inmem is the " +
 			"one window that cannot (it materializes the dataset) and is what the fused " +
@@ -308,10 +422,13 @@ func run(args []string) error {
 	if err := os.WriteFile(*out, buf, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("%d records, %d shards\n", records, rep.Shards)
+	fmt.Printf("%d records, %d shards, %d workers on GOMAXPROCS %d\n",
+		records, rep.Shards, effWorkers, rep.GOMAXPROCS)
 	fmt.Printf("fused %.0f rec/s; write csv %.0f / bin %.0f rec/s; analyze csv %.0f / bin %.0f rec/s\n",
 		fused.RecordsPerSec, csvWrite.RecordsPerSec, binWrite.RecordsPerSec,
 		csvAnalyze.RecordsPerSec, binAnalyze.RecordsPerSec)
+	fmt.Printf("parallel codec: encode %.2fx (bytes identical: %v), decode %.2fx vs sequential\n",
+		rep.EncodeParSpeedup, sameBytes, rep.DecodeParSpeedup)
 	if inmem != nil {
 		fmt.Printf("materialized csv path %.0f rec/s at %.0f MB; fused bin pipeline %.1fx faster at %.2fx the heap\n",
 			inmem.RecordsPerSec, inmem.PeakHeapMB, rep.FusedBinOverCSVPath, rep.FusedBinOverCSVPathHeap)
@@ -319,10 +436,41 @@ func run(args []string) error {
 	fmt.Printf("bin/csv pipeline %.2fx, csv/bin size %.2fx, streaming results identical: %v\n",
 		rep.BinOverCSVPipeline, rep.CSVOverBinBytes, identical)
 	fmt.Printf("wrote %s\n", *out)
+	if !sameBytes {
+		return fmt.Errorf("parallel encode produced different bytes than the sequential writer")
+	}
 	if !identical {
 		return fmt.Errorf("fleet results differ across streaming pipelines — format round trip is lossy")
 	}
 	return nil
+}
+
+// filesEqual streams both files through SHA-256 and compares digests.
+func filesEqual(a, b string) (bool, error) {
+	ha, err := fileDigest(a)
+	if err != nil {
+		return false, err
+	}
+	hb, err := fileDigest(b)
+	if err != nil {
+		return false, err
+	}
+	return ha == hb, nil
+}
+
+func fileDigest(path string) ([sha256.Size]byte, error) {
+	var sum [sha256.Size]byte
+	f, err := os.Open(path)
+	if err != nil {
+		return sum, err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return sum, err
+	}
+	copy(sum[:], h.Sum(nil))
+	return sum, nil
 }
 
 // sink is a record consumer plus its flush/close step.

@@ -141,6 +141,13 @@ type (
 	TraceFile = tracefmt.File
 	// TraceBlockInfo describes one block of a TraceFile's footer index.
 	TraceBlockInfo = tracefmt.BlockInfo
+	// TraceParallelScanner decodes blocks on a worker pool while yielding
+	// records in exact sequential order — the same Scan/Record/Err and
+	// ScanBatch shape as TraceScanner, so it too plugs straight into
+	// Engine.AnalyzeStream. Obtain one from TraceFile.ScanParallel
+	// (indexed, block-skipping) or NewTraceScannerParallel (streaming
+	// read-ahead for pipes).
+	TraceParallelScanner = tracefmt.ParallelScanner
 )
 
 // Binary trace codec entry points.
@@ -151,6 +158,11 @@ var (
 	NewTraceWriter  = tracefmt.NewWriter
 	NewTraceScanner = tracefmt.NewScanner
 	OpenTraceFile   = tracefmt.OpenFile
+	// NewTraceScannerParallel is the parallel decoder for readers without
+	// random access: a producer goroutine read-ahead-decodes blocks while
+	// the consumer drains the current one. For seekable files, prefer
+	// TraceFile.ScanParallel, which decodes on a full worker pool.
+	NewTraceScannerParallel = tracefmt.NewScannerParallel
 	// ReadTrace decodes an entire binary trace into a Dataset — the
 	// binary counterpart of ReadCSV.
 	ReadTrace = tracefmt.ReadDataset

@@ -19,6 +19,19 @@ type RecordSource interface {
 	Err() error
 }
 
+// BatchSource is an optional extension of RecordSource for decoders
+// that naturally produce records a block at a time (tracefmt.Scanner,
+// tracefmt.ParallelScanner). ScanBatch returns the next non-empty run
+// of records, or (nil, nil) at a clean end; the returned slice is only
+// valid until the next call. AnalyzeStream type-asserts for this and
+// folds whole batches, skipping the per-record interface round trip —
+// results are identical to the record-at-a-time path because folding
+// is sequential either way.
+type BatchSource interface {
+	RecordSource
+	ScanBatch() ([]failures.Record, error)
+}
+
 // StreamOptions configures AnalyzeStream.
 type StreamOptions struct {
 	// Spec controls sharding and fitting exactly as in AnalyzeFleet.
@@ -202,18 +215,53 @@ func (e *Engine) AnalyzeStream(ctx context.Context, src RecordSource, opts Strea
 		return nil
 	}
 
-	for src.Scan() {
-		if info.RecordsScanned%4096 == 0 {
+	if bs, ok := src.(BatchSource); ok {
+		// Batched fan-in: fold each decoded block in place — records are
+		// addressed by pointer into the batch, so a block of 8192 records
+		// costs one ScanBatch call instead of 8192 Scan/Record round
+		// trips. The fold itself stays sequential, in record order, so
+		// every accumulator sees exactly the per-record path's inputs.
+		for {
+			batch, err := bs.ScanBatch()
+			if err != nil {
+				return nil, nil, fmt.Errorf("engine analyze stream: %w", err)
+			}
+			if batch == nil {
+				break
+			}
 			if err := ctx.Err(); err != nil {
 				return nil, nil, err
 			}
+			for i := range batch {
+				if info.RecordsScanned%4096 == 0 && i > 0 {
+					if err := ctx.Err(); err != nil {
+						return nil, nil, err
+					}
+				}
+				r := &batch[i]
+				info.RecordsScanned++
+				keys, n := shardKeysFor(spec, r)
+				for _, key := range keys[:n] {
+					if err := touch(key, r); err != nil {
+						return nil, nil, fmt.Errorf("engine analyze stream: %w", err)
+					}
+				}
+			}
 		}
-		r := src.Record()
-		info.RecordsScanned++
-		keys, n := shardKeysFor(spec, &r)
-		for _, key := range keys[:n] {
-			if err := touch(key, &r); err != nil {
-				return nil, nil, fmt.Errorf("engine analyze stream: %w", err)
+	} else {
+		for src.Scan() {
+			if info.RecordsScanned%4096 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, nil, err
+				}
+			}
+			r := src.Record()
+			info.RecordsScanned++
+			keys, n := shardKeysFor(spec, &r)
+			for _, key := range keys[:n] {
+				if err := touch(key, &r); err != nil {
+					return nil, nil, fmt.Errorf("engine analyze stream: %w", err)
+				}
 			}
 		}
 	}

@@ -168,6 +168,73 @@ func TestAnalyzeStreamDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// batchSource wraps sliceSource with a ScanBatch that yields fixed-size
+// chunks, driving AnalyzeStream's engine.BatchSource fast path.
+type batchSource struct {
+	sliceSource
+	batchN int
+}
+
+func (s *batchSource) ScanBatch() ([]failures.Record, error) {
+	if s.i >= len(s.recs) {
+		return nil, nil
+	}
+	hi := s.i + s.batchN
+	if hi > len(s.recs) {
+		hi = len(s.recs)
+	}
+	b := s.recs[s.i:hi]
+	s.i = hi
+	return b, nil
+}
+
+type erringBatchSource struct {
+	sliceSource
+	err error
+}
+
+func (s *erringBatchSource) ScanBatch() ([]failures.Record, error) { return nil, s.err }
+
+// TestAnalyzeStreamBatchIdentity: folding records by whole batches must
+// produce the identical FleetResult and StreamInfo as the record-at-a-
+// time path, at every batch size — the batched fan-in is a pure
+// dispatch-overhead optimization, never a semantic change.
+func TestAnalyzeStreamBatchIdentity(t *testing.T) {
+	d, err := lanl.NewGenerator(lanl.Config{Seed: 5}).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := d.Records()
+	spec := ShardSpec{IncludeFleet: true, ByCause: true, CIFamilies: []dist.Family{dist.FamilyWeibull}}
+	ctx := context.Background()
+	eng := func() *Engine { return New(Options{Workers: 2, BootstrapReps: 16, Seed: 42}) }
+
+	wantRes, wantInfo, err := eng().AnalyzeStream(ctx, &sliceSource{recs: recs},
+		StreamOptions{Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batchN := range []int{1, 3, 1000, len(recs) + 1} {
+		src := &batchSource{sliceSource: sliceSource{recs: recs}, batchN: batchN}
+		res, info, err := eng().AnalyzeStream(ctx, src, StreamOptions{Spec: spec})
+		if err != nil {
+			t.Fatalf("batchN=%d: %v", batchN, err)
+		}
+		if !reflect.DeepEqual(res, wantRes) {
+			t.Fatalf("batchN=%d: batched result differs from record-at-a-time result", batchN)
+		}
+		if *info != *wantInfo {
+			t.Fatalf("batchN=%d: info %+v, want %+v", batchN, *info, *wantInfo)
+		}
+	}
+
+	// A batch source error aborts the analysis like a record source error.
+	boom := errors.New("batch source failure")
+	if _, _, err := eng().AnalyzeStream(ctx, &erringBatchSource{err: boom}, StreamOptions{}); !errors.Is(err, boom) {
+		t.Fatalf("batch source error not propagated: %v", err)
+	}
+}
+
 // TestAnalyzeStreamEdgeCases covers the empty source, source errors,
 // cancellation and out-of-order detection.
 func TestAnalyzeStreamEdgeCases(t *testing.T) {

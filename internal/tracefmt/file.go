@@ -91,6 +91,13 @@ func (f *File) parseFooter(p []byte, footOff int64) error {
 		return fmt.Errorf("%w: footer block count %d", ErrFormat, nBlocks)
 	}
 	var sum uint64
+	// Block offsets must be strictly increasing and non-overlapping:
+	// each block's frame needs at least its header, the fixed prefix,
+	// the two dictionary-delta counts and its columns before the next
+	// can begin. A hostile index that aims two entries at the same
+	// bytes, or past the footer, is rejected here — before ScanParallel
+	// hands the entries to concurrent workers to dereference.
+	minOff := int64(headerSize)
 	for i := 0; i < nBlocks && fr.err == nil; i++ {
 		b := BlockInfo{
 			Offset:   int64(fr.u64("block offset")),
@@ -98,9 +105,13 @@ func (f *File) parseFooter(p []byte, footOff int64) error {
 			MinStart: fr.i64("block min start"),
 			MaxStart: fr.i64("block max start"),
 		}
-		if b.Offset < int64(headerSize) || b.Offset >= footOff || b.Records <= 0 {
-			return fmt.Errorf("%w: footer block %d: offset %d records %d", ErrFormat, i, b.Offset, b.Records)
+		if b.Records <= 0 || b.Records > maxFramePayload/recordWidth {
+			return fmt.Errorf("%w: footer block %d: %d records", ErrFormat, i, b.Records)
 		}
+		if b.Offset < minOff || b.Offset >= footOff {
+			return fmt.Errorf("%w: footer block %d: offset %d overlaps block %d or the footer", ErrFormat, i, b.Offset, i-1)
+		}
+		minOff = b.Offset + int64(frameSize+blockPrefixSize+2+4) + int64(b.Records)*recordWidth
 		sum += uint64(b.Records)
 		f.blocks = append(f.blocks, b)
 	}
@@ -185,7 +196,7 @@ func (f *File) Scan(opts ScanOptions) *Scanner {
 		for i < len(f.blocks) {
 			b := f.blocks[i]
 			i++
-			if !b.overlaps(s.fromN, s.toN) {
+			if !b.overlaps(s.fromN, s.toInc) {
 				continue
 			}
 			kind, p, err := readFrameAt(f.ra, b.Offset, buf)
@@ -201,4 +212,28 @@ func (f *File) Scan(opts ScanOptions) *Scanner {
 		return nil, nil
 	}
 	return s
+}
+
+// decodeBlockAt reads, verifies and decodes one indexed block, appending
+// its in-window records to dst. frameBuf is the caller's reusable frame
+// buffer; the (possibly regrown) buffer is returned for the next call.
+// The decoded record count must match the footer index — a block that
+// disagrees with its own index entry is malformed, whichever is lying.
+func (f *File) decodeBlockAt(b BlockInfo, frameBuf []byte, fromN, toInc int64, dst []failures.Record) ([]failures.Record, []byte, error) {
+	kind, p, err := readFrameAt(f.ra, b.Offset, frameBuf)
+	if err != nil {
+		return dst, frameBuf, err
+	}
+	if kind != frameBlock {
+		return dst, p, fmt.Errorf("%w: index points at frame kind %d, want block", ErrFormat, kind)
+	}
+	n, _, _, colOff, err := parseBlock(p, nil, nil, false)
+	if err != nil {
+		return dst, p, err
+	}
+	if n != b.Records {
+		return dst, p, fmt.Errorf("%w: block at %d holds %d records, index says %d", ErrFormat, b.Offset, n, b.Records)
+	}
+	dst, err = decodeColumns(p, colOff, n, 0, f.hwDict, f.detDict, fromN, toInc, dst)
+	return dst, p, err
 }

@@ -123,10 +123,13 @@ type BlockInfo struct {
 	MinStart, MaxStart int64
 }
 
-// overlaps reports whether the block can contain a start time in
-// [fromN, toN). The caller passes math.MinInt64/MaxInt64 for open ends.
-func (b BlockInfo) overlaps(fromN, toN int64) bool {
-	return b.MaxStart >= fromN && b.MinStart < toN
+// overlaps reports whether the block can contain a start time in the
+// inclusive window [fromN, toInc]. The caller passes
+// math.MinInt64/MaxInt64 for open ends; scanBounds produces the pair
+// from a ScanOptions. Inclusive bounds (rather than a half-open toN)
+// keep a fully open window able to match math.MaxInt64 itself.
+func (b BlockInfo) overlaps(fromN, toInc int64) bool {
+	return b.MaxStart >= fromN && b.MinStart <= toInc
 }
 
 // appendUvarint-style helpers are deliberately absent: every field is

@@ -3,6 +3,7 @@ package tracefmt
 import (
 	"bytes"
 	"fmt"
+	"reflect"
 	"testing"
 	"time"
 
@@ -72,6 +73,38 @@ func FuzzTraceRoundTrip(f *testing.F) {
 			}
 		}
 
+		// The parallel scanners must reproduce the sequential scan of the
+		// fresh encoding exactly, at a worker count above one.
+		pf, err := NewFile(bytes.NewReader(raw), int64(len(raw)))
+		if err != nil {
+			t.Fatalf("NewFile on fresh encoding: %v", err)
+		}
+		ps := pf.ScanParallel(ScanOptions{}, 3)
+		var pgot []failures.Record
+		for ps.Scan() {
+			pgot = append(pgot, ps.Record())
+		}
+		if err := ps.Err(); err != nil {
+			t.Fatalf("ScanParallel on fresh encoding: %v", err)
+		}
+		if !reflect.DeepEqual(pgot, got) {
+			t.Fatalf("ScanParallel yielded %d records, sequential %d (or field mismatch)", len(pgot), len(got))
+		}
+		ps2, err := NewScannerParallel(bytes.NewReader(raw), ScanOptions{})
+		if err != nil {
+			t.Fatalf("NewScannerParallel on fresh encoding: %v", err)
+		}
+		pgot = pgot[:0]
+		for ps2.Scan() {
+			pgot = append(pgot, ps2.Record())
+		}
+		if err := ps2.Err(); err != nil {
+			t.Fatalf("NewScannerParallel on fresh encoding: %v", err)
+		}
+		if len(pgot) != len(got) {
+			t.Fatalf("NewScannerParallel yielded %d records, sequential %d", len(pgot), len(got))
+		}
+
 		// The raw fuzz bytes as a trace: a scanner that accepts them must
 		// terminate and surface any corruption through Err(), and the
 		// random-access reader must never index more records than the
@@ -86,6 +119,27 @@ func FuzzTraceRoundTrip(f *testing.F) {
 					t.Fatalf("file header claims %d records, stream scan yielded %d", f2.Records(), streamed)
 				}
 			}
+		}
+
+		// Hostile bytes through the parallel paths: the footer index is
+		// validated before any worker dereferences it, so both scanners
+		// must terminate with a clean end or an error — never panic or
+		// hang, and never disagree with the sequential scan on success.
+		if hf, err := NewFile(bytes.NewReader(data), int64(len(data))); err == nil {
+			hs := hf.ScanParallel(ScanOptions{}, 3)
+			hostile := 0
+			for hs.Scan() {
+				hostile++
+			}
+			if hs.Err() == nil && hostile != hf.Records() {
+				t.Fatalf("hostile ScanParallel yielded %d records, index says %d", hostile, hf.Records())
+			}
+			hs.Close()
+		}
+		if hs, err := NewScannerParallel(bytes.NewReader(data), ScanOptions{}); err == nil {
+			for hs.Scan() {
+			}
+			hs.Close()
 		}
 	})
 }

@@ -1,0 +1,575 @@
+package tracefmt
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hpcfail/internal/failures"
+)
+
+// parScanAll drains a ParallelScanner through the Scan/Record interface
+// and fails the test on any scan error.
+func parScanAll(t testing.TB, p *ParallelScanner) []failures.Record {
+	t.Helper()
+	defer p.Close()
+	var out []failures.Record
+	for p.Scan() {
+		out = append(out, p.Record())
+	}
+	if err := p.Err(); err != nil {
+		t.Fatalf("parallel scan: %v", err)
+	}
+	return out
+}
+
+// TestParallelWriterByteIdentity is the contract the parallel encoder
+// lives by: at every worker count and block size the output bytes are
+// exactly the sequential writer's, so checksums, goldens and the
+// seed-1 reference digest never depend on -workers.
+func TestParallelWriterByteIdentity(t *testing.T) {
+	recs := synthRecords(2400)
+	workerCounts := []int{2, 4, 8, runtime.NumCPU()}
+	for _, blockN := range []int{1, 7, 8192} {
+		seq := encode(t, recs, WriterOptions{BlockRecords: blockN})
+		for _, workers := range workerCounts {
+			t.Run(fmt.Sprintf("block=%d/workers=%d", blockN, workers), func(t *testing.T) {
+				par := encode(t, recs, WriterOptions{BlockRecords: blockN, Workers: workers})
+				if !bytes.Equal(seq, par) {
+					t.Fatalf("parallel encode differs from sequential: %d vs %d bytes", len(par), len(seq))
+				}
+			})
+		}
+	}
+}
+
+// TestParallelWriterEmptyTrace: a pool writer that never sees a record
+// must still emit the exact header+footer+trailer file.
+func TestParallelWriterEmptyTrace(t *testing.T) {
+	seq := encode(t, nil, WriterOptions{})
+	par := encode(t, nil, WriterOptions{Workers: 4})
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("empty parallel trace differs from sequential")
+	}
+	f, err := NewFile(bytes.NewReader(par), int64(len(par)))
+	if err != nil {
+		t.Fatalf("NewFile: %v", err)
+	}
+	if f.Records() != 0 || len(f.Blocks()) != 0 {
+		t.Fatalf("empty parallel trace: Records=%d Blocks=%d", f.Records(), len(f.Blocks()))
+	}
+}
+
+// TestParallelWriterPoison: a validation error must surface from the
+// offending Write, stick across further Writes and both Closes, and
+// release the pool goroutines instead of deadlocking on them.
+func TestParallelWriterPoison(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, WriterOptions{BlockRecords: 2, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := synthRecords(5)
+	for _, r := range good {
+		if err := w.Write(r); err != nil {
+			t.Fatalf("good record rejected: %v", err)
+		}
+	}
+	bad := good[0]
+	bad.Workload = 300
+	if err := w.Write(bad); err == nil {
+		t.Fatalf("Write accepted an unrepresentable record")
+	}
+	if err := w.Write(good[0]); err == nil {
+		t.Fatalf("Write succeeded on a poisoned writer")
+	}
+	if err := w.Close(); err == nil {
+		t.Fatalf("Close succeeded on a poisoned writer")
+	}
+	if err := w.Close(); err == nil {
+		t.Fatalf("second Close forgot the poison")
+	}
+}
+
+// TestParallelWriterPropagatesIOErrors: an underlying write failure
+// surfaces on a later Write or at Close (the sequencer owns the I/O)
+// and Close never hangs on the dead pool.
+func TestParallelWriterPropagatesIOErrors(t *testing.T) {
+	w, err := NewWriter(&failingWriter{after: 1}, WriterOptions{BlockRecords: 4, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawErr error
+	for _, r := range synthRecords(256) {
+		if err := w.Write(r); err != nil {
+			sawErr = err
+			break
+		}
+	}
+	if sawErr == nil {
+		sawErr = w.Close()
+	} else if err := w.Close(); err == nil {
+		t.Fatalf("Close succeeded after a write error")
+	}
+	if !errors.Is(sawErr, errShortWrite) {
+		t.Fatalf("write error not propagated: %v", sawErr)
+	}
+}
+
+func TestParallelWriterWriteAfterClose(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, WriterOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(synthRecords(1)[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := w.Write(synthRecords(1)[0]); err == nil {
+		t.Fatalf("Write after Close succeeded")
+	}
+}
+
+// TestParallelScanIdentity is the decode-side identity matrix: both
+// parallel scanners must yield records DeepEqual to the sequential
+// Scanner — every field, every order — across worker counts, block
+// sizes and time windows.
+func TestParallelScanIdentity(t *testing.T) {
+	recs := synthRecords(3000)
+	from := time.Date(1996, 8, 10, 0, 0, 0, 0, time.UTC)
+	to := time.Date(1996, 10, 1, 0, 0, 0, 0, time.UTC)
+	workerCounts := []int{1, 4, 8, runtime.NumCPU()}
+	for _, blockN := range []int{1, 7, 8192} {
+		raw := encode(t, recs, WriterOptions{BlockRecords: blockN})
+		for wi, opts := range []ScanOptions{{}, {From: from, To: to}} {
+			s, err := NewScanner(bytes.NewReader(raw), ScanOptions{From: opts.From, To: opts.To})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := scanAll(t, s)
+			if wi == 1 && (len(want) == 0 || len(want) == len(recs)) {
+				t.Fatalf("degenerate window: %d of %d records", len(want), len(recs))
+			}
+			for _, workers := range workerCounts {
+				t.Run(fmt.Sprintf("block=%d/window=%d/workers=%d", blockN, wi, workers), func(t *testing.T) {
+					f, err := NewFile(bytes.NewReader(raw), int64(len(raw)))
+					if err != nil {
+						t.Fatal(err)
+					}
+					ps := f.ScanParallel(opts, workers)
+					got := parScanAll(t, ps)
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("ScanParallel: %d records, want %d (or field mismatch)", len(got), len(want))
+					}
+					if ps.Scanned() != len(want) {
+						t.Fatalf("Scanned() = %d, want %d", ps.Scanned(), len(want))
+					}
+				})
+			}
+			t.Run(fmt.Sprintf("block=%d/window=%d/stream", blockN, wi), func(t *testing.T) {
+				ps, err := NewScannerParallel(bytes.NewReader(raw), opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := parScanAll(t, ps)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("NewScannerParallel: %d records, want %d (or field mismatch)", len(got), len(want))
+				}
+			})
+		}
+	}
+}
+
+// atomicReaderAt counts ReadAt calls race-free, since parallel decode
+// workers read concurrently.
+type atomicReaderAt struct {
+	r     *bytes.Reader
+	reads atomic.Int64
+}
+
+func (c *atomicReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	c.reads.Add(1)
+	return c.r.ReadAt(p, off)
+}
+
+// TestParallelScanWindowSkipsReads: the dispatcher must skip
+// out-of-window blocks before any worker touches the file, so a
+// windowed parallel scan costs reads only for overlapping blocks.
+func TestParallelScanWindowSkipsReads(t *testing.T) {
+	recs := synthRecords(2000)
+	base := time.Date(1996, 8, 1, 0, 0, 0, 0, time.UTC)
+	for i := range recs {
+		recs[i].Start = base.Add(time.Duration(i)*time.Hour - time.Duration(i%7)*time.Minute)
+		recs[i].End = recs[i].Start.Add(time.Duration(1+i%90) * time.Minute)
+	}
+	raw := encode(t, recs, WriterOptions{BlockRecords: 50})
+	from := time.Date(1996, 8, 20, 0, 0, 0, 0, time.UTC)
+	to := time.Date(1996, 9, 10, 0, 0, 0, 0, time.UTC)
+
+	cra := &atomicReaderAt{r: bytes.NewReader(raw)}
+	f, err := NewFile(cra, int64(len(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromN, toInc := from.UnixNano(), to.UnixNano()-1
+	overlapping := 0
+	for _, b := range f.Blocks() {
+		if b.overlaps(fromN, toInc) {
+			overlapping++
+		}
+	}
+	if overlapping == 0 || overlapping == len(f.Blocks()) {
+		t.Fatalf("degenerate window: %d of %d blocks overlap", overlapping, len(f.Blocks()))
+	}
+	openReads := cra.reads.Load()
+	got := parScanAll(t, f.ScanParallel(ScanOptions{From: from, To: to}, 4))
+	scanReads := cra.reads.Load() - openReads
+	if maxReads := int64(2 * overlapping); scanReads > maxReads {
+		t.Fatalf("parallel range scan issued %d reads for %d overlapping blocks (max %d): skipping is broken",
+			scanReads, overlapping, maxReads)
+	}
+	var want int
+	for _, r := range recs {
+		if !r.Start.Before(from) && r.Start.Before(to) {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("windowed parallel scan yielded %d records, want %d", len(got), want)
+	}
+}
+
+// TestParallelScanCorruption flips a byte in every frame of the trace,
+// one corrupted copy at a time, and requires each parallel scanner to
+// surface an error — never panic, never deadlock — and to shut down
+// cleanly with workers drained.
+func TestParallelScanCorruption(t *testing.T) {
+	recs := synthRecords(300)
+	raw := encode(t, recs, WriterOptions{BlockRecords: 25})
+	clean, err := NewFile(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := clean.Blocks()
+	if len(blocks) < 4 {
+		t.Fatalf("want several blocks, got %d", len(blocks))
+	}
+	// One corruption site per block frame (mid-payload) plus one in the
+	// frame header's kind byte, for every block in the file.
+	type site struct {
+		name string
+		off  int64
+	}
+	var sites []site
+	for bi, b := range blocks {
+		sites = append(sites,
+			site{fmt.Sprintf("block%d-kind", bi), b.Offset},
+			site{fmt.Sprintf("block%d-payload", bi), b.Offset + frameSize + 10},
+		)
+	}
+	for _, sc := range sites {
+		t.Run(sc.name, func(t *testing.T) {
+			bad := append([]byte(nil), raw...)
+			bad[sc.off] ^= 0x5b
+
+			f, err := NewFile(bytes.NewReader(bad), int64(len(bad)))
+			if err == nil {
+				ps := f.ScanParallel(ScanOptions{}, 4)
+				for ps.Scan() {
+				}
+				if ps.Err() == nil {
+					t.Fatalf("ScanParallel missed the corruption at offset %d", sc.off)
+				}
+				if err := ps.Close(); err != nil {
+					t.Fatalf("Close after error: %v", err)
+				}
+			}
+
+			ps, err := NewScannerParallel(bytes.NewReader(bad), ScanOptions{})
+			if err != nil {
+				return // header corrupt: rejected at open, also fine
+			}
+			for ps.Scan() {
+			}
+			if ps.Err() == nil {
+				t.Fatalf("NewScannerParallel missed the corruption at offset %d", sc.off)
+			}
+			if err := ps.Close(); err != nil {
+				t.Fatalf("Close after error: %v", err)
+			}
+		})
+	}
+}
+
+// TestParallelScanEarlyClose abandons scans mid-flight and checks every
+// producer goroutine unwinds: Close must drain the in-flight blocks, not
+// strand workers on a channel nobody reads.
+func TestParallelScanEarlyClose(t *testing.T) {
+	recs := synthRecords(20000)
+	raw := encode(t, recs, WriterOptions{BlockRecords: 64})
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		f, err := NewFile(bytes.NewReader(raw), int64(len(raw)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps := f.ScanParallel(ScanOptions{}, 8)
+		for j := 0; j < 10 && ps.Scan(); j++ {
+		}
+		if err := ps.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		if ps.Scan() {
+			t.Fatalf("Scan succeeded after Close")
+		}
+
+		ps2, err := NewScannerParallel(bytes.NewReader(raw), ScanOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 10 && ps2.Scan(); j++ {
+		}
+		if err := ps2.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("%d goroutines before, %d after five abandoned scans: workers leaked", before, n)
+	}
+}
+
+// TestParallelScanBatchInterleave mixes Scan and ScanBatch on one
+// scanner; together they must reconstruct the exact sequential record
+// stream, with Record() tracking the last yielded record either way.
+func TestParallelScanBatchInterleave(t *testing.T) {
+	recs := synthRecords(1203)
+	raw := encode(t, recs, WriterOptions{BlockRecords: 50})
+	s, err := NewScanner(bytes.NewReader(raw), ScanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := scanAll(t, s)
+
+	f, err := NewFile(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := f.ScanParallel(ScanOptions{}, 3)
+	defer ps.Close()
+	var got []failures.Record
+	for turn := 0; ; turn++ {
+		if turn%2 == 0 {
+			advanced := false
+			for k := 0; k < 3 && ps.Scan(); k++ {
+				got = append(got, ps.Record())
+				advanced = true
+			}
+			if !advanced {
+				break
+			}
+		} else {
+			b, err := ps.ScanBatch()
+			if err != nil {
+				t.Fatalf("ScanBatch: %v", err)
+			}
+			if b == nil {
+				break
+			}
+			if ps.Record() != b[len(b)-1] {
+				t.Fatalf("Record() after ScanBatch is not the batch's last record")
+			}
+			got = append(got, b...)
+		}
+	}
+	if err := ps.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("interleaved Scan/ScanBatch yielded %d records, want %d (or field mismatch)", len(got), len(want))
+	}
+	if ps.Scanned() != len(want) {
+		t.Fatalf("Scanned() = %d, want %d", ps.Scanned(), len(want))
+	}
+}
+
+// TestParallelScanBatchSteadyStateAllocs pins the buffer pooling: once
+// the recycled record buffers have grown to block size, draining a
+// block costs a small constant number of allocations (the batch
+// envelope and its ready channel), not per-record garbage.
+func TestParallelScanBatchSteadyStateAllocs(t *testing.T) {
+	recs := synthRecords(60000)
+	raw := encode(t, recs, WriterOptions{BlockRecords: 512})
+	f, err := NewFile(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := f.ScanParallel(ScanOptions{}, 4)
+	defer ps.Close()
+	for i := 0; i < 20; i++ {
+		b, err := ps.ScanBatch()
+		if err != nil || b == nil {
+			t.Fatalf("trace exhausted during warmup at batch %d (err=%v)", i, err)
+		}
+	}
+	const perRun = 10
+	avg := testing.AllocsPerRun(5, func() {
+		for i := 0; i < perRun; i++ {
+			b, err := ps.ScanBatch()
+			if err != nil || b == nil {
+				t.Fatalf("trace exhausted mid-measurement (err=%v)", err)
+			}
+		}
+	})
+	if perBatch := avg / perRun; perBatch > 16 {
+		t.Fatalf("steady-state ScanBatch allocates %.1f allocs/block, want a small constant (buffer pooling broken)", perBatch)
+	}
+}
+
+// TestOpenWindowExtremeStarts is a regression test: the scan window used
+// to be half-open in nanoseconds internally, so an open upper bound
+// became toN = MaxInt64 and a record starting at exactly MaxInt64 ns was
+// silently dropped by every reader (and its block could be skipped
+// outright). Bounds are now inclusive; the full int64 range scans.
+func TestOpenWindowExtremeStarts(t *testing.T) {
+	lo := time.Unix(0, math.MinInt64).UTC()
+	hi := time.Unix(0, math.MaxInt64).UTC()
+	mid := time.Date(2001, 1, 1, 0, 0, 0, 0, time.UTC)
+	mk := func(ts time.Time) failures.Record {
+		r := synthRecords(1)[0]
+		r.Start, r.End = ts, ts
+		return r
+	}
+	recs := []failures.Record{mk(lo), mk(mid), mk(hi)}
+	raw := encode(t, recs, WriterOptions{BlockRecords: 1})
+
+	check := func(name string, opts ScanOptions, want int) {
+		t.Helper()
+		s, err := NewScanner(bytes.NewReader(raw), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := scanAll(t, s); len(got) != want {
+			t.Fatalf("%s: Scanner yielded %d records, want %d", name, len(got), want)
+		}
+		f, err := NewFile(bytes.NewReader(raw), int64(len(raw)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := scanAll(t, f.Scan(opts)); len(got) != want {
+			t.Fatalf("%s: File.Scan yielded %d records, want %d", name, len(got), want)
+		}
+		if got := parScanAll(t, f.ScanParallel(opts, 2)); len(got) != want {
+			t.Fatalf("%s: ScanParallel yielded %d records, want %d", name, len(got), want)
+		}
+		ps, err := NewScannerParallel(bytes.NewReader(raw), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := parScanAll(t, ps); len(got) != want {
+			t.Fatalf("%s: NewScannerParallel yielded %d records, want %d", name, len(got), want)
+		}
+	}
+
+	check("open", ScanOptions{}, 3)
+	check("from=MaxInt64", ScanOptions{From: hi}, 1)
+	check("to=MaxInt64", ScanOptions{To: hi}, 2) // To is exclusive
+	check("from=MinInt64", ScanOptions{From: lo}, 3)
+	check("to=mid", ScanOptions{To: mid}, 1)
+}
+
+// TestWindowExactBlockBoundaries pins the skip logic at the index edges:
+// From equal to a block's MaxStart must still scan that block; To equal
+// to a block's MinStart must skip it without reading it.
+func TestWindowExactBlockBoundaries(t *testing.T) {
+	base := time.Date(1996, 8, 1, 0, 0, 0, 0, time.UTC)
+	recs := synthRecords(8)
+	for i := range recs {
+		recs[i].Start = base.Add(time.Duration(i) * time.Hour)
+		recs[i].End = recs[i].Start.Add(time.Minute)
+	}
+	raw := encode(t, recs, WriterOptions{BlockRecords: 4})
+
+	cra := &atomicReaderAt{r: bytes.NewReader(raw)}
+	f, err := NewFile(cra, int64(len(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Blocks()) != 2 {
+		t.Fatalf("want 2 blocks, got %d", len(f.Blocks()))
+	}
+
+	// To == second block's MinStart: its records are all excluded, so the
+	// block must not cost a single read.
+	openReads := cra.reads.Load()
+	if got := scanAll(t, f.Scan(ScanOptions{To: base.Add(4 * time.Hour)})); len(got) != 4 {
+		t.Fatalf("To at block boundary: %d records, want 4", len(got))
+	}
+	if n := cra.reads.Load() - openReads; n > 2 {
+		t.Fatalf("scan of one block issued %d reads, want <= 2: boundary block not skipped", n)
+	}
+
+	// From == first block's MaxStart: the boundary record itself is
+	// in-window, so the first block must still be scanned.
+	if got := scanAll(t, f.Scan(ScanOptions{From: base.Add(3 * time.Hour)})); len(got) != 5 {
+		t.Fatalf("From at block max: %d records, want 5", len(got))
+	}
+	if got := parScanAll(t, f.ScanParallel(ScanOptions{From: base.Add(3 * time.Hour)}, 2)); len(got) != 5 {
+		t.Fatalf("From at block max (parallel): %d records, want 5", len(got))
+	}
+	if got := parScanAll(t, f.ScanParallel(ScanOptions{To: base.Add(4 * time.Hour)}, 2)); len(got) != 4 {
+		t.Fatalf("To at block boundary (parallel): %d records, want 4", len(got))
+	}
+}
+
+// TestTruncatedHeaderClassification is a regression test: an input that
+// ends inside the 8-byte header but matches the magic as far as it goes
+// used to come back as ErrBadMagic ("not a trace") even though
+// SniffMagic had just said it was one. It is a truncated trace.
+func TestTruncatedHeaderClassification(t *testing.T) {
+	raw := encode(t, synthRecords(3), WriterOptions{})
+	for _, n := range []int{1, 3, len(magic), len(magic) + 1} {
+		_, err := NewScanner(bytes.NewReader(raw[:n]), ScanOptions{})
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("NewScanner on %d-byte magic prefix: got %v, want ErrTruncated", n, err)
+		}
+		_, err = NewScannerParallel(bytes.NewReader(raw[:n]), ScanOptions{})
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("NewScannerParallel on %d-byte magic prefix: got %v, want ErrTruncated", n, err)
+		}
+	}
+	if _, err := NewScanner(bytes.NewReader([]byte("XYZ")), ScanOptions{}); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("foreign short file: got %v, want ErrBadMagic", err)
+	}
+	if _, err := NewScanner(bytes.NewReader(nil), ScanOptions{}); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("empty file: got %v, want ErrBadMagic", err)
+	}
+}
+
+// TestSniffMagicShortPrefix: sniffing must never claim a trace on fewer
+// bytes than the magic, and never index past a short prefix.
+func TestSniffMagicShortPrefix(t *testing.T) {
+	for _, p := range [][]byte{nil, {}, []byte("H"), []byte("HPC"), []byte("XPCTRC")} {
+		if SniffMagic(p) {
+			t.Fatalf("SniffMagic(%q) = true", p)
+		}
+	}
+	if !SniffMagic([]byte(magic)) || !SniffMagic([]byte(magic+"\x01\x00extra")) {
+		t.Fatalf("SniffMagic rejected a real trace prefix")
+	}
+}

@@ -22,7 +22,9 @@ type ScanOptions struct {
 
 // Scanner yields failure records from a binary trace one at a time,
 // implementing the same Scan/Record/Err shape as failures.Scanner, so
-// it plugs directly into engine.AnalyzeStream as a RecordSource.
+// it plugs directly into engine.AnalyzeStream as a RecordSource. It
+// also implements ScanBatch (engine.BatchSource), which hands the
+// fused pipeline a whole decoded block per call.
 //
 // Records decode straight out of the current block's column buffer —
 // eight fixed-width loads and two dictionary lookups — with no per-record
@@ -45,11 +47,14 @@ type Scanner struct {
 	// since skipped blocks may already have contributed entries.
 	dictFixed bool
 
-	fromN, toN int64
-	rec        failures.Record
-	scanned    int
-	err        error
-	done       bool
+	// fromN and toInc are the inclusive scan window bounds; see
+	// scanBounds.
+	fromN, toInc int64
+	rec          failures.Record
+	batch        []failures.Record // ScanBatch output buffer, reused
+	scanned      int
+	err          error
+	done         bool
 }
 
 // NewScanner reads a binary trace sequentially from r — a file, a pipe,
@@ -58,15 +63,8 @@ type Scanner struct {
 // to confirm the file is complete. The reader must be positioned at the
 // start of the trace.
 func NewScanner(r io.Reader, opts ScanOptions) (*Scanner, error) {
-	var hdr [headerSize]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, fmt.Errorf("%w: reading header: %v", ErrBadMagic, err)
-	}
-	if string(hdr[:len(magic)]) != magic {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrBadMagic, hdr[:len(magic)])
-	}
-	if v := le.Uint16(hdr[len(magic):]); v != Version {
-		return nil, fmt.Errorf("%w: file version %d, reader supports %d", ErrVersion, v, Version)
+	if err := readHeader(r); err != nil {
+		return nil, err
 	}
 	s := newScanner(opts, false)
 	var buf []byte
@@ -101,28 +99,65 @@ func NewScanner(r io.Reader, opts ScanOptions) (*Scanner, error) {
 	return s, nil
 }
 
-func newScanner(opts ScanOptions, dictFixed bool) *Scanner {
-	s := &Scanner{
-		fromN:     math.MinInt64,
-		toN:       math.MaxInt64,
-		dictFixed: dictFixed,
+// readHeader consumes and verifies the file header. An input that ends
+// inside the header but matches the magic as far as it goes is a
+// truncated trace (ErrTruncated), not a foreign file (ErrBadMagic) —
+// SniffMagic would have said yes to the same prefix.
+func readHeader(r io.Reader) error {
+	var hdr [headerSize]byte
+	n, err := io.ReadFull(r, hdr[:])
+	if err != nil {
+		if (err == io.EOF || err == io.ErrUnexpectedEOF) &&
+			n > 0 && string(hdr[:min(n, len(magic))]) == magic[:min(n, len(magic))] {
+			return fmt.Errorf("%w: file ends inside the %d-byte header", ErrTruncated, headerSize)
+		}
+		return fmt.Errorf("%w: reading header: %v", ErrBadMagic, err)
 	}
+	if string(hdr[:len(magic)]) != magic {
+		return fmt.Errorf("%w: bad magic %q", ErrBadMagic, hdr[:len(magic)])
+	}
+	if v := le.Uint16(hdr[len(magic):]); v != Version {
+		return fmt.Errorf("%w: file version %d, reader supports %d", ErrVersion, v, Version)
+	}
+	return nil
+}
+
+func newScanner(opts ScanOptions, dictFixed bool) *Scanner {
+	s := &Scanner{dictFixed: dictFixed}
+	s.fromN, s.toInc = scanBounds(opts)
+	return s
+}
+
+// scanBounds converts a ScanOptions window to inclusive epoch-nanosecond
+// bounds: a record matches iff fromN <= startN <= toInc. Open ends map
+// to MinInt64/MaxInt64, so a fully open scan admits every representable
+// start time including math.MaxInt64 (a half-open upper bound cannot
+// express that). An impossible window — To at or before the epoch
+// range, or From beyond it — collapses to the empty sentinel
+// (MaxInt64, MinInt64), which no start time satisfies.
+func scanBounds(opts ScanOptions) (fromN, toInc int64) {
+	fromN, toInc = math.MinInt64, math.MaxInt64
 	if !opts.From.IsZero() {
 		if n, err := epochNanos(opts.From, "range from"); err == nil {
-			s.fromN = n
+			fromN = n
 		} else if opts.From.Unix() > 0 {
 			// Beyond the representable range: nothing can match.
-			s.fromN = math.MaxInt64
+			return math.MaxInt64, math.MinInt64
 		}
+		// From before the representable range stays fully open.
 	}
 	if !opts.To.IsZero() {
 		if n, err := epochNanos(opts.To, "range to"); err == nil {
-			s.toN = n
+			if n == math.MinInt64 {
+				return math.MaxInt64, math.MinInt64
+			}
+			toInc = n - 1 // [From, To) excludes To itself
 		} else if opts.To.Unix() < 0 {
-			s.toN = math.MinInt64
+			return math.MaxInt64, math.MinInt64
 		}
+		// To beyond the representable range stays fully open.
 	}
-	return s
+	return fromN, toInc
 }
 
 // readFrame reads one frame from r into *buf (grown as needed, reused
@@ -152,56 +187,71 @@ func readFrame(r io.Reader, buf *[]byte) (byte, []byte, error) {
 	return hdr[0], p, nil
 }
 
+// parseBlock validates a block payload's prefix and dictionary-delta
+// section and returns the record count, the block's start-time bounds
+// and the offset of the column section. When appendDicts is true the
+// delta entries are appended to *hwDict / *detDict (sequential stream
+// decode); otherwise they are skipped unread, because the caller's
+// dictionaries were preloaded from the footer and skipped blocks may
+// already have contributed entries.
+func parseBlock(p []byte, hwDict *[]failures.HWType, detDict *[]string, appendDicts bool) (n int, minStart, maxStart int64, colOff int, err error) {
+	fr := fieldReader{buf: p}
+	n = int(fr.u32("record count"))
+	minStart = fr.i64("min start")
+	maxStart = fr.i64("max start")
+	nHW := int(fr.u16("hw dict count"))
+	for i := 0; i < nHW; i++ {
+		l := int(fr.u16("hw label length"))
+		b := fr.bytes(l, "hw label")
+		if appendDicts && fr.err == nil {
+			if len(*hwDict) >= maxHWDict {
+				return 0, 0, 0, 0, fmt.Errorf("%w: hardware dictionary overflow", ErrFormat)
+			}
+			*hwDict = append(*hwDict, failures.HWType(b))
+		}
+	}
+	nDet := int(fr.u32("detail dict count"))
+	if nDet > maxDetailDict {
+		return 0, 0, 0, 0, fmt.Errorf("%w: detail dictionary count %d", ErrFormat, nDet)
+	}
+	for i := 0; i < nDet; i++ {
+		l := int(fr.u16("detail label length"))
+		b := fr.bytes(l, "detail label")
+		if appendDicts && fr.err == nil {
+			if len(*detDict) >= maxDetailDict {
+				return 0, 0, 0, 0, fmt.Errorf("%w: detail dictionary overflow", ErrFormat)
+			}
+			*detDict = append(*detDict, string(b))
+		}
+	}
+	if fr.err != nil {
+		return 0, 0, 0, 0, fr.err
+	}
+	if n < 0 || n > maxFramePayload/recordWidth {
+		return 0, 0, 0, 0, fmt.Errorf("%w: block record count %d", ErrFormat, n)
+	}
+	if want := fr.off + n*recordWidth; want != len(p) {
+		return 0, 0, 0, 0, fmt.Errorf("%w: block is %d bytes, columns need %d", ErrFormat, len(p), want)
+	}
+	return n, minStart, maxStart, fr.off, nil
+}
+
 // loadBlock parses a block payload: prefix, dictionary deltas, column
 // offsets. It returns false when the block's start-time index proves no
 // record can fall inside the scan window, leaving the column section
 // undecoded.
 func (s *Scanner) loadBlock(p []byte) (bool, error) {
-	fr := fieldReader{buf: p}
-	n := int(fr.u32("record count"))
-	minStart := fr.i64("min start")
-	maxStart := fr.i64("max start")
-	nHW := int(fr.u16("hw dict count"))
-	for i := 0; i < nHW; i++ {
-		l := int(fr.u16("hw label length"))
-		b := fr.bytes(l, "hw label")
-		if !s.dictFixed && fr.err == nil {
-			if len(s.hwDict) >= maxHWDict {
-				return false, fmt.Errorf("%w: hardware dictionary overflow", ErrFormat)
-			}
-			s.hwDict = append(s.hwDict, failures.HWType(b))
-		}
+	n, minStart, maxStart, colOff, err := parseBlock(p, &s.hwDict, &s.detDict, !s.dictFixed)
+	if err != nil {
+		return false, err
 	}
-	nDet := int(fr.u32("detail dict count"))
-	if nDet > maxDetailDict {
-		return false, fmt.Errorf("%w: detail dictionary count %d", ErrFormat, nDet)
-	}
-	for i := 0; i < nDet; i++ {
-		l := int(fr.u16("detail label length"))
-		b := fr.bytes(l, "detail label")
-		if !s.dictFixed && fr.err == nil {
-			if len(s.detDict) >= maxDetailDict {
-				return false, fmt.Errorf("%w: detail dictionary overflow", ErrFormat)
-			}
-			s.detDict = append(s.detDict, string(b))
-		}
-	}
-	if fr.err != nil {
-		return false, fr.err
-	}
-	if n < 0 || n > maxFramePayload/recordWidth {
-		return false, fmt.Errorf("%w: block record count %d", ErrFormat, n)
-	}
-	if want := fr.off + n*recordWidth; want != len(p) {
-		return false, fmt.Errorf("%w: block is %d bytes, columns need %d", ErrFormat, len(p), want)
-	}
-	if !(BlockInfo{MinStart: minStart, MaxStart: maxStart}).overlaps(s.fromN, s.toN) {
+	if !(BlockInfo{MinStart: minStart, MaxStart: maxStart}).overlaps(s.fromN, s.toInc) {
 		return false, nil
 	}
 	s.payload = p
 	s.n = n
 	s.i = 0
-	s.oStart = fr.off
+	s.oStart = colOff
 	s.oEnd = s.oStart + 8*n
 	s.oSys = s.oEnd + 8*n
 	s.oNod = s.oSys + 4*n
@@ -210,6 +260,45 @@ func (s *Scanner) loadBlock(p []byte) (bool, error) {
 	s.oCause = s.oWL + n
 	s.oDet = s.oCause + n
 	return n > 0, nil
+}
+
+// decodeColumns appends the records at positions [lo, n) of a block's
+// column section (starting at colOff in p) to dst, keeping only start
+// times inside the inclusive [fromN, toInc] window. The dictionaries
+// must already contain every index the block references.
+func decodeColumns(p []byte, colOff, n, lo int, hwDict []failures.HWType, detDict []string, fromN, toInc int64, dst []failures.Record) ([]failures.Record, error) {
+	oStart := colOff
+	oEnd := oStart + 8*n
+	oSys := oEnd + 8*n
+	oNod := oSys + 4*n
+	oHW := oNod + 4*n
+	oWL := oHW + 2*n
+	oCause := oWL + n
+	oDet := oCause + n
+	for i := lo; i < n; i++ {
+		startN := int64(le.Uint64(p[oStart+8*i:]))
+		if startN < fromN || startN > toInc {
+			continue
+		}
+		endD := int64(le.Uint64(p[oEnd+8*i:]))
+		hw := int(le.Uint16(p[oHW+2*i:]))
+		det := int(le.Uint32(p[oDet+4*i:]))
+		if hw >= len(hwDict) || det >= len(detDict) {
+			return dst, fmt.Errorf("%w: dictionary index out of range (hw %d/%d, detail %d/%d)",
+				ErrFormat, hw, len(hwDict), det, len(detDict))
+		}
+		dst = append(dst, failures.Record{
+			System:   int(int32(le.Uint32(p[oSys+4*i:]))),
+			Node:     int(int32(le.Uint32(p[oNod+4*i:]))),
+			HW:       hwDict[hw],
+			Workload: failures.Workload(p[oWL+i]),
+			Cause:    failures.RootCause(p[oCause+i]),
+			Detail:   detDict[det],
+			Start:    time.Unix(0, startN).UTC(),
+			End:      time.Unix(0, startN+endD).UTC(),
+		})
+	}
+	return dst, nil
 }
 
 // Scan advances to the next record in the scan window, reporting false
@@ -224,7 +313,7 @@ func (s *Scanner) Scan() bool {
 			s.i++
 			p := s.payload
 			startN := int64(le.Uint64(p[s.oStart+8*i:]))
-			if startN < s.fromN || startN >= s.toN {
+			if startN < s.fromN || startN > s.toInc {
 				continue
 			}
 			endD := int64(le.Uint64(p[s.oEnd+8*i:]))
@@ -249,6 +338,16 @@ func (s *Scanner) Scan() bool {
 			s.scanned++
 			return true
 		}
+		if !s.advanceBlock() {
+			return false
+		}
+	}
+}
+
+// advanceBlock pulls frames until one loads a block intersecting the
+// window; false means end of trace or error (both recorded on s).
+func (s *Scanner) advanceBlock() bool {
+	for {
 		p, err := s.next()
 		if err != nil {
 			s.err = err
@@ -259,15 +358,55 @@ func (s *Scanner) Scan() bool {
 			s.done = true
 			return false
 		}
-		if _, err := s.loadBlock(p); err != nil {
+		ok, err := s.loadBlock(p)
+		if err != nil {
 			s.err = err
 			s.done = true
 			return false
 		}
+		if ok {
+			return true
+		}
 	}
 }
 
-// Record returns the record produced by the last successful Scan.
+// ScanBatch yields the rest of the current block — every in-window
+// record not yet consumed by Scan — or, at a block boundary, the next
+// non-empty decoded block. It returns (nil, nil) at a clean end of
+// trace. The returned slice is valid until the next ScanBatch or Scan
+// call. Together with Scan/Record/Err this makes Scanner an
+// engine.BatchSource, so the fused pipeline folds whole blocks into its
+// streaming shards per dispatch.
+func (s *Scanner) ScanBatch() ([]failures.Record, error) {
+	if s.done || s.err != nil {
+		return nil, s.err
+	}
+	for {
+		if s.i < s.n {
+			lo := s.i
+			s.i = s.n
+			batch, err := decodeColumns(s.payload, s.oStart, s.n, lo, s.hwDict, s.detDict, s.fromN, s.toInc, s.batch[:0])
+			s.batch = batch
+			if err != nil {
+				s.err = err
+				s.done = true
+				return nil, err
+			}
+			if len(batch) > 0 {
+				s.scanned += len(batch)
+				s.rec = batch[len(batch)-1]
+				return batch, nil
+			}
+			continue
+		}
+		if !s.advanceBlock() {
+			return nil, s.err
+		}
+	}
+}
+
+// Record returns the record produced by the last successful Scan (after
+// ScanBatch: the last record of the batch).
 func (s *Scanner) Record() failures.Record { return s.rec }
 
 // Scanned returns how many records have been yielded.

@@ -228,9 +228,9 @@ func TestTimeRangeScan(t *testing.T) {
 		t.Fatalf("NewFile: %v", err)
 	}
 	overlapping := 0
-	fromN, toN := from.UnixNano(), to.UnixNano()
+	fromN, toInc := from.UnixNano(), to.UnixNano()-1
 	for _, b := range f.Blocks() {
-		if b.overlaps(fromN, toN) {
+		if b.overlaps(fromN, toInc) {
 			overlapping++
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 	"time"
 
 	"hpcfail/internal/failures"
@@ -15,6 +16,14 @@ type WriterOptions struct {
 	// BlockRecords is the number of records per block; <= 0 uses
 	// DefaultBlockRecords.
 	BlockRecords int
+	// Workers sets how many goroutines encode block payloads in
+	// parallel; <= 1 encodes inline on the caller's goroutine. Output
+	// bytes are identical at every worker count: dictionary indexes
+	// are still assigned in record order on the caller's goroutine,
+	// workers only turn finished row batches into frames, and a single
+	// sequencer writes the frames in submission order (see DESIGN.md,
+	// "Block-order sequencing").
+	Workers int
 }
 
 // A Writer encodes failure records into the columnar binary trace
@@ -27,42 +36,53 @@ type WriterOptions struct {
 // Write's signature matches the emit callback of lanl.GenerateStream,
 // so the fused pipeline is literally gen.GenerateStream(w.Write).
 //
-// The per-record path appends fixed-width words to reusable column
-// buffers: after the first few blocks it allocates only when a
-// never-before-seen label enters a dictionary.
+// The per-record path appends a fixed-width row to a reusable block
+// buffer: after the first few blocks it allocates only when a
+// never-before-seen label enters a dictionary. With Workers > 1 the
+// row→frame encode (column transpose, dictionary deltas, CRC) runs on
+// a bounded pool; validation errors still surface synchronously from
+// Write, while I/O errors from the sequencer may surface on a later
+// Write or at Close.
 type Writer struct {
 	w      io.Writer
 	blockN int
 
-	// Column buffers for the block under construction.
-	count    int
-	starts   []byte
-	endDs    []byte
-	systems  []byte
-	nodes    []byte
-	hws      []byte
-	wls      []byte
-	causes   []byte
-	details  []byte
-	minStart int64
-	maxStart int64
-
-	// Dictionaries, global across the file; hwNew/detNew hold the
-	// entries first seen in the current block, flushed with it.
-	hwIdx  map[failures.HWType]uint16
-	hwAll  []failures.HWType
+	// rows is the block under construction; hwNew/detNew hold the
+	// dictionary entries first seen in it, flushed with it.
+	rows   []encRow
 	hwNew  []failures.HWType
-	detIdx map[string]uint32
-	detAll []string
 	detNew []string
 
-	// File assembly state.
+	// Dictionaries, global across the file.
+	hwIdx  map[failures.HWType]uint16
+	hwAll  []failures.HWType
+	detIdx map[string]uint32
+	detAll []string
+
+	// File assembly state. With a pool running, offset and index are
+	// owned by the sequencer (in par) until shutdownPool merges them
+	// back; total stays caller-owned, bumped at dispatch.
 	offset  int64 // bytes written so far
 	index   []BlockInfo
 	total   uint64
 	scratch []byte // frame assembly buffer, reused across flushes
 	closed  bool
 	err     error
+
+	par *parWriter
+}
+
+// encRow is one record, validated and dictionary-indexed, waiting to be
+// transposed into its block's columns.
+type encRow struct {
+	startN int64
+	endD   int64
+	sys    uint32
+	nod    uint32
+	det    uint32
+	hw     uint16
+	wl     byte
+	cause  byte
 }
 
 // NewWriter writes the file header to w and returns a Writer.
@@ -82,6 +102,9 @@ func NewWriter(w io.Writer, opts WriterOptions) (*Writer, error) {
 	if err := tw.writeRaw(hdr); err != nil {
 		return nil, fmt.Errorf("tracefmt: write header: %w", err)
 	}
+	if opts.Workers > 1 {
+		tw.par = newParWriter(w, tw.offset, opts.Workers)
+	}
 	return tw, nil
 }
 
@@ -95,7 +118,7 @@ func (w *Writer) writeRaw(b []byte) error {
 }
 
 // Count returns the number of records written so far.
-func (w *Writer) Count() int { return int(w.total) + w.count }
+func (w *Writer) Count() int { return int(w.total) + len(w.rows) }
 
 // Write appends one record. Records are stored exactly as given — the
 // format neither sorts nor validates beyond what it can represent: times
@@ -137,26 +160,20 @@ func (w *Writer) Write(r failures.Record) error {
 		return w.poison(err)
 	}
 
-	if w.count == 0 {
-		w.minStart, w.maxStart = startN, startN
-	} else {
-		if startN < w.minStart {
-			w.minStart = startN
+	w.rows = append(w.rows, encRow{
+		startN: startN,
+		endD:   endN - startN,
+		sys:    uint32(r.System),
+		nod:    uint32(r.Node),
+		det:    det,
+		hw:     hw,
+		wl:     byte(r.Workload),
+		cause:  byte(r.Cause),
+	})
+	if len(w.rows) >= w.blockN {
+		if w.par != nil {
+			return w.dispatchBlock()
 		}
-		if startN > w.maxStart {
-			w.maxStart = startN
-		}
-	}
-	w.starts = appendI64(w.starts, startN)
-	w.endDs = appendI64(w.endDs, endN-startN)
-	w.systems = appendU32(w.systems, uint32(r.System))
-	w.nodes = appendU32(w.nodes, uint32(r.Node))
-	w.hws = appendU16(w.hws, hw)
-	w.wls = append(w.wls, byte(r.Workload))
-	w.causes = append(w.causes, byte(r.Cause))
-	w.details = appendU32(w.details, det)
-	w.count++
-	if w.count >= w.blockN {
 		return w.flushBlock()
 	}
 	return nil
@@ -211,61 +228,103 @@ func (w *Writer) detIndex(det string) (uint32, error) {
 	return i, nil
 }
 
-// flushBlock frames and writes the block under construction.
+// appendBlockFrame appends a complete block frame — header, prefix,
+// dictionary deltas, transposed columns, CRC — to dst and returns the
+// block's start-time bounds. It is pure (touches no Writer state), so
+// the sequential flush and every pool worker produce identical bytes
+// for identical inputs.
+func appendBlockFrame(dst []byte, rows []encRow, hwNew []failures.HWType, detNew []string) ([]byte, int64, int64, error) {
+	base := len(dst)
+	var zero [frameSize]byte
+	dst = append(dst, zero[:]...)
+	minS, maxS := rows[0].startN, rows[0].startN
+	for _, r := range rows[1:] {
+		if r.startN < minS {
+			minS = r.startN
+		}
+		if r.startN > maxS {
+			maxS = r.startN
+		}
+	}
+	dst = appendU32(dst, uint32(len(rows)))
+	dst = appendI64(dst, minS)
+	dst = appendI64(dst, maxS)
+	dst = appendU16(dst, uint16(len(hwNew)))
+	for _, hw := range hwNew {
+		dst = appendU16(dst, uint16(len(hw)))
+		dst = append(dst, hw...)
+	}
+	dst = appendU32(dst, uint32(len(detNew)))
+	for _, det := range detNew {
+		dst = appendU16(dst, uint16(len(det)))
+		dst = append(dst, det...)
+	}
+	for _, r := range rows {
+		dst = appendI64(dst, r.startN)
+	}
+	for _, r := range rows {
+		dst = appendI64(dst, r.endD)
+	}
+	for _, r := range rows {
+		dst = appendU32(dst, r.sys)
+	}
+	for _, r := range rows {
+		dst = appendU32(dst, r.nod)
+	}
+	for _, r := range rows {
+		dst = appendU16(dst, r.hw)
+	}
+	for _, r := range rows {
+		dst = append(dst, r.wl)
+	}
+	for _, r := range rows {
+		dst = append(dst, r.cause)
+	}
+	for _, r := range rows {
+		dst = appendU32(dst, r.det)
+	}
+	payload := dst[base+frameSize:]
+	if len(payload) > maxFramePayload {
+		return dst, 0, 0, fmt.Errorf("tracefmt: frame payload %d bytes exceeds the %d cap (lower BlockRecords)",
+			len(payload), maxFramePayload)
+	}
+	hdr := dst[base : base+frameSize]
+	hdr[0] = frameBlock
+	le.PutUint32(hdr[1:], uint32(len(payload)))
+	le.PutUint32(hdr[5:], crc32Checksum(payload))
+	return dst, minS, maxS, nil
+}
+
+// flushBlock encodes and writes the block under construction inline
+// (the sequential path).
 func (w *Writer) flushBlock() error {
-	if w.count == 0 {
+	if len(w.rows) == 0 {
 		return nil
 	}
-	p := w.scratch[:0]
-	p = appendU32(p, uint32(w.count))
-	p = appendI64(p, w.minStart)
-	p = appendI64(p, w.maxStart)
-	p = appendU16(p, uint16(len(w.hwNew)))
-	for _, hw := range w.hwNew {
-		p = appendU16(p, uint16(len(hw)))
-		p = append(p, hw...)
+	frame, minS, maxS, err := appendBlockFrame(w.scratch[:0], w.rows, w.hwNew, w.detNew)
+	w.scratch = frame[:0]
+	if err != nil {
+		return w.poison(err)
 	}
-	p = appendU32(p, uint32(len(w.detNew)))
-	for _, det := range w.detNew {
-		p = appendU16(p, uint16(len(det)))
-		p = append(p, det...)
-	}
-	p = append(p, w.starts...)
-	p = append(p, w.endDs...)
-	p = append(p, w.systems...)
-	p = append(p, w.nodes...)
-	p = append(p, w.hws...)
-	p = append(p, w.wls...)
-	p = append(p, w.causes...)
-	p = append(p, w.details...)
-
 	info := BlockInfo{
 		Offset:   w.offset,
-		Records:  w.count,
-		MinStart: w.minStart,
-		MaxStart: w.maxStart,
+		Records:  len(w.rows),
+		MinStart: minS,
+		MaxStart: maxS,
 	}
-	if err := w.writeFrame(frameBlock, p); err != nil {
-		return err
+	if err := w.writeRaw(frame); err != nil {
+		return fmt.Errorf("tracefmt: write frame: %w", err)
 	}
-	w.scratch = p[:0]
 	w.index = append(w.index, info)
-	w.total += uint64(w.count)
-	w.count = 0
-	w.starts = w.starts[:0]
-	w.endDs = w.endDs[:0]
-	w.systems = w.systems[:0]
-	w.nodes = w.nodes[:0]
-	w.hws = w.hws[:0]
-	w.wls = w.wls[:0]
-	w.causes = w.causes[:0]
-	w.details = w.details[:0]
+	w.total += uint64(len(w.rows))
+	w.rows = w.rows[:0]
 	w.hwNew = w.hwNew[:0]
 	w.detNew = w.detNew[:0]
 	return nil
 }
 
-// writeFrame frames a payload with its kind, length and CRC-32C.
+// writeFrame frames a payload with its kind, length and CRC-32C (footer
+// path; blocks go through appendBlockFrame).
 func (w *Writer) writeFrame(kind byte, payload []byte) error {
 	if len(payload) > maxFramePayload {
 		return w.poison(fmt.Errorf("tracefmt: frame payload %d bytes exceeds the %d cap (lower BlockRecords)",
@@ -286,18 +345,180 @@ func (w *Writer) writeFrame(kind byte, payload []byte) error {
 
 func crc32Checksum(p []byte) uint32 { return crc32Update(0, p) }
 
+// ---- Parallel encode: bounded worker pool + block-order sequencer ----
+
+// encJob carries one block's rows from the caller through a pool worker
+// (which renders the frame) to the sequencer (which writes frames in
+// submission order). Jobs are recycled through the free channel, so a
+// running Writer owns a fixed set of workers+2 row/frame buffers.
+type encJob struct {
+	rows   []encRow
+	hwNew  []failures.HWType
+	detNew []string
+	frame  []byte
+	minS   int64
+	maxS   int64
+	err    error
+	done   chan struct{}
+}
+
+type parWriter struct {
+	w     io.Writer
+	jobs  chan *encJob // caller → workers
+	order chan *encJob // caller → sequencer, in submission order
+	free  chan *encJob // sequencer → caller, recycled
+	seqDn chan struct{}
+
+	// Sequencer-owned until seqDn closes; merged back by shutdownPool.
+	offset int64
+	index  []BlockInfo
+
+	mu  sync.Mutex
+	err error // first async error: encode overflow or write failure
+}
+
+func newParWriter(w io.Writer, offset int64, workers int) *parWriter {
+	inflight := workers + 2
+	p := &parWriter{
+		w:      w,
+		jobs:   make(chan *encJob),
+		order:  make(chan *encJob, inflight),
+		free:   make(chan *encJob, inflight),
+		seqDn:  make(chan struct{}),
+		offset: offset,
+	}
+	for i := 0; i < inflight; i++ {
+		p.free <- &encJob{}
+	}
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	go p.sequence()
+	return p
+}
+
+func (p *parWriter) worker() {
+	for j := range p.jobs {
+		j.frame, j.minS, j.maxS, j.err = appendBlockFrame(j.frame[:0], j.rows, j.hwNew, j.detNew)
+		close(j.done)
+	}
+}
+
+// sequence writes finished frames in submission order — the only
+// goroutine touching the underlying writer while the pool runs. After
+// the first error it keeps draining (so dispatch and Close never block)
+// but writes nothing further.
+func (p *parWriter) sequence() {
+	defer close(p.seqDn)
+	for j := range p.order {
+		<-j.done
+		if p.getErr() == nil {
+			switch {
+			case j.err != nil:
+				p.setErr(j.err)
+			default:
+				info := BlockInfo{
+					Offset:   p.offset,
+					Records:  len(j.rows),
+					MinStart: j.minS,
+					MaxStart: j.maxS,
+				}
+				n, werr := p.w.Write(j.frame)
+				p.offset += int64(n)
+				if werr != nil {
+					p.setErr(fmt.Errorf("tracefmt: write frame: %w", werr))
+				} else {
+					p.index = append(p.index, info)
+				}
+			}
+		}
+		j.rows = j.rows[:0]
+		j.hwNew = j.hwNew[:0]
+		j.detNew = j.detNew[:0]
+		j.err = nil
+		p.free <- j
+	}
+}
+
+func (p *parWriter) getErr() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+func (p *parWriter) setErr(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
+}
+
+// dispatchBlock hands the full block to the pool, swapping buffers with
+// a recycled job so the caller never copies rows. The free channel is
+// the backpressure bound: with all workers+2 jobs in flight the caller
+// blocks here until the sequencer retires one.
+func (w *Writer) dispatchBlock() error {
+	if err := w.par.getErr(); err != nil {
+		return w.poison(err)
+	}
+	if len(w.rows) == 0 {
+		return nil
+	}
+	j := <-w.par.free
+	j.done = make(chan struct{})
+	j.rows, w.rows = w.rows, j.rows
+	j.hwNew, w.hwNew = w.hwNew, j.hwNew
+	j.detNew, w.detNew = w.detNew, j.detNew
+	w.total += uint64(len(j.rows))
+	// Both sends are non-blocking by construction (order and free share
+	// a capacity, and every job in order came out of free), so the two
+	// channels always observe the same submission order.
+	w.par.order <- j
+	w.par.jobs <- j
+	return nil
+}
+
+// shutdownPool stops the workers and sequencer, waits for every
+// dispatched block to be written, and merges the sequencer's offset and
+// index back into the Writer. Idempotent; returns the first async error.
+func (w *Writer) shutdownPool() error {
+	p := w.par
+	if p == nil {
+		return nil
+	}
+	w.par = nil
+	close(p.jobs)
+	close(p.order)
+	<-p.seqDn
+	w.offset = p.offset
+	w.index = p.index
+	return p.getErr()
+}
+
 // Close flushes the final partial block, then writes the footer (total
 // count, block index, complete dictionaries) and the trailer that lets
 // a random-access reader locate the footer from the end of the file.
-// Close does not close the underlying writer.
+// Close does not close the underlying writer. On a Writer with workers,
+// Close (successful or not) also stops the pool; it is the only way to
+// release those goroutines.
 func (w *Writer) Close() error {
 	if w.err != nil {
+		w.shutdownPool() // release goroutines; the original error stands
 		return w.err
 	}
 	if w.closed {
 		return nil
 	}
-	if err := w.flushBlock(); err != nil {
+	if w.par != nil {
+		if err := w.dispatchBlock(); err != nil {
+			w.shutdownPool()
+			return err
+		}
+		if err := w.shutdownPool(); err != nil {
+			return w.poison(err)
+		}
+	} else if err := w.flushBlock(); err != nil {
 		return err
 	}
 	footerOffset := w.offset
